@@ -1,0 +1,110 @@
+// bench_test.go wires one testing.B benchmark to every table and
+// figure of the paper's evaluation (§V), plus the DESIGN.md §5
+// ablations. Each bench runs the corresponding experiment at the
+// "smoke" profile so `go test -bench=. -benchmem` regenerates the full
+// row set in minutes; run `cmd/experiments -profile quick|paper` for
+// larger instances of the same code paths.
+package statsat_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"statsat/internal/exp"
+)
+
+// benchWriter sends experiment tables to stdout on the first benchmark
+// iteration only, so `-bench` output stays readable.
+func benchWriter(i int) io.Writer {
+	if i == 0 {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.TableI(exp.Smoke, benchWriter(i))
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableII(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableIII(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableIV(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableV(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig4(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig5(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig6(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Ablations(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDefense(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Defense(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepNs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.SweepNs(exp.Smoke, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// benchgen emits benchmark circuits in .bench format: the real c17,
+// synthetic Table I stand-ins, or arbitrary random circuits.
+//
+// Usage:
+//
+//	benchgen -benchmark c3540 -scale 8 > c3540_s8.bench
+//	benchgen -random -inputs 64 -gates 2000 -outputs 32 -seed 7
+//	benchgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statsat/internal/circuit"
+	"statsat/internal/gen"
+	"statsat/internal/netio"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "", "Table I benchmark name (or c17)")
+		scale     = flag.Int("scale", 1, "gate-count divisor for -benchmark")
+		random    = flag.Bool("random", false, "generate a random circuit instead")
+		inputs    = flag.Int("inputs", 32, "random circuit: primary inputs")
+		gates     = flag.Int("gates", 500, "random circuit: logic gates")
+		outputs   = flag.Int("outputs", 16, "random circuit: primary outputs")
+		name      = flag.String("name", "random", "random circuit name")
+		seed      = flag.Int64("seed", 1, "PRNG seed")
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+		out       = flag.String("out", "", "output path (default stdout)")
+		format    = flag.String("format", "", "force netlist format: bench | verilog (default: by extension)")
+	)
+	flag.Parse()
+	forced, err := netio.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		fmt.Printf("%-10s %-8s %8s %8s %8s\n", "Name", "Source", "Inputs", "Gates", "Outputs")
+		for _, b := range gen.TableI {
+			fmt.Printf("%-10s %-8s %8d %8d %8d\n", b.Name, b.Source, b.Inputs, b.Gates, b.Outputs)
+		}
+		fmt.Printf("%-10s %-8s %8d %8d %8d\n", "c17", "ISCAS85", 5, 6, 2)
+		return
+	}
+
+	c, err := build(*benchmark, *scale, *random, *name, *inputs, *gates, *outputs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		err = netio.WriteFile(*out, c, forced)
+	} else {
+		err = netio.Write(os.Stdout, c, forced)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func build(benchmark string, scale int, random bool, name string, in, gates, out int, seed int64) (*circuit.Circuit, error) {
+	switch {
+	case random:
+		return gen.Random(name, in, gates, out, seed), nil
+	case benchmark == "c17":
+		return gen.C17(), nil
+	case benchmark != "":
+		bm, ok := gen.ByName(benchmark)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (try -list)", benchmark)
+		}
+		return bm.BuildScaled(scale), nil
+	}
+	return nil, fmt.Errorf("need -benchmark or -random")
+}

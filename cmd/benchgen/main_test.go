@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestBuildBenchmark(t *testing.T) {
+	c, err := build("c3540", 16, false, "", 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLogicGates() != 1669/16 {
+		t.Errorf("gates = %d", c.NumLogicGates())
+	}
+}
+
+func TestBuildC17(t *testing.T) {
+	c, err := build("c17", 1, false, "", 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLogicGates() != 6 {
+		t.Errorf("c17 gates = %d", c.NumLogicGates())
+	}
+}
+
+func TestBuildRandom(t *testing.T) {
+	c, err := build("", 1, true, "r", 12, 80, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.Inputs != 12 || s.Gates != 80 || s.Outputs != 6 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("", 1, false, "", 0, 0, 0, 1); err == nil {
+		t.Error("want error without -benchmark or -random")
+	}
+	if _, err := build("nope", 1, false, "", 0, 0, 0, 1); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+}

@@ -1,0 +1,99 @@
+// experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -profile quick -exp all
+//	experiments -profile paper -exp table2
+//	experiments -exp fig6
+//
+// Experiment IDs: table1 table2 table3 table4 table5 fig4 fig5 fig6
+// ablations defense sweep all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"statsat/internal/exp"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "quick", "profile: paper | quick | smoke")
+		expID   = flag.String("exp", "all", "experiment id(s), comma-separated: table1..table5, fig4..fig6, ablations, defense, all")
+		csvDir  = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	)
+	flag.Parse()
+	p, ok := exp.ProfileByName(*profile)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+
+	ids := strings.Split(*expID, ",")
+	if *expID == "all" {
+		ids = []string{"table1", "table2", "fig4", "fig5", "table3", "fig6", "table4", "table5", "ablations", "defense", "sweep"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		var err error
+		var rows interface{}
+		switch strings.TrimSpace(id) {
+		case "table1":
+			rows = exp.TableI(p, os.Stdout)
+		case "table2":
+			rows, err = exp.TableII(p, os.Stdout)
+		case "table3":
+			rows, err = exp.TableIII(p, os.Stdout)
+		case "table4":
+			rows, err = exp.TableIV(p, os.Stdout)
+		case "table5":
+			rows, err = exp.TableV(p, os.Stdout)
+		case "fig4":
+			rows, err = exp.Fig4(p, os.Stdout)
+		case "fig5":
+			rows, err = exp.Fig5(p, os.Stdout)
+		case "fig6":
+			rows, err = exp.Fig6(p, os.Stdout)
+		case "ablations":
+			rows, err = exp.Ablations(p, os.Stdout)
+		case "defense":
+			rows, err = exp.Defense(p, os.Stdout)
+		case "sweep":
+			rows, err = exp.SweepNs(p, os.Stdout)
+		default:
+			err = fmt.Errorf("unknown experiment %q", id)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" && rows != nil {
+			if err := writeCSV(*csvDir, strings.TrimSpace(id), p.Name, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir, id, profile string, rows interface{}) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", id, profile))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteCSV(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

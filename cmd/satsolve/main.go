@@ -1,0 +1,76 @@
+// satsolve is a DIMACS front-end for the internal CDCL solver — the
+// same engine that powers the attacks. It prints "s SATISFIABLE" with
+// a "v" model line or "s UNSATISFIABLE", following SAT-competition
+// output conventions.
+//
+// Usage:
+//
+//	satsolve formula.cnf
+//	cat formula.cnf | satsolve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"statsat/internal/sat"
+)
+
+func main() {
+	var (
+		stats  = flag.Bool("stats", false, "print solver statistics")
+		budget = flag.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	s, err := sat.ParseDIMACS(r)
+	if err != nil {
+		fatal(err)
+	}
+	s.ConflictBudget = *budget
+	res := s.Solve()
+	switch res {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		fmt.Print("v")
+		for v := 0; v < s.NumVars(); v++ {
+			lit := v + 1
+			if !s.ModelValue(sat.Var(v)) {
+				lit = -lit
+			}
+			fmt.Printf(" %d", lit)
+		}
+		fmt.Println(" 0")
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+	default:
+		fmt.Println("s UNKNOWN")
+	}
+	if *stats {
+		st := s.Stats
+		fmt.Fprintf(os.Stderr, "c decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d removed=%d\n",
+			st.Decisions, st.Propagations, st.Conflicts, st.Restarts, st.Learnt, st.Removed)
+	}
+	if res == sat.Unsat {
+		os.Exit(20)
+	}
+	if res == sat.Sat {
+		os.Exit(10)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satsolve:", err)
+	os.Exit(1)
+}

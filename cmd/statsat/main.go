@@ -1,0 +1,191 @@
+// statsat runs an oracle-guided attack (StatSAT, PSAT or the standard
+// SAT attack) on a locked .bench netlist. The oracle is simulated from
+// the same netlist activated with the correct key (-key / -keyfile),
+// optionally under the paper's probabilistic gate-error model (-eps).
+//
+// Usage:
+//
+//	statsat -in locked.bench -keyfile locked.key -eps 0.0125 \
+//	        -attack statsat -ninst 8 -ns 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"statsat/internal/attack"
+	"statsat/internal/core"
+	"statsat/internal/metrics"
+	"statsat/internal/netio"
+	"statsat/internal/oracle"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "locked netlist, .bench or structural .v (keyinput* inputs)")
+		format   = flag.String("format", "", "force netlist format: bench | verilog (default: by extension)")
+		keyStr   = flag.String("key", "", "correct key as a 0/1 string (activates the oracle)")
+		keyFile  = flag.String("keyfile", "", "file containing the correct key (0/1 string)")
+		eps      = flag.Float64("eps", 0, "oracle gate error probability (0 = deterministic chip)")
+		mode     = flag.String("attack", "statsat", "attack: statsat | psat | sat")
+		ns       = flag.Int("ns", 500, "oracle samples per distinguishing input")
+		nSatis   = flag.Int("nsatis", 100, "satisfying keys for BER estimation")
+		nEval    = flag.Int("neval", 2000, "evaluation inputs for FM/HD")
+		nInst    = flag.Int("ninst", 1, "maximum SAT instances")
+		uLam     = flag.Float64("ulambda", 0.25, "uncertainty threshold U_lambda")
+		eLam     = flag.Float64("elambda", 0.30, "estimated-BER threshold E_lambda")
+		epsG     = flag.Float64("epsg", -1, "attacker's gate-error estimate (-1 = estimate via §V-E; ignored when -eps 0)")
+		seed     = flag.Int64("seed", 1, "PRNG seed")
+		verbose  = flag.Bool("v", false, "log attack progress")
+		maxIter  = flag.Int("maxiter", 20000, "iteration safety cap")
+		parallel = flag.Bool("parallel", false, "run SAT instances concurrently (faster, non-reproducible)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("need -in <locked netlist>"))
+	}
+	forced, err := netio.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+	locked, err := netio.ReadFile(*in, forced)
+	if err != nil {
+		fatal(err)
+	}
+	key, err := loadKey(*keyStr, *keyFile, locked.NumKeys())
+	if err != nil {
+		fatal(err)
+	}
+
+	var orc oracle.Oracle
+	if *eps > 0 {
+		orc = oracle.NewProbabilistic(locked, key, *eps, *seed+1)
+	} else {
+		orc = oracle.NewDeterministic(locked, key)
+	}
+
+	switch *mode {
+	case "sat":
+		res, err := attack.StandardSAT(locked, orc, *maxIter)
+		if err != nil {
+			fatal(err)
+		}
+		reportBaseline("standard SAT", res, locked, key)
+	case "psat":
+		res, err := attack.PSAT(locked, orc, attack.PSATOptions{Ns: *ns, MaxIter: *maxIter, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		reportBaseline("PSAT", res, locked, key)
+	case "statsat":
+		guess := *epsG
+		if *eps > 0 && guess < 0 {
+			fmt.Fprintln(os.Stderr, "estimating gate error probability (§V-E)...")
+			guess = core.EstimateGateError(locked, orc, core.EstimateOptions{Seed: *seed})
+			fmt.Fprintf(os.Stderr, "estimated eps' = %.4f%% (true value hidden from attacker)\n", guess*100)
+		}
+		if guess < 0 {
+			guess = 0
+		}
+		opts := core.Options{
+			Ns: *ns, NSatis: *nSatis, NEval: *nEval, NInst: *nInst,
+			ULambda: *uLam, ELambda: *eLam, EpsG: guess,
+			MaxTotalIter: *maxIter, Seed: *seed, Parallel: *parallel,
+		}
+		if *verbose {
+			opts.Logf = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		res, err := core.Attack(locked, orc, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("StatSAT: %d key(s), %d instance(s) peak, %d forks, %d force-proceeds, %d dead\n",
+			len(res.Keys), res.Instances, res.Forks, res.ForceProceeds, res.DeadInstances)
+		fmt.Printf("T_attack = %v, T_eval/key = %v, oracle queries = %d (+%d eval)\n",
+			res.AttackDuration, res.EvalPerKey, res.OracleQueries, res.EvalQueries)
+		if res.Truncated {
+			fmt.Println("WARNING: iteration budget exhausted before all instances settled (-maxiter)")
+		}
+		if *verbose {
+			fmt.Println("instance tree (id<-parent iters dips outcome):")
+			for _, st := range res.InstanceStats {
+				fmt.Printf("  %3d <- %3d  %5d %4d  %s\n", st.ID, st.Parent, st.Iterations, st.DIPs, st.Outcome)
+			}
+		}
+		for i, k := range res.Keys {
+			eq, err := metrics.KeysEquivalent(locked, k.Key, key)
+			if err != nil {
+				fatal(err)
+			}
+			marker := ""
+			if eq {
+				marker = "  (CORRECT)"
+			}
+			fmt.Printf("key %d: FM=%.4f HD=%.4f iters=%d %s%s\n",
+				i, k.FM, k.HD, k.Iterations, formatKey(k.Key), marker)
+		}
+	default:
+		fatal(fmt.Errorf("unknown attack %q (want statsat, psat or sat)", *mode))
+	}
+}
+
+func reportBaseline(name string, res *attack.Result, locked interface {
+	NumKeys() int
+}, _ []bool) {
+	if res.Failed || res.Key == nil {
+		fmt.Printf("%s FAILED after %d iterations (%v, %d queries)\n",
+			name, res.Iterations, res.Duration, res.OracleQueries)
+		return
+	}
+	fmt.Printf("%s: key=%s iterations=%d time=%v queries=%d\n",
+		name, formatKey(res.Key), res.Iterations, res.Duration, res.OracleQueries)
+}
+
+func loadKey(keyStr, keyFile string, want int) ([]bool, error) {
+	s := keyStr
+	if keyFile != "" {
+		b, err := os.ReadFile(keyFile)
+		if err != nil {
+			return nil, err
+		}
+		s = strings.TrimSpace(string(b))
+	}
+	if s == "" {
+		return nil, fmt.Errorf("need -key or -keyfile with the oracle's correct key")
+	}
+	if len(s) != want {
+		return nil, fmt.Errorf("key has %d bits, circuit has %d key inputs", len(s), want)
+	}
+	key := make([]bool, len(s))
+	for i, c := range s {
+		switch c {
+		case '0':
+		case '1':
+			key[i] = true
+		default:
+			return nil, fmt.Errorf("key must be a 0/1 string, found %q", c)
+		}
+	}
+	return key, nil
+}
+
+func formatKey(key []bool) string {
+	b := make([]byte, len(key))
+	for i, v := range key {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "statsat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadKeyFromString(t *testing.T) {
+	key, err := loadKey("1010", "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if key[i] != want[i] {
+			t.Fatalf("key = %v", key)
+		}
+	}
+}
+
+func TestLoadKeyFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k")
+	if err := os.WriteFile(path, []byte("011\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	key, err := loadKey("", path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key[0] || !key[1] || !key[2] {
+		t.Fatalf("key = %v", key)
+	}
+}
+
+func TestLoadKeyErrors(t *testing.T) {
+	if _, err := loadKey("", "", 3); err == nil {
+		t.Error("want error for missing key")
+	}
+	if _, err := loadKey("10", "", 3); err == nil {
+		t.Error("want error for width mismatch")
+	}
+	if _, err := loadKey("1x0", "", 3); err == nil {
+		t.Error("want error for non-binary key")
+	}
+	if _, err := loadKey("", "/nonexistent/key/file", 3); err == nil {
+		t.Error("want error for unreadable file")
+	}
+}
+
+func TestFormatKey(t *testing.T) {
+	if got := formatKey([]bool{true, false, true}); got != "101" {
+		t.Errorf("formatKey = %q", got)
+	}
+	if got := formatKey(nil); got != "" {
+		t.Errorf("formatKey(nil) = %q", got)
+	}
+}

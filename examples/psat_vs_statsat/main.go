@@ -1,0 +1,57 @@
+// psat_vs_statsat reproduces the paper's Table V story in miniature:
+// at low gate error the PSAT baseline still recovers the key, but as
+// the error grows the dominant output pattern disappears, PSAT commits
+// wrong patterns and collapses — while StatSAT, which works with
+// per-bit signal probabilities and leaves uncertain bits unspecified,
+// keeps succeeding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statsat"
+)
+
+func main() {
+	bm, _ := statsat.BenchmarkByName("c880")
+	orig := bm.BuildScaled(8)
+	locked, err := statsat.LockRLL(orig, 16, 880)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit %s, %s with %d key bits\n\n", orig.Name, locked.Technique, len(locked.Key))
+	fmt.Printf("%8s | %-28s | %-28s\n", "eps_g", "PSAT (5 runs)", "StatSAT")
+	fmt.Println("---------+------------------------------+------------------------------")
+
+	for _, eps := range []float64{0.002, 0.01, 0.03} {
+		// PSAT: repeated runs, counting correct-key recoveries.
+		succ := 0
+		const runs = 5
+		for r := 0; r < runs; r++ {
+			orc := statsat.NewNoisyOracle(locked.Circuit, locked.Key, eps, int64(1000+r))
+			res, err := statsat.PSAT(locked.Circuit, orc, statsat.PSATOptions{
+				Ns: 150, MaxIter: 2000, Seed: int64(r),
+			})
+			if err != nil || res.Failed || res.Key == nil {
+				continue
+			}
+			if eq, _ := statsat.KeysEquivalent(locked.Circuit, res.Key, locked.Key); eq {
+				succ++
+			}
+		}
+
+		// StatSAT: one run with instance duplication enabled.
+		orc := statsat.NewNoisyOracle(locked.Circuit, locked.Key, eps, 77)
+		statRes, err := statsat.Attack(locked.Circuit, orc, statsat.Options{
+			Ns: 150, NSatis: 10, NEval: 40, NInst: 8, EpsG: eps, Seed: 9,
+		})
+		statStr := "failed"
+		if err == nil && statRes.Best != nil {
+			eq, _ := statsat.KeysEquivalent(locked.Circuit, statRes.Best.Key, locked.Key)
+			statStr = fmt.Sprintf("HD=%.4f correct=%v", statRes.Best.HD, eq)
+		}
+		fmt.Printf("%7.1f%% | %2d/%d correct                 | %s\n", eps*100, succ, runs, statStr)
+	}
+	fmt.Println("\nPSAT degrades with eps_g; StatSAT keeps recovering a (near-)correct key.")
+}

@@ -1,0 +1,73 @@
+// Quickstart: lock the ISCAS85 c17 circuit with random logic locking,
+// activate a noisy chip (every gate flips with probability 1%), and
+// recover the key with StatSAT.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statsat"
+)
+
+func main() {
+	// 1. The designer's netlist.
+	orig := statsat.C17()
+	fmt.Printf("original: %d inputs, %d gates, %d outputs\n",
+		orig.NumPIs(), orig.NumLogicGates(), orig.NumPOs())
+
+	// 2. Lock it before sending it to the (untrusted) foundry.
+	locked, err := statsat.LockRLL(orig, 4, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("locked with %s, key = %s\n", locked.Technique, keyString(locked.Key))
+
+	// 3. The attacker buys an activated chip: a probabilistic oracle
+	// with per-gate error 1%.
+	const eps = 0.01
+	orc := statsat.NewNoisyOracle(locked.Circuit, locked.Key, eps, 7)
+
+	// 4. Run StatSAT (small sampling budgets — c17 is tiny).
+	res, err := statsat.Attack(locked.Circuit, orc, statsat.Options{
+		Ns:     200,
+		NSatis: 8,
+		NEval:  50,
+		NInst:  4,
+		EpsG:   eps, // §V assumption: the attacker knows eps_g
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Inspect the result.
+	fmt.Printf("attack: %d key(s) in %v (%d oracle queries)\n",
+		len(res.Keys), res.AttackDuration, res.OracleQueries)
+	for i, k := range res.Keys {
+		eq, err := statsat.KeysEquivalent(locked.Circuit, k.Key, locked.Key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  key %d: %s  FM=%.4f HD=%.4f correct=%v\n",
+			i, keyString(k.Key), k.FM, k.HD, eq)
+	}
+	best, _ := statsat.KeysEquivalent(locked.Circuit, res.Best.Key, locked.Key)
+	if best {
+		fmt.Println("SUCCESS: the best key unlocks the exact original function")
+	} else {
+		fmt.Println("best key is statistically close but not exact — rerun with larger Ns/NInst")
+	}
+}
+
+func keyString(key []bool) string {
+	b := make([]byte, len(key))
+	for i, v := range key {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,3 @@
+module statsat
+
+go 1.22

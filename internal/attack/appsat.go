@@ -1,0 +1,167 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"statsat/internal/circuit"
+	"statsat/internal/cnf"
+	"statsat/internal/oracle"
+	"statsat/internal/sat"
+)
+
+// AppSATOptions configures the AppSAT baseline (Shamsi et al.,
+// HOST'17): the approximate SAT attack the paper's footnote 2 rules
+// out for probabilistic oracles. AppSAT interleaves classic DIP
+// iterations with random-query reconciliation rounds and terminates
+// early once the candidate key's empirical error rate drops below a
+// threshold, returning an *approximate* key.
+type AppSATOptions struct {
+	// QueryInterval is the number of DIP iterations between
+	// reconciliation rounds (default 12).
+	QueryInterval int
+	// RandomQueries is the number of random patterns per round
+	// (default 50).
+	RandomQueries int
+	// ErrorThreshold is the accepted fraction of mismatching random
+	// patterns (default 0: exact agreement on the sample).
+	ErrorThreshold float64
+	// MaxIter bounds DIP iterations (0 = 1<<20).
+	MaxIter int
+	// Seed drives the random pattern generator.
+	Seed int64
+}
+
+func (o *AppSATOptions) setDefaults() {
+	if o.QueryInterval <= 0 {
+		o.QueryInterval = 12
+	}
+	if o.RandomQueries <= 0 {
+		o.RandomQueries = 50
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1 << 20
+	}
+}
+
+// AppSATResult extends Result with the reconciliation statistics.
+type AppSATResult struct {
+	Result
+	// Rounds counts reconciliation rounds executed.
+	Rounds int
+	// FinalErrorRate is the last measured random-query error rate of
+	// the returned key (0 when the attack converged via UNSAT).
+	FinalErrorRate float64
+	// EarlyExit is set when the error threshold triggered termination
+	// before the miter went UNSAT (the "approximate key" case).
+	EarlyExit bool
+}
+
+// AppSAT runs the approximate SAT attack. Against a deterministic
+// oracle it recovers an exact or approximate key. Against a
+// probabilistic oracle it inherits the classic attack's failure mode —
+// noisy responses recorded as hard constraints drive the formula
+// UNSAT — which is exactly why the paper develops StatSAT instead.
+func AppSAT(locked *circuit.Circuit, orc oracle.Oracle, opts AppSATOptions) (*AppSATResult, error) {
+	opts.setDefaults()
+	if locked.NumPIs() != orc.NumInputs() || locked.NumPOs() != orc.NumOutputs() {
+		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	start := time.Now()
+	startQ := orc.Queries()
+	m, err := cnf.NewMiter(locked)
+	if err != nil {
+		return nil, err
+	}
+	ks := cnf.NewKeySolver(locked)
+	res := &AppSATResult{}
+	scratch := make([]bool, locked.NumGates())
+
+	finish := func(failed bool, key []bool) *AppSATResult {
+		res.Failed = failed
+		res.Key = key
+		res.Duration = time.Since(start)
+		res.OracleQueries = orc.Queries() - startQ
+		return res
+	}
+
+	addConstraint := func(x, y []bool) error {
+		outA, outB, err := m.AddDIPCopies(x)
+		if err != nil {
+			return err
+		}
+		for i := range y {
+			cnf.Equal(m.S, outA[i], y[i])
+			cnf.Equal(m.S, outB[i], y[i])
+		}
+		outs, err := ks.AddDIPCopy(x)
+		if err != nil {
+			return err
+		}
+		for i := range y {
+			cnf.Equal(ks.S, outs[i], y[i])
+		}
+		return nil
+	}
+
+	for res.Iterations = 0; res.Iterations < opts.MaxIter; res.Iterations++ {
+		status := m.S.Solve()
+		if status == sat.Unknown {
+			return nil, fmt.Errorf("attack: miter solve exceeded budget at iteration %d", res.Iterations)
+		}
+		if status == sat.Unsat {
+			if ks.S.Solve() != sat.Sat {
+				return finish(true, nil), nil
+			}
+			return finish(false, ks.Key()), nil
+		}
+		x := m.Input()
+		y := orc.Query(x)
+		if err := addConstraint(x, y); err != nil {
+			return nil, err
+		}
+
+		// Reconciliation round (the AppSAT augmentation).
+		if (res.Iterations+1)%opts.QueryInterval != 0 {
+			continue
+		}
+		res.Rounds++
+		if ks.S.Solve() != sat.Sat {
+			return finish(true, nil), nil
+		}
+		key := ks.Key()
+		mismatches := 0
+		var badX, badY [][]bool
+		for q := 0; q < opts.RandomQueries; q++ {
+			rx := locked.RandomInputs(rng)
+			ry := orc.Query(rx)
+			got := locked.Eval(rx, key, scratch)
+			same := true
+			for i := range ry {
+				if got[i] != ry[i] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				mismatches++
+				badX = append(badX, rx)
+				badY = append(badY, ry)
+			}
+		}
+		res.FinalErrorRate = float64(mismatches) / float64(opts.RandomQueries)
+		if res.FinalErrorRate <= opts.ErrorThreshold {
+			res.EarlyExit = true
+			return finish(false, key), nil
+		}
+		// Feed the failing patterns back as constraints.
+		for i := range badX {
+			if err := addConstraint(badX[i], badY[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, ErrIterationLimit
+}

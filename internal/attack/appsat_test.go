@@ -1,0 +1,144 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"statsat/internal/gen"
+	"statsat/internal/lock"
+	"statsat/internal/metrics"
+	"statsat/internal/oracle"
+)
+
+func TestAppSATDeterministicRecoversKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := gen.Random("a", 10, 120, 8, 7)
+	l, err := lock.RLL(orig, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewDeterministic(l.Circuit, l.Key)
+	res, err := AppSAT(l.Circuit, orc, AppSATOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.Key == nil {
+		t.Fatal("AppSAT failed on deterministic oracle")
+	}
+	eq, err := metrics.KeysEquivalent(l.Circuit, res.Key, l.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("AppSAT key not equivalent on deterministic oracle")
+	}
+}
+
+func TestAppSATEarlyExitOnSFLL(t *testing.T) {
+	// SFLL-HD is the classic compound-lock scenario AppSAT targets: an
+	// approximate key (wrong only on the stripped cubes) passes random
+	// queries overwhelmingly. With a generous threshold AppSAT should
+	// usually exit early with a low-error key.
+	rng := rand.New(rand.NewSource(3))
+	orig := gen.Random("s", 24, 200, 10, 9)
+	l, err := lock.SFLLHD(orig, 12, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewDeterministic(l.Circuit, l.Key)
+	res, err := AppSAT(l.Circuit, orc, AppSATOptions{
+		QueryInterval:  5,
+		RandomQueries:  30,
+		ErrorThreshold: 0.05,
+		MaxIter:        200,
+		Seed:           4,
+	})
+	if err == ErrIterationLimit {
+		t.Skip("no early exit within budget on this seed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Key == nil {
+		t.Fatal("no key returned")
+	}
+	// The returned key must be approximately correct: at most ~5% of
+	// random patterns mismatch (the stripped-cube fraction is 2^-12).
+	errRate := sampleErrorRate(l, res.Key, 400)
+	if errRate > 0.1 {
+		t.Errorf("AppSAT approximate key error rate %.3f too high", errRate)
+	}
+	if res.Rounds == 0 {
+		t.Error("no reconciliation rounds ran")
+	}
+}
+
+func sampleErrorRate(l *lock.Locked, key []bool, n int) float64 {
+	rng := rand.New(rand.NewSource(99))
+	bad := 0
+	for i := 0; i < n; i++ {
+		x := l.Circuit.RandomInputs(rng)
+		a := l.Circuit.Eval(x, key, nil)
+		b := l.Circuit.Eval(x, l.Key, nil)
+		for j := range a {
+			if a[j] != b[j] {
+				bad++
+				break
+			}
+		}
+	}
+	return float64(bad) / float64(n)
+}
+
+// TestAppSATFailsOnNoisyOracle validates the paper's footnote 2:
+// AppSAT requires a deterministic oracle; under the probabilistic
+// error model its hard constraints go inconsistent or its key is wrong.
+func TestAppSATFailsOnNoisyOracle(t *testing.T) {
+	failures := 0
+	const runs = 8
+	for seed := int64(0); seed < runs; seed++ {
+		rng := rand.New(rand.NewSource(seed + 10))
+		bm, _ := gen.ByName("c880")
+		orig := bm.BuildScaled(8)
+		l, err := lock.RLL(orig, 12, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.05, seed+500)
+		res, err := AppSAT(l.Circuit, orc, AppSATOptions{
+			QueryInterval: 6, RandomQueries: 20, MaxIter: 400, Seed: seed,
+		})
+		if err != nil || res.Failed || res.Key == nil {
+			failures++
+			continue
+		}
+		eq, err := metrics.KeysEquivalent(l.Circuit, res.Key, l.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			failures++
+		}
+	}
+	if failures < runs/2 {
+		t.Errorf("AppSAT succeeded %d/%d on a noisy oracle; footnote 2 predicts failure", runs-failures, runs)
+	}
+}
+
+func TestAppSATDefaults(t *testing.T) {
+	var o AppSATOptions
+	o.setDefaults()
+	if o.QueryInterval != 12 || o.RandomQueries != 50 || o.MaxIter != 1<<20 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestAppSATInterfaceMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l, _ := lock.RLL(gen.C17(), 3, rng)
+	other := gen.Random("o", 4, 20, 3, 2)
+	orc := oracle.NewDeterministic(other, nil)
+	if _, err := AppSAT(l.Circuit, orc, AppSATOptions{}); err == nil {
+		t.Error("want interface mismatch error")
+	}
+}

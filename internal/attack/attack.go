@@ -1,0 +1,221 @@
+// Package attack implements the two baseline oracle-guided attacks the
+// paper compares against:
+//
+//   - the standard SAT attack (Subramanyan et al., HOST'15 / El Massad
+//     et al., NDSS'15) for deterministic oracles (§II-B), and
+//   - PSAT (Patnaik et al., TCAD'19), the probabilistic variant that
+//     queries the oracle Ns times per distinguishing input and commits
+//     to a single whole output pattern — the dominant one if one
+//     exists, otherwise one sampled by frequency (§III).
+//
+// StatSAT itself lives in internal/core.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"statsat/internal/circuit"
+	"statsat/internal/cnf"
+	"statsat/internal/oracle"
+	"statsat/internal/sat"
+)
+
+// ErrIterationLimit is returned when an attack exceeds its iteration
+// budget without converging.
+var ErrIterationLimit = errors.New("attack: iteration limit exceeded")
+
+// Result reports the outcome of a baseline attack.
+type Result struct {
+	// Key is the recovered key, nil if the attack failed (PSAT's CNF
+	// can become unsatisfiable when a wrong pattern is recorded).
+	Key []bool
+	// Iterations is the number of distinguishing inputs processed.
+	Iterations int
+	// Duration is the wall-clock attack time (T_attack).
+	Duration time.Duration
+	// OracleQueries counts total chip queries.
+	OracleQueries int64
+	// Failed is set when the formula became UNSAT before a key was
+	// produced (inconsistent DIPs — the §III failure mode).
+	Failed bool
+}
+
+// StandardSAT runs the classic SAT attack against a (deterministic)
+// oracle. maxIter bounds the number of DIP iterations (0 = 1<<20).
+func StandardSAT(locked *circuit.Circuit, orc oracle.Oracle, maxIter int) (*Result, error) {
+	if maxIter <= 0 {
+		maxIter = 1 << 20
+	}
+	if locked.NumPIs() != orc.NumInputs() || locked.NumPOs() != orc.NumOutputs() {
+		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch (%d/%d in, %d/%d out)",
+			locked.NumPIs(), orc.NumInputs(), locked.NumPOs(), orc.NumOutputs())
+	}
+	start := time.Now()
+	startQ := orc.Queries()
+	m, err := cnf.NewMiter(locked)
+	if err != nil {
+		return nil, err
+	}
+	ks := cnf.NewKeySolver(locked)
+	res := &Result{}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		status := m.S.Solve()
+		if status == sat.Unknown {
+			return nil, fmt.Errorf("attack: miter solve exceeded budget at iteration %d", res.Iterations)
+		}
+		if status == sat.Unsat {
+			// Converged: any key satisfying the DIPs is correct.
+			if ks.S.Solve() != sat.Sat {
+				res.Failed = true
+				res.Duration = time.Since(start)
+				res.OracleQueries = orc.Queries() - startQ
+				return res, nil
+			}
+			res.Key = ks.Key()
+			res.Duration = time.Since(start)
+			res.OracleQueries = orc.Queries() - startQ
+			return res, nil
+		}
+		x := m.Input()
+		y := orc.Query(x)
+		outA, outB, err := m.AddDIPCopies(x)
+		if err != nil {
+			return nil, err
+		}
+		for i := range y {
+			cnf.Equal(m.S, outA[i], y[i])
+			cnf.Equal(m.S, outB[i], y[i])
+		}
+		outs, err := ks.AddDIPCopy(x)
+		if err != nil {
+			return nil, err
+		}
+		for i := range y {
+			cnf.Equal(ks.S, outs[i], y[i])
+		}
+	}
+	return nil, ErrIterationLimit
+}
+
+// PSATOptions configures the PSAT baseline.
+type PSATOptions struct {
+	// Ns is the number of oracle queries per distinguishing input
+	// (paper: 500).
+	Ns int
+	// DominanceThreshold is the pattern frequency above which the most
+	// frequent pattern is committed directly; below it a pattern is
+	// sampled by frequency. [15] calls such a pattern "dominant"; we
+	// use a majority threshold of 0.5 by default.
+	DominanceThreshold float64
+	// MaxIter bounds DIP iterations (0 = 1<<20).
+	MaxIter int
+	// Seed drives the frequency-sampling randomness.
+	Seed int64
+}
+
+func (o *PSATOptions) setDefaults() {
+	if o.Ns <= 0 {
+		o.Ns = 500
+	}
+	if o.DominanceThreshold <= 0 {
+		o.DominanceThreshold = 0.5
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 1 << 20
+	}
+}
+
+// PSAT runs the probabilistic-SAT baseline: per DIP, the oracle is
+// sampled Ns times; the committed output pattern is the dominant one,
+// or one drawn from the empirical pattern distribution. All output
+// bits are always specified — the design decision StatSAT criticises —
+// so a single mis-committed pattern can drive the formula UNSAT
+// (Failed=true) or eliminate the correct key silently.
+func PSAT(locked *circuit.Circuit, orc oracle.Oracle, opts PSATOptions) (*Result, error) {
+	opts.setDefaults()
+	if locked.NumPIs() != orc.NumInputs() || locked.NumPOs() != orc.NumOutputs() {
+		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	start := time.Now()
+	startQ := orc.Queries()
+	m, err := cnf.NewMiter(locked)
+	if err != nil {
+		return nil, err
+	}
+	ks := cnf.NewKeySolver(locked)
+	res := &Result{}
+	for res.Iterations = 0; res.Iterations < opts.MaxIter; res.Iterations++ {
+		status := m.S.Solve()
+		if status == sat.Unknown {
+			return nil, fmt.Errorf("attack: miter solve exceeded budget at iteration %d", res.Iterations)
+		}
+		if status == sat.Unsat {
+			if ks.S.Solve() != sat.Sat {
+				res.Failed = true
+				res.Duration = time.Since(start)
+				res.OracleQueries = orc.Queries() - startQ
+				return res, nil
+			}
+			res.Key = ks.Key()
+			res.Duration = time.Since(start)
+			res.OracleQueries = orc.Queries() - startQ
+			return res, nil
+		}
+		x := m.Input()
+		y := choosePattern(orc, x, opts.Ns, opts.DominanceThreshold, rng)
+		outA, outB, err := m.AddDIPCopies(x)
+		if err != nil {
+			return nil, err
+		}
+		for i := range y {
+			cnf.Equal(m.S, outA[i], y[i])
+			cnf.Equal(m.S, outB[i], y[i])
+		}
+		outs, err := ks.AddDIPCopy(x)
+		if err != nil {
+			return nil, err
+		}
+		for i := range y {
+			cnf.Equal(ks.S, outs[i], y[i])
+		}
+		// A wrong committed pattern may have made the formulas UNSAT
+		// already; the next Solve detects it.
+	}
+	return nil, ErrIterationLimit
+}
+
+// choosePattern implements [15]'s pattern selection: dominant pattern
+// if its frequency exceeds the threshold, else frequency-weighted
+// sampling.
+func choosePattern(orc oracle.Oracle, x []bool, ns int, threshold float64, rng *rand.Rand) []bool {
+	counts := oracle.PatternCounts(orc, x, ns)
+	// Deterministic iteration order for reproducibility.
+	pats := make([]string, 0, len(counts))
+	for p := range counts {
+		pats = append(pats, p)
+	}
+	sort.Strings(pats)
+	best, bestN := "", -1
+	for _, p := range pats {
+		if counts[p] > bestN {
+			best, bestN = p, counts[p]
+		}
+	}
+	if float64(bestN) > threshold*float64(ns) {
+		return oracle.PatternToBits(best)
+	}
+	r := rng.Intn(ns)
+	acc := 0
+	for _, p := range pats {
+		acc += counts[p]
+		if r < acc {
+			return oracle.PatternToBits(p)
+		}
+	}
+	return oracle.PatternToBits(best)
+}

@@ -1,0 +1,270 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"statsat/internal/gen"
+	"statsat/internal/lock"
+	"statsat/internal/metrics"
+	"statsat/internal/oracle"
+)
+
+func TestStandardSATRecoversRLLKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := gen.C17()
+	l, err := lock.RLL(orig, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewDeterministic(l.Circuit, l.Key)
+	res, err := StandardSAT(l.Circuit, orc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.Key == nil {
+		t.Fatal("attack failed on deterministic oracle")
+	}
+	eq, err := metrics.KeysEquivalent(l.Circuit, res.Key, l.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("recovered key %v not equivalent to %v", res.Key, l.Key)
+	}
+	if res.Iterations < 1 {
+		t.Error("expected at least one DIP iteration")
+	}
+	if res.OracleQueries != int64(res.Iterations) {
+		t.Errorf("standard SAT should query once per iteration: %d vs %d",
+			res.OracleQueries, res.Iterations)
+	}
+}
+
+func TestStandardSATRecoversSLLKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	orig := gen.Random("s", 10, 150, 8, 5)
+	l, err := lock.SLL(orig, 16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewDeterministic(l.Circuit, l.Key)
+	res, err := StandardSAT(l.Circuit, orc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := metrics.EquivalentToOriginal(l.Circuit, res.Key, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("SLL key recovery failed")
+	}
+}
+
+func TestStandardSATRecoversSFLLKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := gen.Random("f", 12, 100, 6, 9)
+	l, err := lock.SFLLHD(orig, 6, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewDeterministic(l.Circuit, l.Key)
+	res, err := StandardSAT(l.Circuit, orc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := metrics.EquivalentToOriginal(l.Circuit, res.Key, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("SFLL key recovery failed")
+	}
+	// SFLL-HD^0 with 6-bit key: iteration count should be on the order
+	// of the keyspace (each DIP eliminates ~1 key) — at least a
+	// handful, at most 2^6.
+	if res.Iterations > 64 {
+		t.Errorf("iterations %d exceed keyspace bound", res.Iterations)
+	}
+}
+
+func TestStandardSATIterationLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	orig := gen.Random("f", 12, 100, 6, 10)
+	l, err := lock.SFLLHD(orig, 8, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewDeterministic(l.Circuit, l.Key)
+	if _, err := StandardSAT(l.Circuit, orc, 2); err != ErrIterationLimit {
+		t.Errorf("err = %v, want ErrIterationLimit", err)
+	}
+}
+
+func TestStandardSATInterfaceMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l, _ := lock.RLL(gen.C17(), 3, rng)
+	other := gen.Random("o", 4, 20, 3, 2)
+	orc := oracle.NewDeterministic(other, nil)
+	if _, err := StandardSAT(l.Circuit, orc, 0); err == nil {
+		t.Error("want interface mismatch error")
+	}
+}
+
+// TestStandardSATFailsOnNoisyOracle reproduces the paper's §III
+// motivation: the classic attack breaks on a probabilistic oracle —
+// it either goes UNSAT or returns a non-equivalent key.
+func TestStandardSATFailsOnNoisyOracle(t *testing.T) {
+	failures := 0
+	const runs = 10
+	for seed := int64(0); seed < runs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		bm, _ := gen.ByName("c880")
+		orig := bm.BuildScaled(8)
+		l, err := lock.RLL(orig, 12, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.05, seed+100)
+		res, err := StandardSAT(l.Circuit, orc, 500)
+		if err != nil {
+			failures++ // iteration explosion also counts as failure
+			continue
+		}
+		if res.Failed || res.Key == nil {
+			failures++
+			continue
+		}
+		eq, err := metrics.KeysEquivalent(l.Circuit, res.Key, l.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			failures++
+		}
+	}
+	if failures < runs/2 {
+		t.Errorf("standard SAT succeeded on noisy oracle %d/%d times; expected mostly failure",
+			runs-failures, runs)
+	}
+}
+
+func TestPSATOnDeterministicOracleMatchesStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	orig := gen.C17()
+	l, err := lock.RLL(orig, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.NewDeterministic(l.Circuit, l.Key)
+	res, err := PSAT(l.Circuit, orc, PSATOptions{Ns: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.Key == nil {
+		t.Fatal("PSAT failed on deterministic oracle")
+	}
+	eq, _ := metrics.KeysEquivalent(l.Circuit, res.Key, l.Key)
+	if !eq {
+		t.Error("PSAT key wrong on deterministic oracle")
+	}
+	if res.OracleQueries != int64(res.Iterations*5) {
+		t.Errorf("queries %d, want %d", res.OracleQueries, res.Iterations*5)
+	}
+}
+
+func TestPSATLowNoiseSucceedsSometimes(t *testing.T) {
+	// At very low eps, PSAT should complete at least occasionally
+	// (paper Table V: c880 at 1.0% succeeded 20/20).
+	succ := 0
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed + 40))
+		bm, _ := gen.ByName("c880")
+		orig := bm.BuildScaled(8)
+		l, err := lock.RLL(orig, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.002, seed+200)
+		res, err := PSAT(l.Circuit, orc, PSATOptions{Ns: 100, MaxIter: 300, Seed: seed})
+		if err != nil || res.Failed || res.Key == nil {
+			continue
+		}
+		if eq, _ := metrics.KeysEquivalent(l.Circuit, res.Key, l.Key); eq {
+			succ++
+		}
+	}
+	if succ == 0 {
+		t.Error("PSAT never succeeded at eps=0.2%; baseline too weak")
+	}
+}
+
+func TestPSATHighNoiseFails(t *testing.T) {
+	// Table V: PSAT collapses as eps grows (0/20 at c880 2.0% in the
+	// paper). With wide-output circuits the dominant pattern rarely
+	// exists, committed patterns contain errors, and runs end UNSAT or
+	// with wrong keys.
+	fails := 0
+	const runs = 6
+	for seed := int64(0); seed < runs; seed++ {
+		rng := rand.New(rand.NewSource(seed + 60))
+		bm, _ := gen.ByName("c880")
+		orig := bm.BuildScaled(8)
+		l, err := lock.RLL(orig, 12, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.05, seed+300)
+		res, err := PSAT(l.Circuit, orc, PSATOptions{Ns: 60, MaxIter: 400, Seed: seed})
+		if err != nil || res.Failed || res.Key == nil {
+			fails++
+			continue
+		}
+		if eq, _ := metrics.KeysEquivalent(l.Circuit, res.Key, l.Key); !eq {
+			fails++
+		}
+	}
+	if fails < runs/2 {
+		t.Errorf("PSAT succeeded %d/%d at eps=5%%; expected mostly failure", runs-fails, runs)
+	}
+}
+
+func TestPSATDefaults(t *testing.T) {
+	var o PSATOptions
+	o.setDefaults()
+	if o.Ns != 500 || o.DominanceThreshold != 0.5 || o.MaxIter != 1<<20 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestChoosePatternDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l, _ := lock.RLL(gen.C17(), 2, rng)
+	det := oracle.NewDeterministic(l.Circuit, l.Key)
+	x := []bool{true, false, true, false, true}
+	want := det.Query(x)
+	got := choosePattern(det, x, 9, 0.5, rng)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("dominant pattern should match deterministic output")
+		}
+	}
+}
+
+func BenchmarkStandardSATC880Scale8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bm, _ := gen.ByName("c880")
+	orig := bm.BuildScaled(8)
+	l, err := lock.RLL(orig, 16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		orc := oracle.NewDeterministic(l.Circuit, l.Key)
+		if _, err := StandardSAT(l.Circuit, orc, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BatchLanes is the number of independent samples evaluated per
+// bit-parallel pass: one per bit of a machine word.
+const BatchLanes = 64
+
+// EvalNoisyBatch evaluates BatchLanes independent noisy samples of the
+// circuit in one bit-parallel pass: every wire is a 64-bit word whose
+// bit lanes are independent Monte-Carlo samples under the paper's
+// per-gate error model (each logic gate flips each lane independently
+// with probability eps).
+//
+// All lanes share the same primary-input and key values — exactly the
+// oracle-sampling workload of eq. 1 — so a signal-probability query
+// with Ns samples costs ceil(Ns/64) passes instead of Ns.
+//
+// Gate flips are generated with geometric skipping: the expected
+// number of RNG draws per gate is 64*eps + O(1) rather than 64, which
+// is what makes the batch pass worthwhile at the small eps values the
+// paper studies.
+//
+// The returned slice holds one word per primary output. scratch, if
+// cap-sufficient (NumGates words), backs the intermediate wires.
+func (c *Circuit) EvalNoisyBatch(pi, key []bool, eps float64, rng *rand.Rand, scratch []uint64) []uint64 {
+	if len(pi) != len(c.PIs) || len(key) != len(c.Keys) {
+		panic(fmt.Sprintf("circuit %q: EvalNoisyBatch input width mismatch (%d/%d PIs, %d/%d keys)",
+			c.Name, len(pi), len(c.PIs), len(key), len(c.Keys)))
+	}
+	if eps < 0 || eps > 1 {
+		panic(fmt.Sprintf("circuit %q: eps %v out of [0,1]", c.Name, eps))
+	}
+	var w []uint64
+	if cap(scratch) >= len(c.Gates) {
+		w = scratch[:len(c.Gates)]
+	} else {
+		w = make([]uint64, len(c.Gates))
+	}
+	for i, id := range c.PIs {
+		w[id] = broadcast(pi[i])
+	}
+	for i, id := range c.Keys {
+		w[id] = broadcast(key[i])
+	}
+	// Geometric-skipping state shared across all gates: we walk a
+	// virtual stream of lane slots (64 per gate) and jump between flip
+	// positions. log1m caches log(1-eps).
+	skip := newFlipStream(eps, rng)
+
+	for _, id := range c.MustTopoOrder() {
+		g := &c.Gates[id]
+		var v uint64
+		switch g.Type {
+		case Input, Key:
+			continue
+		case Const0:
+			w[id] = 0
+			continue
+		case Const1:
+			w[id] = ^uint64(0)
+			continue
+		case Buf:
+			v = w[g.Fanin[0]]
+		case Not:
+			v = ^w[g.Fanin[0]]
+		case And, Nand:
+			v = ^uint64(0)
+			for _, f := range g.Fanin {
+				v &= w[f]
+			}
+			if g.Type == Nand {
+				v = ^v
+			}
+		case Or, Nor:
+			v = 0
+			for _, f := range g.Fanin {
+				v |= w[f]
+			}
+			if g.Type == Nor {
+				v = ^v
+			}
+		case Xor, Xnor:
+			v = 0
+			for _, f := range g.Fanin {
+				v ^= w[f]
+			}
+			if g.Type == Xnor {
+				v = ^v
+			}
+		case Mux:
+			s := w[g.Fanin[0]]
+			v = (^s & w[g.Fanin[1]]) | (s & w[g.Fanin[2]])
+		default:
+			panic(fmt.Sprintf("circuit %q: unsupported gate type %v", c.Name, g.Type))
+		}
+		if eps > 0 {
+			v ^= skip.nextMask()
+		}
+		w[id] = v
+	}
+	out := make([]uint64, len(c.POs))
+	for i, po := range c.POs {
+		out[i] = w[po]
+	}
+	return out
+}
+
+func broadcast(b bool) uint64 {
+	if b {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// flipStream produces per-gate 64-bit flip masks where each bit is set
+// independently with probability eps, using geometric skipping over
+// the lane stream.
+type flipStream struct {
+	eps    float64
+	rng    *rand.Rand
+	invLog float64 // 1 / log(1-eps)
+	gap    int64   // lanes until the next flip, relative to the
+	// current gate's lane 0
+}
+
+func newFlipStream(eps float64, rng *rand.Rand) *flipStream {
+	fs := &flipStream{eps: eps, rng: rng}
+	switch {
+	case eps <= 0:
+		fs.gap = math.MaxInt64
+	case eps >= 1:
+		fs.gap = 0
+		fs.invLog = 0
+	default:
+		fs.invLog = 1 / math.Log1p(-eps)
+		fs.gap = fs.draw()
+	}
+	return fs
+}
+
+// draw samples a geometric gap (number of non-flipped lanes before the
+// next flipped one).
+func (fs *flipStream) draw() int64 {
+	u := fs.rng.Float64()
+	for u == 0 {
+		u = fs.rng.Float64()
+	}
+	g := int64(math.Log(u) * fs.invLog)
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// nextMask returns the flip mask for the next gate (64 lanes).
+func (fs *flipStream) nextMask() uint64 {
+	if fs.eps <= 0 {
+		return 0
+	}
+	if fs.eps >= 1 {
+		return ^uint64(0)
+	}
+	var m uint64
+	for fs.gap < BatchLanes {
+		m |= 1 << uint(fs.gap)
+		fs.gap += 1 + fs.draw()
+	}
+	fs.gap -= BatchLanes
+	return m
+}

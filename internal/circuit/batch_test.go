@@ -1,0 +1,207 @@
+package circuit
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func TestEvalNoisyBatchZeroEpsMatchesScalar(t *testing.T) {
+	c := randomCircuit(3, 10, 80, 6)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		pi := c.RandomInputs(rng)
+		want := c.Eval(pi, nil, nil)
+		words := c.EvalNoisyBatch(pi, nil, 0, rng, nil)
+		for i, w := range words {
+			expect := broadcast(want[i])
+			if w != expect {
+				t.Fatalf("output %d: batch word %016x, want %016x", i, w, expect)
+			}
+		}
+	}
+}
+
+func TestEvalNoisyBatchEpsOne(t *testing.T) {
+	// eps=1: every gate always flips; equal to eps=1 scalar semantics.
+	c := New("inv")
+	a := c.AddInput("a")
+	b := c.AddGate(Buf, "b", a)
+	c.AddOutput(b, "")
+	rng := rand.New(rand.NewSource(2))
+	words := c.EvalNoisyBatch([]bool{true}, nil, 1, rng, nil)
+	if words[0] != 0 {
+		t.Errorf("BUF(1) with eps=1 must be all-zero lanes, got %016x", words[0])
+	}
+}
+
+func TestEvalNoisyBatchFlipRate(t *testing.T) {
+	// Single BUF: flip rate per lane must converge to eps.
+	c := New("buf")
+	a := c.AddInput("a")
+	b := c.AddGate(Buf, "b", a)
+	c.AddOutput(b, "")
+	rng := rand.New(rand.NewSource(3))
+	const eps = 0.07
+	const passes = 4000 // 256k lanes
+	flips := 0
+	for i := 0; i < passes; i++ {
+		w := c.EvalNoisyBatch([]bool{false}, nil, eps, rng, nil)
+		flips += bits.OnesCount64(w[0])
+	}
+	got := float64(flips) / float64(passes*BatchLanes)
+	if math.Abs(got-eps) > 0.004 {
+		t.Errorf("lane flip rate %.5f, want ≈%.2f", got, eps)
+	}
+}
+
+func TestEvalNoisyBatchLanesIndependent(t *testing.T) {
+	// Correlation check between two lanes of the same word: the
+	// fraction of passes where lanes 0 and 17 flip together should be
+	// ≈ eps², not ≈ eps.
+	c := New("buf")
+	a := c.AddInput("a")
+	b := c.AddGate(Buf, "b", a)
+	c.AddOutput(b, "")
+	rng := rand.New(rand.NewSource(4))
+	const eps = 0.1
+	const passes = 30000
+	both, either := 0, 0
+	for i := 0; i < passes; i++ {
+		w := c.EvalNoisyBatch([]bool{false}, nil, eps, rng, nil)
+		l0 := w[0]&1 != 0
+		l17 := w[0]&(1<<17) != 0
+		if l0 && l17 {
+			both++
+		}
+		if l0 || l17 {
+			either++
+		}
+	}
+	pBoth := float64(both) / passes
+	if math.Abs(pBoth-eps*eps) > 0.005 {
+		t.Errorf("joint flip rate %.5f, want ≈%.4f (lanes correlated?)", pBoth, eps*eps)
+	}
+}
+
+func TestEvalNoisyBatchStatisticalAgreementWithScalar(t *testing.T) {
+	// Per-output signal probabilities from batch and scalar paths must
+	// agree on a real circuit.
+	c := randomCircuit(5, 12, 150, 8)
+	rng := rand.New(rand.NewSource(6))
+	pi := c.RandomInputs(rng)
+	const eps = 0.02
+
+	scalarCounts := make([]int, c.NumPOs())
+	const ns = 12800
+	scratch := make([]bool, c.NumGates())
+	for i := 0; i < ns; i++ {
+		y := c.EvalNoisy(pi, nil, eps, rng, scratch)
+		for j, b := range y {
+			if b {
+				scalarCounts[j]++
+			}
+		}
+	}
+	batchCounts := make([]int, c.NumPOs())
+	wscratch := make([]uint64, c.NumGates())
+	for i := 0; i < ns/BatchLanes; i++ {
+		words := c.EvalNoisyBatch(pi, nil, eps, rng, wscratch)
+		for j, w := range words {
+			batchCounts[j] += bits.OnesCount64(w)
+		}
+	}
+	for j := range scalarCounts {
+		ps := float64(scalarCounts[j]) / ns
+		pb := float64(batchCounts[j]) / ns
+		if math.Abs(ps-pb) > 0.03 {
+			t.Errorf("output %d: scalar P=%.4f batch P=%.4f", j, ps, pb)
+		}
+	}
+}
+
+func TestEvalNoisyBatchSeedDeterminism(t *testing.T) {
+	c := randomCircuit(7, 8, 60, 4)
+	pi := make([]bool, 8)
+	a := c.EvalNoisyBatch(pi, nil, 0.05, rand.New(rand.NewSource(9)), nil)
+	b := c.EvalNoisyBatch(pi, nil, 0.05, rand.New(rand.NewSource(9)), nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different batch words")
+		}
+	}
+}
+
+func TestEvalNoisyBatchPanics(t *testing.T) {
+	c := randomCircuit(8, 4, 10, 2)
+	rng := rand.New(rand.NewSource(1))
+	t.Run("width", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		c.EvalNoisyBatch([]bool{true}, nil, 0.1, rng, nil)
+	})
+	t.Run("eps", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		c.EvalNoisyBatch(make([]bool, 4), nil, 1.5, rng, nil)
+	})
+}
+
+func TestFlipStreamMaskDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fs := newFlipStream(0.25, rng)
+	total := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += bits.OnesCount64(fs.nextMask())
+	}
+	got := float64(total) / float64(n*BatchLanes)
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("mask density %.4f, want 0.25", got)
+	}
+}
+
+func TestFlipStreamEdgeEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if m := newFlipStream(0, rng).nextMask(); m != 0 {
+		t.Error("eps=0 mask must be empty")
+	}
+	if m := newFlipStream(1, rng).nextMask(); m != ^uint64(0) {
+		t.Error("eps=1 mask must be full")
+	}
+}
+
+func TestMuxBatchSemantics(t *testing.T) {
+	c := New("mux")
+	s := c.AddInput("s")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	m := c.AddGate(Mux, "m", s, a, b)
+	c.AddOutput(m, "")
+	rng := rand.New(rand.NewSource(13))
+	for _, in := range [][]bool{{false, true, false}, {true, true, false}, {false, false, true}, {true, false, true}} {
+		want := broadcast(c.Eval(in, nil, nil)[0])
+		got := c.EvalNoisyBatch(in, nil, 0, rng, nil)[0]
+		if got != want {
+			t.Errorf("mux(%v): %016x want %016x", in, got, want)
+		}
+	}
+}
+
+func BenchmarkEvalNoisyBatch2k(b *testing.B) {
+	c := randomCircuit(1, 50, 2000, 20)
+	rng := rand.New(rand.NewSource(2))
+	pi := c.RandomInputs(rng)
+	scratch := make([]uint64, c.NumGates())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.EvalNoisyBatch(pi, nil, 0.01, rng, scratch)
+	}
+}

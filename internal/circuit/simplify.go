@@ -1,0 +1,330 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sval is a simplified wire value: a constant or a gate in the new
+// circuit.
+type sval struct {
+	isConst bool
+	cval    bool
+	id      int
+}
+
+func constV(v bool) sval { return sval{isConst: true, cval: v} }
+func wireV(id int) sval  { return sval{id: id} }
+
+// Simplify returns a functionally equivalent copy of the circuit with
+// standard netlist clean-ups applied:
+//
+//   - constant propagation (Const0/Const1 folded through gates),
+//   - identity folding (BUF collapsed, single-input AND/OR/XOR
+//     reduced, duplicate AND/OR fanins deduplicated, XOR pairs
+//     cancelled, constant-selected MUXes resolved),
+//   - common-subexpression elimination (structurally identical gates
+//     merged; commutative gates canonicalised by sorted fanin),
+//   - dead-gate sweep (gates outside every output's fanin cone drop).
+//
+// The interface is preserved exactly: all primary/key inputs remain
+// (in order) even if unused, and outputs keep their order and names.
+// Locking flows use it to emulate the light resynthesis a foundry
+// netlist would have seen.
+func Simplify(c *Circuit) (*Circuit, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := New(c.Name)
+	val := make([]sval, len(c.Gates))
+
+	cse := map[string]int{}
+	emit := func(t GateType, name string, fanin ...int) int {
+		sig := signature(t, fanin)
+		if id, ok := cse[sig]; ok {
+			return id
+		}
+		id := n.AddGate(t, name, fanin...)
+		cse[sig] = id
+		return id
+	}
+	var constGate [2]int
+	haveConst := [2]bool{}
+	materialize := func(v sval) int {
+		if !v.isConst {
+			return v.id
+		}
+		idx := 0
+		ty := Const0
+		if v.cval {
+			idx, ty = 1, Const1
+		}
+		if !haveConst[idx] {
+			constGate[idx] = n.AddGate(ty, fmt.Sprintf("const%d", idx))
+			haveConst[idx] = true
+		}
+		return constGate[idx]
+	}
+
+	for _, id := range c.PIs {
+		val[id] = wireV(n.AddInput(c.Gates[id].Name))
+	}
+	for _, id := range c.Keys {
+		val[id] = wireV(n.AddKey(c.Gates[id].Name))
+	}
+
+	fan := make([]sval, 0, 8)
+	for _, id := range order {
+		g := &c.Gates[id]
+		if g.Type == Input || g.Type == Key {
+			continue
+		}
+		fan = fan[:0]
+		for _, f := range g.Fanin {
+			fan = append(fan, val[f])
+		}
+		val[id] = foldGate(g, fan, emit)
+	}
+
+	for i, po := range c.POs {
+		name := ""
+		if i < len(c.PONames) {
+			name = c.PONames[i]
+		}
+		if name == "" {
+			name = c.Gates[po].Name
+		}
+		n.AddOutput(materialize(val[po]), name)
+	}
+
+	pruned := Prune(n)
+	if err := pruned.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: Simplify produced invalid netlist: %w", err)
+	}
+	return pruned, nil
+}
+
+// foldGate computes the simplified value of one gate.
+func foldGate(g *Gate, fan []sval, emit func(GateType, string, ...int) int) sval {
+	notOf := func(v sval) sval {
+		if v.isConst {
+			return constV(!v.cval)
+		}
+		return wireV(emit(Not, g.Name+"_n", v.id))
+	}
+	switch g.Type {
+	case Const0:
+		return constV(false)
+	case Const1:
+		return constV(true)
+	case Buf:
+		return fan[0]
+	case Not:
+		return notOf(fan[0])
+	case And, Nand, Or, Nor:
+		isOr := g.Type == Or || g.Type == Nor
+		neg := g.Type == Nand || g.Type == Nor
+		var wires []int
+		for _, v := range fan {
+			if v.isConst {
+				if v.cval == isOr { // AND·0 or OR+1: absorbing
+					return constV(isOr != neg)
+				}
+				continue // identity element: drop
+			}
+			wires = append(wires, v.id)
+		}
+		wires = dedupSorted(wires)
+		switch len(wires) {
+		case 0:
+			return constV(!isOr != neg) // AND()=1, OR()=0, then negate
+		case 1:
+			v := wireV(wires[0])
+			if neg {
+				return notOf(v)
+			}
+			return v
+		}
+		t := And
+		switch {
+		case isOr && neg:
+			t = Nor
+		case isOr:
+			t = Or
+		case neg:
+			t = Nand
+		}
+		return wireV(emit(t, g.Name, wires...))
+	case Xor, Xnor:
+		parity := g.Type == Xnor
+		var wires []int
+		for _, v := range fan {
+			if v.isConst {
+				if v.cval {
+					parity = !parity
+				}
+				continue
+			}
+			wires = append(wires, v.id)
+		}
+		wires = cancelPairsSorted(wires)
+		switch len(wires) {
+		case 0:
+			return constV(parity)
+		case 1:
+			v := wireV(wires[0])
+			if parity {
+				return notOf(v)
+			}
+			return v
+		}
+		t := Xor
+		if parity {
+			t = Xnor
+		}
+		return wireV(emit(t, g.Name, wires...))
+	case Mux:
+		sel, a, b := fan[0], fan[1], fan[2]
+		if sel.isConst {
+			if sel.cval {
+				return b
+			}
+			return a
+		}
+		if a.isConst && b.isConst {
+			switch {
+			case a.cval == b.cval:
+				return a
+			case b.cval: // mux(s,0,1) = s
+				return sel
+			default: // mux(s,1,0) = ¬s
+				return notOf(sel)
+			}
+		}
+		if !a.isConst && !b.isConst && a.id == b.id {
+			return a
+		}
+		// Lower constant arms: mux(s,a,1) = ¬s·a + s = s ∨ a ... keep
+		// it simple and only fold the fully symbolic case.
+		sid := sel.id
+		aid, bid := -1, -1
+		if a.isConst || b.isConst {
+			// Materialise the constant arm through emit-able constant
+			// gates is not available here; keep a MUX with NOT/AND/OR
+			// decomposition instead.
+			// mux(s,a,b) = (¬s ∧ a) ∨ (s ∧ b); constant arms fold:
+			ns := emit(Not, g.Name+"_ns", sid)
+			var terms []int
+			if a.isConst {
+				if a.cval {
+					terms = append(terms, ns)
+				}
+			} else {
+				terms = append(terms, emit(And, g.Name+"_ta", ns, a.id))
+			}
+			if b.isConst {
+				if b.cval {
+					terms = append(terms, sid)
+				}
+			} else {
+				terms = append(terms, emit(And, g.Name+"_tb", sid, b.id))
+			}
+			switch len(terms) {
+			case 0:
+				return constV(false)
+			case 1:
+				return wireV(terms[0])
+			default:
+				return wireV(emit(Or, g.Name+"_or", terms...))
+			}
+		}
+		aid, bid = a.id, b.id
+		return wireV(emit(Mux, g.Name, sid, aid, bid))
+	}
+	panic("circuit: foldGate: unreachable gate type " + g.Type.String())
+}
+
+func dedupSorted(ws []int) []int {
+	sort.Ints(ws)
+	out := ws[:0]
+	prev := -1
+	for _, w := range ws {
+		if w != prev {
+			out = append(out, w)
+			prev = w
+		}
+	}
+	return out
+}
+
+func cancelPairsSorted(ws []int) []int {
+	sort.Ints(ws)
+	out := ws[:0]
+	for i := 0; i < len(ws); {
+		if i+1 < len(ws) && ws[i] == ws[i+1] {
+			i += 2 // x ⊕ x = 0
+			continue
+		}
+		out = append(out, ws[i])
+		i++
+	}
+	return out
+}
+
+func signature(t GateType, fanin []int) string {
+	f := append([]int(nil), fanin...)
+	switch t {
+	case And, Nand, Or, Nor, Xor, Xnor:
+		sort.Ints(f)
+	}
+	sig := fmt.Sprintf("%d:", t)
+	for _, x := range f {
+		sig += fmt.Sprintf("%d,", x)
+	}
+	return sig
+}
+
+// Prune returns a copy of the circuit without gates outside every
+// output's fanin cone (inputs and keys are always kept, preserving the
+// interface).
+func Prune(c *Circuit) *Circuit {
+	keep := c.ReachesOutput()
+	for _, id := range c.PIs {
+		keep[id] = true
+	}
+	for _, id := range c.Keys {
+		keep[id] = true
+	}
+	remap := make([]int, len(c.Gates))
+	for i := range remap {
+		remap[i] = -1
+	}
+	n := New(c.Name)
+	for _, id := range c.MustTopoOrder() {
+		if !keep[id] {
+			continue
+		}
+		g := &c.Gates[id]
+		switch g.Type {
+		case Input:
+			remap[id] = n.AddInput(g.Name)
+		case Key:
+			remap[id] = n.AddKey(g.Name)
+		default:
+			fanin := make([]int, len(g.Fanin))
+			for i, f := range g.Fanin {
+				fanin[i] = remap[f]
+			}
+			remap[id] = n.AddGate(g.Type, g.Name, fanin...)
+		}
+	}
+	for i, po := range c.POs {
+		name := ""
+		if i < len(c.PONames) {
+			name = c.PONames[i]
+		}
+		n.AddOutput(remap[po], name)
+	}
+	return n
+}

@@ -1,0 +1,274 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// equivalentOnSamples cross-checks two circuits with identical
+// interfaces on random vectors.
+func equivalentOnSamples(t *testing.T, a, b *Circuit, samples int, seed int64) {
+	t.Helper()
+	if a.NumPIs() != b.NumPIs() || a.NumKeys() != b.NumKeys() || a.NumPOs() != b.NumPOs() {
+		t.Fatalf("interface mismatch: %d/%d PIs, %d/%d keys, %d/%d POs",
+			a.NumPIs(), b.NumPIs(), a.NumKeys(), b.NumKeys(), a.NumPOs(), b.NumPOs())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < samples; s++ {
+		pi := a.RandomInputs(rng)
+		key := a.RandomKey(rng)
+		x := a.Eval(pi, key, nil)
+		y := b.Eval(pi, key, nil)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("output %d differs for pi=%v key=%v", i, pi, key)
+			}
+		}
+	}
+}
+
+func TestSimplifyPreservesC17(t *testing.T) {
+	c := buildC17(t)
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnSamples(t, c, s, 32, 1)
+	// c17 is already minimal; gate count must not grow.
+	if s.NumLogicGates() > c.NumLogicGates() {
+		t.Errorf("simplify grew c17: %d -> %d", c.NumLogicGates(), s.NumLogicGates())
+	}
+}
+
+func TestSimplifyConstantFolding(t *testing.T) {
+	c := New("k")
+	a := c.AddInput("a")
+	one := c.AddGate(Const1, "one")
+	zero := c.AddGate(Const0, "zero")
+	g1 := c.AddGate(And, "g1", a, one)  // = a
+	g2 := c.AddGate(Or, "g2", g1, zero) // = a
+	g3 := c.AddGate(Xor, "g3", g2, one) // = ¬a
+	c.AddOutput(g3, "y")
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnSamples(t, c, s, 4, 2)
+	if s.NumLogicGates() != 1 {
+		t.Errorf("expected a single NOT gate, got %d gates", s.NumLogicGates())
+	}
+}
+
+func TestSimplifyAbsorbingConstants(t *testing.T) {
+	c := New("k")
+	a := c.AddInput("a")
+	zero := c.AddGate(Const0, "z")
+	one := c.AddGate(Const1, "o")
+	g1 := c.AddGate(And, "g1", a, zero) // = 0
+	g2 := c.AddGate(Nor, "g2", a, one)  // = 0
+	g3 := c.AddGate(Or, "g3", g1, g2)   // = 0
+	c.AddOutput(g3, "y")
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnSamples(t, c, s, 4, 3)
+	// Everything folds to a constant-0 output; constants are source
+	// gates, so no logic gates remain.
+	if s.NumLogicGates() != 0 {
+		t.Errorf("got %d logic gates, want 0", s.NumLogicGates())
+	}
+	if out := s.Eval([]bool{true}, nil, nil); out[0] {
+		t.Error("folded output should be constant 0")
+	}
+}
+
+func TestSimplifyXorCancellation(t *testing.T) {
+	c := New("k")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(Xor, "g1", a, b)
+	g2 := c.AddGate(Xor, "g2", g1, b) // = a
+	c.AddOutput(g2, "y")
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnSamples(t, c, s, 4, 4)
+	// NOTE: the pairwise cancellation only sees one gate at a time, so
+	// XOR(XOR(a,b),b) needs the inner gate shared — here it still
+	// emits two XORs unless CSE catches it. Accept ≤ 2 but verify
+	// behaviour (above) regardless.
+	if s.NumLogicGates() > 2 {
+		t.Errorf("gate count grew: %d", s.NumLogicGates())
+	}
+}
+
+func TestSimplifyDuplicateFanin(t *testing.T) {
+	c := New("k")
+	a := c.AddInput("a")
+	g1 := c.AddGate(And, "g1", a, a) // = a
+	g2 := c.AddGate(Xor, "g2", a, a) // = 0
+	g3 := c.AddGate(Or, "g3", g1, g2)
+	c.AddOutput(g3, "y")
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnSamples(t, c, s, 4, 5)
+	if s.NumLogicGates() != 0 {
+		t.Errorf("AND(a,a) ∨ XOR(a,a) should fold to just a, got %d gates", s.NumLogicGates())
+	}
+}
+
+func TestSimplifyMux(t *testing.T) {
+	c := New("k")
+	s0 := c.AddInput("s")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	one := c.AddGate(Const1, "one")
+	zero := c.AddGate(Const0, "zero")
+	m1 := c.AddGate(Mux, "m1", zero, a, b)    // = a
+	m2 := c.AddGate(Mux, "m2", s0, one, b)    // = ¬s ∨ ... = (¬s) + (s∧b)
+	m3 := c.AddGate(Mux, "m3", s0, a, a)      // = a
+	m4 := c.AddGate(Mux, "m4", s0, zero, one) // = s
+	g := c.AddGate(Xor, "g", m1, m2)
+	g2 := c.AddGate(Xor, "g2", m3, m4)
+	g3 := c.AddGate(Xor, "g3", g, g2)
+	c.AddOutput(g3, "y")
+	simp, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnSamples(t, c, simp, 8, 6)
+}
+
+func TestSimplifyCSE(t *testing.T) {
+	c := New("k")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, "g1", a, b)
+	g2 := c.AddGate(And, "g2", b, a) // same function, swapped fanin
+	g3 := c.AddGate(Xor, "g3", g1, g2)
+	c.AddOutput(g3, "y")
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnSamples(t, c, s, 4, 7)
+	// g1 and g2 merge; XOR(x,x) folds to 0.
+	if s.NumLogicGates() > 1 {
+		t.Errorf("CSE missed the commuted AND pair: %d gates", s.NumLogicGates())
+	}
+}
+
+func TestSimplifyDeadGateSweep(t *testing.T) {
+	c := New("k")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, "live", a, b)
+	c.AddGate(Or, "dead1", a, b)
+	c.AddGate(Xor, "dead2", a, b)
+	c.AddOutput(g1, "y")
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumLogicGates() != 1 {
+		t.Errorf("dead gates survived: %d", s.NumLogicGates())
+	}
+}
+
+func TestSimplifyPreservesInterface(t *testing.T) {
+	c := New("k")
+	a := c.AddInput("a")
+	c.AddInput("unused_b")
+	k := c.AddKey("keyinput0")
+	c.AddKey("unused_key")
+	g := c.AddGate(Xor, "g", a, k)
+	c.AddOutput(g, "y")
+	c.AddOutput(a, "passthru")
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumPIs() != 2 || s.NumKeys() != 2 || s.NumPOs() != 2 {
+		t.Fatalf("interface changed: %d PIs %d keys %d POs", s.NumPIs(), s.NumKeys(), s.NumPOs())
+	}
+	if s.OutputName(0) != "y" || s.OutputName(1) != "passthru" {
+		t.Errorf("output names lost: %q %q", s.OutputName(0), s.OutputName(1))
+	}
+	equivalentOnSamples(t, c, s, 16, 8)
+}
+
+func TestSimplifyConstantOutput(t *testing.T) {
+	c := New("k")
+	a := c.AddInput("a")
+	na := c.AddGate(Not, "na", a)
+	g := c.AddGate(And, "g", a, na) // = 0
+	c.AddOutput(g, "y")
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnSamples(t, c, s, 4, 9)
+	// NOTE: AND(a, ¬a) = 0 requires literal-level reasoning which this
+	// pass does not do; we only require validity and equivalence here.
+}
+
+func TestSimplifyRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		c := randomCircuit(seed, 10, 120, 8)
+		s, err := Simplify(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		equivalentOnSamples(t, c, s, 60, seed+100)
+		if s.NumLogicGates() > c.NumLogicGates() {
+			t.Errorf("seed %d: simplify grew the netlist %d -> %d",
+				seed, c.NumLogicGates(), s.NumLogicGates())
+		}
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	c := randomCircuit(5, 10, 150, 8)
+	s1, err := Simplify(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Simplify(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumLogicGates() > s1.NumLogicGates() {
+		t.Errorf("second pass grew the netlist: %d -> %d", s1.NumLogicGates(), s2.NumLogicGates())
+	}
+	equivalentOnSamples(t, s1, s2, 40, 11)
+}
+
+func TestPruneKeepsInterface(t *testing.T) {
+	c := New("p")
+	c.AddInput("a")
+	b := c.AddInput("b")
+	c.AddGate(Not, "dead", b)
+	g := c.AddGate(Buf, "live", b)
+	c.AddOutput(g, "y")
+	p := Prune(c)
+	if p.NumPIs() != 2 || p.NumPOs() != 1 {
+		t.Fatalf("interface changed")
+	}
+	if p.NumLogicGates() != 1 {
+		t.Errorf("dead gate survived prune: %d", p.NumLogicGates())
+	}
+}
+
+func BenchmarkSimplifyRandom2k(b *testing.B) {
+	c := randomCircuit(1, 50, 2000, 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simplify(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+// Package cnf translates gate-level circuits into CNF for the SAT
+// solver (Tseitin transformation with constant folding) and builds the
+// miter formulations used by the SAT-attack family.
+//
+// Wires are represented symbolically: a wire is either a constant or a
+// literal over solver variables. Constant folding matters here because
+// the attacks hardwire distinguishing inputs into per-DIP circuit
+// copies; folding shrinks those copies substantially.
+package cnf
+
+import (
+	"fmt"
+
+	"statsat/internal/circuit"
+	"statsat/internal/sat"
+)
+
+// Wire is a symbolic circuit wire: either a compile-time constant or a
+// solver literal.
+type Wire struct {
+	Const bool
+	Val   bool    // meaningful when Const
+	Lit   sat.Lit // meaningful when !Const
+}
+
+// ConstWire returns a constant wire.
+func ConstWire(v bool) Wire { return Wire{Const: true, Val: v} }
+
+// LitWire wraps a literal as a wire.
+func LitWire(l sat.Lit) Wire { return Wire{Lit: l} }
+
+// Not returns the complement wire (free: flips const or literal).
+func (w Wire) Not() Wire {
+	if w.Const {
+		return ConstWire(!w.Val)
+	}
+	return LitWire(w.Lit.Not())
+}
+
+// FreshLit allocates a new variable and returns its positive literal.
+func FreshLit(s *sat.Solver) sat.Lit { return sat.PosLit(s.NewVar()) }
+
+// FreshLits allocates n new variables.
+func FreshLits(s *sat.Solver, n int) []sat.Lit {
+	out := make([]sat.Lit, n)
+	for i := range out {
+		out[i] = FreshLit(s)
+	}
+	return out
+}
+
+// Options controls how Encode instantiates a circuit copy.
+type Options struct {
+	// FixedPIs, if non-nil, hardwires the primary inputs to constants
+	// (the copy then has no PI variables). Length must equal NumPIs.
+	FixedPIs []bool
+	// PILits, if non-nil, reuses existing literals for the PIs
+	// (shared-input miter copies). Ignored when FixedPIs is set.
+	PILits []sat.Lit
+	// KeyLits, if non-nil, reuses existing literals for the keys.
+	KeyLits []sat.Lit
+	// FixedKeys, if non-nil, hardwires the key inputs to constants.
+	FixedKeys []bool
+}
+
+// Copy is one CNF instantiation of a circuit.
+type Copy struct {
+	PIs  []Wire
+	Keys []Wire
+	Outs []Wire
+}
+
+// Encode instantiates circuit c into solver s per opts and returns the
+// copy's interface wires.
+func Encode(s *sat.Solver, c *circuit.Circuit, opts Options) (*Copy, error) {
+	if opts.FixedPIs != nil && len(opts.FixedPIs) != c.NumPIs() {
+		return nil, fmt.Errorf("cnf: FixedPIs length %d, want %d", len(opts.FixedPIs), c.NumPIs())
+	}
+	if opts.PILits != nil && len(opts.PILits) != c.NumPIs() {
+		return nil, fmt.Errorf("cnf: PILits length %d, want %d", len(opts.PILits), c.NumPIs())
+	}
+	if opts.KeyLits != nil && len(opts.KeyLits) != c.NumKeys() {
+		return nil, fmt.Errorf("cnf: KeyLits length %d, want %d", len(opts.KeyLits), c.NumKeys())
+	}
+	if opts.FixedKeys != nil && len(opts.FixedKeys) != c.NumKeys() {
+		return nil, fmt.Errorf("cnf: FixedKeys length %d, want %d", len(opts.FixedKeys), c.NumKeys())
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	wires := make([]Wire, c.NumGates())
+	cp := &Copy{
+		PIs:  make([]Wire, c.NumPIs()),
+		Keys: make([]Wire, c.NumKeys()),
+		Outs: make([]Wire, c.NumPOs()),
+	}
+	for i, id := range c.PIs {
+		switch {
+		case opts.FixedPIs != nil:
+			wires[id] = ConstWire(opts.FixedPIs[i])
+		case opts.PILits != nil:
+			wires[id] = LitWire(opts.PILits[i])
+		default:
+			wires[id] = LitWire(FreshLit(s))
+		}
+		cp.PIs[i] = wires[id]
+	}
+	for i, id := range c.Keys {
+		switch {
+		case opts.FixedKeys != nil:
+			wires[id] = ConstWire(opts.FixedKeys[i])
+		case opts.KeyLits != nil:
+			wires[id] = LitWire(opts.KeyLits[i])
+		default:
+			wires[id] = LitWire(FreshLit(s))
+		}
+		cp.Keys[i] = wires[id]
+	}
+
+	var fan []Wire
+	for _, id := range order {
+		g := &c.Gates[id]
+		switch g.Type {
+		case circuit.Input, circuit.Key:
+			continue
+		case circuit.Const0:
+			wires[id] = ConstWire(false)
+			continue
+		case circuit.Const1:
+			wires[id] = ConstWire(true)
+			continue
+		}
+		fan = fan[:0]
+		for _, f := range g.Fanin {
+			fan = append(fan, wires[f])
+		}
+		w, err := encodeGate(s, g.Type, fan)
+		if err != nil {
+			return nil, fmt.Errorf("cnf: gate %d (%s): %w", id, g.Name, err)
+		}
+		wires[id] = w
+	}
+	for i, po := range c.POs {
+		cp.Outs[i] = wires[po]
+	}
+	return cp, nil
+}
+
+func encodeGate(s *sat.Solver, t circuit.GateType, fan []Wire) (Wire, error) {
+	switch t {
+	case circuit.Buf:
+		return fan[0], nil
+	case circuit.Not:
+		return fan[0].Not(), nil
+	case circuit.And:
+		return And(s, fan...), nil
+	case circuit.Nand:
+		return And(s, fan...).Not(), nil
+	case circuit.Or:
+		return Or(s, fan...), nil
+	case circuit.Nor:
+		return Or(s, fan...).Not(), nil
+	case circuit.Xor:
+		return XorN(s, fan...), nil
+	case circuit.Xnor:
+		return XorN(s, fan...).Not(), nil
+	case circuit.Mux:
+		return Mux(s, fan[0], fan[1], fan[2]), nil
+	}
+	return Wire{}, fmt.Errorf("unsupported gate type %v", t)
+}
+
+// And encodes an n-ary conjunction with constant folding.
+func And(s *sat.Solver, in ...Wire) Wire {
+	lits := make([]sat.Lit, 0, len(in))
+	for _, w := range in {
+		if w.Const {
+			if !w.Val {
+				return ConstWire(false)
+			}
+			continue
+		}
+		lits = append(lits, w.Lit)
+	}
+	switch len(lits) {
+	case 0:
+		return ConstWire(true)
+	case 1:
+		return LitWire(lits[0])
+	}
+	z := FreshLit(s)
+	// z → each lit; (all lits) → z.
+	big := make([]sat.Lit, 0, len(lits)+1)
+	for _, l := range lits {
+		s.AddClause(z.Not(), l)
+		big = append(big, l.Not())
+	}
+	big = append(big, z)
+	s.AddClause(big...)
+	return LitWire(z)
+}
+
+// Or encodes an n-ary disjunction with constant folding.
+func Or(s *sat.Solver, in ...Wire) Wire {
+	neg := make([]Wire, len(in))
+	for i, w := range in {
+		neg[i] = w.Not()
+	}
+	return And(s, neg...).Not()
+}
+
+// Xor2 encodes a binary XOR with constant folding.
+func Xor2(s *sat.Solver, a, b Wire) Wire {
+	if a.Const {
+		if a.Val {
+			return b.Not()
+		}
+		return b
+	}
+	if b.Const {
+		if b.Val {
+			return a.Not()
+		}
+		return a
+	}
+	if a.Lit == b.Lit {
+		return ConstWire(false)
+	}
+	if a.Lit == b.Lit.Not() {
+		return ConstWire(true)
+	}
+	z := FreshLit(s)
+	s.AddClause(z.Not(), a.Lit, b.Lit)
+	s.AddClause(z.Not(), a.Lit.Not(), b.Lit.Not())
+	s.AddClause(z, a.Lit.Not(), b.Lit)
+	s.AddClause(z, a.Lit, b.Lit.Not())
+	return LitWire(z)
+}
+
+// XorN encodes an n-ary parity.
+func XorN(s *sat.Solver, in ...Wire) Wire {
+	acc := ConstWire(false)
+	for _, w := range in {
+		acc = Xor2(s, acc, w)
+	}
+	return acc
+}
+
+// Mux encodes sel ? b : a (matching circuit.Mux fanin order sel,a,b).
+func Mux(s *sat.Solver, sel, a, b Wire) Wire {
+	if sel.Const {
+		if sel.Val {
+			return b
+		}
+		return a
+	}
+	if a.Const && b.Const {
+		switch {
+		case a.Val == b.Val:
+			return a
+		case b.Val: // 0 when sel=0, 1 when sel=1
+			return sel
+		default:
+			return sel.Not()
+		}
+	}
+	if !a.Const && !b.Const && a.Lit == b.Lit {
+		return a
+	}
+	z := FreshLit(s)
+	// sel=0 → z=a ; sel=1 → z=b (with const specialisation).
+	implyEq := func(cond sat.Lit, w Wire) {
+		if w.Const {
+			if w.Val {
+				s.AddClause(cond.Not(), z)
+			} else {
+				s.AddClause(cond.Not(), z.Not())
+			}
+			return
+		}
+		s.AddClause(cond.Not(), w.Lit.Not(), z)
+		s.AddClause(cond.Not(), w.Lit, z.Not())
+	}
+	implyEq(sel.Lit, b)       // sel=1 → z=b
+	implyEq(sel.Lit.Not(), a) // sel=0 → z=a
+	return LitWire(z)
+}
+
+// Equal adds clauses forcing w == val; it returns false if that is
+// already contradictory (w is the opposite constant).
+func Equal(s *sat.Solver, w Wire, val bool) bool {
+	if w.Const {
+		if w.Val != val {
+			// Record inconsistency in the solver itself.
+			s.AddClause()
+			return false
+		}
+		return true
+	}
+	if val {
+		return s.AddClause(w.Lit)
+	}
+	return s.AddClause(w.Lit.Not())
+}
+
+// NotEqualAny adds the constraint that at least one pair (a_i, b_i)
+// differs. It returns false if the constraint is vacuously
+// unsatisfiable (all pairs identical constants).
+func NotEqualAny(s *sat.Solver, a, b []Wire) bool {
+	if len(a) != len(b) {
+		panic("cnf: NotEqualAny length mismatch")
+	}
+	var disj []sat.Lit
+	for i := range a {
+		d := Xor2(s, a[i], b[i])
+		if d.Const {
+			if d.Val {
+				return true // a pair differs structurally: constraint trivially holds
+			}
+			continue
+		}
+		disj = append(disj, d.Lit)
+	}
+	if len(disj) == 0 {
+		s.AddClause()
+		return false
+	}
+	return s.AddClause(disj...)
+}
+
+// Miter is the SAT-attack formulation: two copies of a locked circuit
+// share the primary-input variables, carry independent key variable
+// sets, and are constrained to disagree on at least one output.
+type Miter struct {
+	S    *sat.Solver
+	C    *circuit.Circuit
+	PIs  []sat.Lit
+	KeyA []sat.Lit
+	KeyB []sat.Lit
+	OutA []Wire
+	OutB []Wire
+}
+
+// NewMiter builds the miter for locked circuit c in a fresh solver.
+func NewMiter(c *circuit.Circuit) (*Miter, error) {
+	s := sat.New()
+	pis := FreshLits(s, c.NumPIs())
+	keyA := FreshLits(s, c.NumKeys())
+	keyB := FreshLits(s, c.NumKeys())
+	ca, err := Encode(s, c, Options{PILits: pis, KeyLits: keyA})
+	if err != nil {
+		return nil, err
+	}
+	cb, err := Encode(s, c, Options{PILits: pis, KeyLits: keyB})
+	if err != nil {
+		return nil, err
+	}
+	m := &Miter{S: s, C: c, PIs: pis, KeyA: keyA, KeyB: keyB, OutA: ca.Outs, OutB: cb.Outs}
+	NotEqualAny(s, ca.Outs, cb.Outs)
+	return m, nil
+}
+
+// Input reads the distinguishing input from the last model.
+func (m *Miter) Input() []bool {
+	x := make([]bool, len(m.PIs))
+	for i, l := range m.PIs {
+		x[i] = m.S.ModelLit(l)
+	}
+	return x
+}
+
+// KeyAModel and KeyBModel read the two distinguishing keys from the
+// last model.
+func (m *Miter) KeyAModel() []bool { return modelOf(m.S, m.KeyA) }
+func (m *Miter) KeyBModel() []bool { return modelOf(m.S, m.KeyB) }
+
+func modelOf(s *sat.Solver, lits []sat.Lit) []bool {
+	out := make([]bool, len(lits))
+	for i, l := range lits {
+		out[i] = s.ModelLit(l)
+	}
+	return out
+}
+
+// AddDIPCopies instantiates two copies of the circuit with the primary
+// inputs hardwired to x, keyed by KeyA and KeyB respectively, and
+// returns their output wires so the caller can constrain individual
+// bits (StatSAT specifies bits incrementally).
+func (m *Miter) AddDIPCopies(x []bool) (outA, outB []Wire, err error) {
+	ca, err := Encode(m.S, m.C, Options{FixedPIs: x, KeyLits: m.KeyA})
+	if err != nil {
+		return nil, nil, err
+	}
+	cb, err := Encode(m.S, m.C, Options{FixedPIs: x, KeyLits: m.KeyB})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ca.Outs, cb.Outs, nil
+}
+
+// KeySolver maintains the "all recorded DIPs" formula over a single
+// key vector; it enumerates satisfying keys (for BER estimation) and
+// produces the final key of an instance.
+type KeySolver struct {
+	S    *sat.Solver
+	C    *circuit.Circuit
+	Keys []sat.Lit
+}
+
+// NewKeySolver builds an empty key-constraint solver for c.
+func NewKeySolver(c *circuit.Circuit) *KeySolver {
+	s := sat.New()
+	return &KeySolver{S: s, C: c, Keys: FreshLits(s, c.NumKeys())}
+}
+
+// AddDIPCopy instantiates a copy with PIs fixed to x over the shared
+// key vector and returns its output wires.
+func (k *KeySolver) AddDIPCopy(x []bool) ([]Wire, error) {
+	cp, err := Encode(k.S, k.C, Options{FixedPIs: x, KeyLits: k.Keys})
+	if err != nil {
+		return nil, err
+	}
+	return cp.Outs, nil
+}
+
+// Key reads the key vector from the last model.
+func (k *KeySolver) Key() []bool { return modelOf(k.S, k.Keys) }
+
+// EnumerateKeys returns up to max distinct keys satisfying the current
+// constraints. Enumeration uses a throwaway activation literal so the
+// blocking clauses are retired afterwards and do not constrain future
+// queries.
+func (k *KeySolver) EnumerateKeys(max int) [][]bool {
+	if max <= 0 {
+		return nil
+	}
+	act := FreshLit(k.S)
+	var keys [][]bool
+	for len(keys) < max && k.S.Solve(act) == sat.Sat {
+		key := k.Key()
+		keys = append(keys, key)
+		// Block this key while act holds.
+		block := make([]sat.Lit, 0, len(k.Keys)+1)
+		block = append(block, act.Not())
+		for i, l := range k.Keys {
+			if key[i] {
+				block = append(block, l.Not())
+			} else {
+				block = append(block, l)
+			}
+		}
+		k.S.AddClause(block...)
+	}
+	// Retire the blocking clauses permanently.
+	k.S.AddClause(act.Not())
+	return keys
+}
+
+// Clone deep-copies the key solver (instance duplication).
+func (k *KeySolver) Clone() *KeySolver {
+	return &KeySolver{S: k.S.Clone(), C: k.C, Keys: append([]sat.Lit(nil), k.Keys...)}
+}
+
+// CloneMiter deep-copies a miter (instance duplication).
+func (m *Miter) Clone() *Miter {
+	return &Miter{
+		S:    m.S.Clone(),
+		C:    m.C,
+		PIs:  append([]sat.Lit(nil), m.PIs...),
+		KeyA: append([]sat.Lit(nil), m.KeyA...),
+		KeyB: append([]sat.Lit(nil), m.KeyB...),
+		OutA: append([]Wire(nil), m.OutA...),
+		OutB: append([]Wire(nil), m.OutB...),
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+
+	"statsat/internal/oracle"
+)
+
+// lockedOracle serialises access to a (stateful) oracle so multiple
+// instance goroutines can share the activated chip. This matches the
+// physical reality: the attacker owns one chip and queries it
+// sequentially; parallelism buys concurrent SAT solving and BER
+// estimation, not concurrent silicon.
+type lockedOracle struct {
+	mu    sync.Mutex
+	inner oracle.Oracle
+}
+
+func (o *lockedOracle) Query(x []bool) []bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inner.Query(x)
+}
+
+func (o *lockedOracle) QueryBatch(x []bool) []uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inner.(oracle.BatchQuerier).QueryBatch(x)
+}
+
+func (o *lockedOracle) NumInputs() int  { return o.inner.NumInputs() }
+func (o *lockedOracle) NumOutputs() int { return o.inner.NumOutputs() }
+
+func (o *lockedOracle) Queries() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inner.Queries()
+}
+
+// scalarLockedOracle is the wrapper for oracles without QueryBatch; it
+// deliberately lacks the BatchQuerier method so SignalProbs falls back
+// to the scalar path.
+type scalarLockedOracle struct{ lo *lockedOracle }
+
+func (o scalarLockedOracle) Query(x []bool) []bool { return o.lo.Query(x) }
+func (o scalarLockedOracle) NumInputs() int        { return o.lo.NumInputs() }
+func (o scalarLockedOracle) NumOutputs() int       { return o.lo.NumOutputs() }
+func (o scalarLockedOracle) Queries() int64        { return o.lo.Queries() }
+
+// wrapOracle returns a goroutine-safe view of orc, preserving batch
+// sampling capability when present.
+func wrapOracle(orc oracle.Oracle) oracle.Oracle {
+	lo := &lockedOracle{inner: orc}
+	if _, ok := orc.(oracle.BatchQuerier); ok {
+		return lo
+	}
+	return scalarLockedOracle{lo}
+}
+
+// runParallel executes the instance scheduler with one goroutine per
+// live instance; forked children get their own goroutines via
+// run.spawn. The N_inst bound, the iteration budget and all result
+// counters are enforced exactly as in the sequential path (shared
+// bookkeeping sits behind run.mu).
+func (run *attackRun) runParallel(root *instance) {
+	var wg sync.WaitGroup
+	run.spawn = func(in *instance) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run.instanceLoop(in)
+		}()
+	}
+	run.spawn(root)
+	wg.Wait()
+	run.spawn = nil
+}
+
+// instanceLoop drives one instance until it finishes, dies, errors or
+// exhausts the shared iteration budget.
+func (run *attackRun) instanceLoop(in *instance) {
+	for {
+		run.mu.Lock()
+		stop := run.err != nil || in.state != running
+		run.mu.Unlock()
+		if stop {
+			return
+		}
+		if !run.takeIteration() {
+			run.markTruncated()
+			return
+		}
+		if err := run.step(in); err != nil {
+			run.mu.Lock()
+			if run.err == nil {
+				run.err = err
+			}
+			run.mu.Unlock()
+			return
+		}
+	}
+}

@@ -1,0 +1,803 @@
+// Package core implements StatSAT — the paper's contribution: a SAT
+// attack on logic-locked circuits whose activated chip (oracle)
+// behaves probabilistically.
+//
+// The attack augments the classic miter-based SAT attack (§II-B) with:
+//
+//   - signal-probability oracle queries: each distinguishing input is
+//     applied Ns times and averaged per output bit (eq. 1);
+//   - uncertainty gating: output bits whose uncertainty
+//     U_i = min(P_i, 1-P_i) exceeds U_lambda stay unspecified (eq. 2-3);
+//   - BER-estimate gating: per-output bit error ratios are estimated
+//     with Boolean Difference Calculus over up to N_satis keys that
+//     satisfy the recorded DIPs; bits with E_i > E_lambda also stay
+//     unspecified (eq. 4);
+//   - instance duplication: when a distinguishing input repeats, the
+//     SAT instance forks, specifying the riskiest unspecified bit both
+//     ways (eq. 5), bounded by N_inst live instances;
+//   - force-proceed: at the instance cap, the least-risky unspecified
+//     bit (min E_i) is rounded in (eq. 6);
+//   - key evaluation: every returned key is scored with the figure of
+//     merit FM (eq. 7) against fresh oracle measurements; HD (eq. 8)
+//     reports closeness of statistical behaviour.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"statsat/internal/circuit"
+	"statsat/internal/cnf"
+	"statsat/internal/errprop"
+	"statsat/internal/metrics"
+	"statsat/internal/oracle"
+	"statsat/internal/sat"
+)
+
+// Options configures a StatSAT run. Zero values select the paper's
+// defaults where one exists.
+type Options struct {
+	// Ns is the number of oracle samples per distinguishing input
+	// (paper: 500).
+	Ns int
+	// NSatis is the number of satisfying keys averaged for the BER
+	// estimate (paper: 100).
+	NSatis int
+	// NEval is the number of random evaluation inputs for FM/HD
+	// (paper: 2000).
+	NEval int
+	// EvalNs is the number of samples per evaluation input; defaults
+	// to Ns.
+	EvalNs int
+	// NInst is the maximum number of simultaneous SAT instances
+	// (paper: swept in powers of two).
+	NInst int
+	// ULambda is the uncertainty threshold (paper: 0.25).
+	ULambda float64
+	// ELambda is the estimated-BER threshold (paper: 0.30).
+	ELambda float64
+	// EpsG is the gate error probability the attacker uses for BER
+	// estimation — either known (§V assumption) or estimated (§V-E,
+	// EstimateGateError).
+	EpsG float64
+	// MaxTotalIter bounds the summed iterations across instances
+	// (safety net; 0 = 20000).
+	MaxTotalIter int
+	// Seed drives all attack-side randomness (key evaluation inputs,
+	// simulated unlocked-circuit noise).
+	Seed int64
+	// Parallel runs live SAT instances on concurrent goroutines (the
+	// instances are independent by construction — §IV-D). Oracle
+	// queries stay serialised (one chip). Results remain valid but
+	// are no longer bit-reproducible across runs, because instances
+	// interleave their oracle noise draws; leave false for
+	// deterministic experiments.
+	Parallel bool
+	// Logf, if set, receives progress lines (serialised internally).
+	Logf func(format string, args ...interface{})
+}
+
+func (o *Options) setDefaults() {
+	if o.Ns <= 0 {
+		o.Ns = 500
+	}
+	if o.NSatis <= 0 {
+		o.NSatis = 100
+	}
+	if o.NEval <= 0 {
+		o.NEval = 2000
+	}
+	if o.EvalNs <= 0 {
+		o.EvalNs = o.Ns
+	}
+	if o.NInst <= 0 {
+		o.NInst = 1
+	}
+	if o.ULambda <= 0 {
+		o.ULambda = 0.25
+	}
+	if o.ELambda <= 0 {
+		o.ELambda = 0.30
+	}
+	if o.MaxTotalIter <= 0 {
+		o.MaxTotalIter = 20000
+	}
+}
+
+// KeyReport is one recovered key with its evaluation scores.
+type KeyReport struct {
+	Key        []bool
+	FM         float64
+	HD         float64
+	Iterations int // SAT iterations of the instance that produced it
+	Instance   int // instance ID
+}
+
+// Result is the outcome of a StatSAT attack.
+type Result struct {
+	// Keys holds every key returned by a finished instance (|K| in
+	// Table II), best (minimum FM) first.
+	Keys []KeyReport
+	// Best points at Keys[0] when any key was found.
+	Best *KeyReport
+	// Instances is the peak number of simultaneously live instances.
+	Instances int
+	// InstancesCreated counts every instance ever forked (incl. root).
+	InstancesCreated int
+	// Forks and ForceProceeds count eq. 5 / eq. 6 events.
+	Forks         int
+	ForceProceeds int
+	// DeadInstances counts instances that went UNSAT.
+	DeadInstances int
+	// TotalIterations sums SAT iterations over all instances.
+	TotalIterations int
+	// OracleQueries counts chip queries during the attack phase.
+	OracleQueries int64
+	// EvalQueries counts chip queries during key evaluation.
+	EvalQueries int64
+	// AttackDuration is T_attack (key finding only, paper Fig. 5).
+	AttackDuration time.Duration
+	// EvalDuration is the total evaluation time; EvalPerKey is the
+	// per-key share (T_eval, paper Fig. 5).
+	EvalDuration time.Duration
+	EvalPerKey   time.Duration
+	// Truncated is set when MaxTotalIter stopped running instances.
+	Truncated bool
+	// InstanceStats records the full fork tree: one entry per instance
+	// ever created, in creation order.
+	InstanceStats []InstanceStat
+}
+
+// InstanceStat summarises one SAT instance's life.
+type InstanceStat struct {
+	ID         int
+	Parent     int // -1 for the root
+	Iterations int
+	DIPs       int
+	// Outcome: "finished", "dead", or "running" (budget-truncated).
+	Outcome  string
+	KeyFound bool
+}
+
+// ErrNoInstances is returned when every instance died without
+// producing a key (the attack failed outright).
+var ErrNoInstances = errors.New("statsat: every SAT instance became unsatisfiable")
+
+// dip is one distinguishing input with its oracle statistics and the
+// (partially specified) output vector shared with the SAT solvers.
+type dip struct {
+	x     []bool
+	probs []float64 // P^Y (eq. 1)
+	u     []float64 // uncertainties (eq. 2)
+	e     []float64 // estimated BERs (§IV-C)
+	y     []int8    // -1 unspecified, 0, 1 (per instance)
+	outA  []cnf.Wire
+	outB  []cnf.Wire
+	outs  []cnf.Wire // key-solver copy outputs
+}
+
+func (d *dip) cloneFor() *dip {
+	nd := *d
+	nd.y = append([]int8(nil), d.y...)
+	return &nd
+}
+
+func (d *dip) unspecified() []int {
+	var idx []int
+	for i, v := range d.y {
+		if v < 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+type instState int8
+
+const (
+	running instState = iota
+	finished
+	dead
+)
+
+// instance is one SAT formulation (CNF formulas + recorded DIPs).
+type instance struct {
+	id         int
+	parent     int // id of the instance this one forked from (-1 for root)
+	miter      *cnf.Miter
+	ks         *cnf.KeySolver
+	dips       []*dip
+	byInput    map[string]int // input pattern -> dip index
+	iterations int
+	state      instState
+	key        []bool
+}
+
+// fmtY renders a partially-specified output vector ('x' = unspecified).
+func fmtY(y []int8) string {
+	b := make([]byte, len(y))
+	for i, v := range y {
+		switch v {
+		case 0:
+			b[i] = '0'
+		case 1:
+			b[i] = '1'
+		default:
+			b[i] = 'x'
+		}
+	}
+	return string(b)
+}
+
+func keyOf(x []bool) string {
+	b := make([]byte, len(x))
+	for i, v := range x {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+func (in *instance) clone(id int) *instance {
+	n := &instance{
+		id:         id,
+		parent:     in.id,
+		miter:      in.miter.Clone(),
+		ks:         in.ks.Clone(),
+		dips:       make([]*dip, len(in.dips)),
+		byInput:    make(map[string]int, len(in.byInput)),
+		iterations: in.iterations,
+		state:      in.state,
+	}
+	for i, d := range in.dips {
+		n.dips[i] = d.cloneFor()
+	}
+	for k, v := range in.byInput {
+		n.byInput[k] = v
+	}
+	return n
+}
+
+// specify pins output bit j of dip d to val in both solvers.
+func (in *instance) specify(d *dip, j int, val bool) {
+	var v int8
+	if val {
+		v = 1
+	}
+	d.y[j] = v
+	cnf.Equal(in.miter.S, d.outA[j], val)
+	cnf.Equal(in.miter.S, d.outB[j], val)
+	cnf.Equal(in.ks.S, d.outs[j], val)
+}
+
+// attack bundles the run state. mu guards insts, res, nextID, peakLive
+// and err whenever instances run concurrently; the sequential
+// scheduler takes the same locks (uncontended, negligible cost) so the
+// two paths share one implementation.
+type attackRun struct {
+	locked *circuit.Circuit
+	orc    oracle.Oracle
+	opts   Options
+
+	mu       sync.Mutex
+	insts    []*instance
+	nextID   int
+	res      *Result
+	peakLive int
+	err      error
+	spawn    func(*instance) // set by the parallel scheduler
+
+	logMu sync.Mutex
+}
+
+func (run *attackRun) logf(format string, args ...interface{}) {
+	if run.opts.Logf == nil {
+		return
+	}
+	run.logMu.Lock()
+	defer run.logMu.Unlock()
+	run.opts.Logf(format, args...)
+}
+
+// Attack runs StatSAT against the oracle and returns every recovered
+// key with FM/HD scores (best first). The caller decides "correctness"
+// externally (e.g. metrics.KeysEquivalent against ground truth).
+func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	opts.setDefaults()
+	if locked.NumPIs() != orc.NumInputs() || locked.NumPOs() != orc.NumOutputs() {
+		return nil, fmt.Errorf("statsat: netlist/oracle interface mismatch (%d/%d in, %d/%d out)",
+			locked.NumPIs(), orc.NumInputs(), locked.NumPOs(), orc.NumOutputs())
+	}
+	if locked.NumKeys() == 0 {
+		return nil, fmt.Errorf("statsat: circuit %q has no key inputs", locked.Name)
+	}
+
+	run := &attackRun{locked: locked, orc: orc, opts: opts, res: &Result{}}
+	if opts.Parallel {
+		run.orc = wrapOracle(orc)
+	}
+	startQ := run.orc.Queries()
+	start := time.Now()
+
+	root, err := run.newRootInstance()
+	if err != nil {
+		return nil, err
+	}
+	run.insts = []*instance{root}
+	run.res.InstancesCreated = 1
+	run.peakLive = 1
+
+	if opts.Parallel {
+		run.runParallel(root)
+	} else {
+		run.runSequential()
+	}
+	if run.err != nil {
+		return nil, run.err
+	}
+	run.res.Instances = run.peakLive
+	if run.anyRunning() && !run.res.Truncated {
+		run.res.Truncated = true
+	}
+	if run.res.Truncated {
+		run.logf("statsat: iteration budget exhausted with instances still running")
+	}
+	run.res.AttackDuration = time.Since(start)
+	run.res.OracleQueries = run.orc.Queries() - startQ
+
+	for _, in := range run.insts {
+		st := InstanceStat{
+			ID:         in.id,
+			Parent:     in.parent,
+			Iterations: in.iterations,
+			DIPs:       len(in.dips),
+			KeyFound:   in.key != nil,
+		}
+		switch in.state {
+		case finished:
+			st.Outcome = "finished"
+		case dead:
+			st.Outcome = "dead"
+		default:
+			st.Outcome = "running"
+		}
+		run.res.InstanceStats = append(run.res.InstanceStats, st)
+	}
+
+	// Collect keys.
+	var keys []KeyReport
+	for _, in := range run.insts {
+		if in.state == finished && in.key != nil {
+			keys = append(keys, KeyReport{
+				Key:        in.key,
+				Iterations: in.iterations,
+				Instance:   in.id,
+			})
+		}
+	}
+	if len(keys) == 0 {
+		return run.res, ErrNoInstances
+	}
+
+	// Evaluation phase (eq. 7 / eq. 8).
+	evalStart := time.Now()
+	startEvalQ := run.orc.Queries()
+	run.evaluateKeys(keys)
+	run.res.EvalDuration = time.Since(evalStart)
+	run.res.EvalQueries = run.orc.Queries() - startEvalQ
+	run.res.EvalPerKey = run.res.EvalDuration / time.Duration(len(keys))
+	return run.res, nil
+}
+
+// runSequential is the deterministic round-robin scheduler.
+func (run *attackRun) runSequential() {
+	for {
+		progressed := false
+		for i := 0; i < len(run.insts); i++ {
+			in := run.insts[i]
+			if in.state != running {
+				continue
+			}
+			if !run.takeIteration() {
+				run.markTruncated()
+				return
+			}
+			if err := run.step(in); err != nil {
+				run.err = err
+				return
+			}
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// takeIteration reserves one scheduler step from the global budget.
+func (run *attackRun) takeIteration() bool {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	if run.res.TotalIterations >= run.opts.MaxTotalIter {
+		return false
+	}
+	run.res.TotalIterations++
+	return true
+}
+
+func (run *attackRun) markTruncated() {
+	run.mu.Lock()
+	run.res.Truncated = true
+	run.mu.Unlock()
+}
+
+// setState transitions an instance under the shared lock and keeps the
+// dead-instance counter and live peak consistent.
+func (run *attackRun) setState(in *instance, st instState) {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	if in.state == st {
+		return
+	}
+	in.state = st
+	if st == dead {
+		run.res.DeadInstances++
+	}
+}
+
+func (run *attackRun) liveCountLocked() int {
+	n := 0
+	for _, in := range run.insts {
+		if in.state != dead {
+			n++
+		}
+	}
+	return n
+}
+
+func (run *attackRun) anyRunning() bool {
+	run.mu.Lock()
+	defer run.mu.Unlock()
+	for _, in := range run.insts {
+		if in.state == running {
+			return true
+		}
+	}
+	return false
+}
+
+func (run *attackRun) newRootInstance() (*instance, error) {
+	m, err := cnf.NewMiter(run.locked)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{
+		id:      0,
+		parent:  -1,
+		miter:   m,
+		ks:      cnf.NewKeySolver(run.locked),
+		byInput: map[string]int{},
+	}, nil
+}
+
+// step performs one SAT iteration for the instance. It is safe to call
+// concurrently for distinct instances.
+func (run *attackRun) step(in *instance) error {
+	status := in.miter.S.Solve()
+	if status == sat.Unknown {
+		return fmt.Errorf("statsat: instance %d miter solve exceeded budget", in.id)
+	}
+	if status == sat.Unsat {
+		run.finish(in)
+		return nil
+	}
+	in.iterations++
+	x := in.miter.Input()
+	if idx, ok := in.byInput[keyOf(x)]; ok {
+		// Repeated DI (§IV-D): the unspecified bits starve the solver.
+		return run.handleRepeat(in, in.dips[idx])
+	}
+	return run.recordNewDIP(in, x)
+}
+
+// finish extracts the instance's key (or marks it dead).
+func (run *attackRun) finish(in *instance) {
+	if in.ks.S.Solve() == sat.Sat {
+		in.key = in.ks.Key()
+		run.setState(in, finished)
+		run.logf("statsat: instance %d finished after %d iterations", in.id, in.iterations)
+		return
+	}
+	run.setState(in, dead)
+	run.logf("statsat: instance %d UNSAT (dead) after %d iterations", in.id, in.iterations)
+	if run.opts.Logf != nil {
+		// Diagnostic cross-check: rebuild the key constraints from the
+		// recorded DIPs in a fresh solver and compare.
+		fresh := cnf.NewKeySolver(run.locked)
+		for _, d := range in.dips {
+			outs, err := fresh.AddDIPCopy(d.x)
+			if err != nil {
+				run.logf("statsat: rebuild failed: %v", err)
+				return
+			}
+			for i, v := range d.y {
+				if v >= 0 {
+					cnf.Equal(fresh.S, outs[i], v == 1)
+				}
+			}
+		}
+		run.logf("statsat: DIAG instance %d fresh-rebuild solve=%v (incremental said UNSAT)",
+			in.id, fresh.S.Solve())
+	}
+}
+
+// recordNewDIP queries the oracle, estimates BERs, translates the
+// signal probabilities into a partially-specified output vector
+// (eq. 4) and installs the DIP constraints.
+func (run *attackRun) recordNewDIP(in *instance, x []bool) error {
+	opts := &run.opts
+	probs := oracle.SignalProbs(run.orc, x, opts.Ns)
+	u := oracle.Uncertainties(probs)
+
+	// Satisfying keys of the recorded DIPs → averaged BER estimate.
+	cand := in.ks.EnumerateKeys(opts.NSatis)
+	if len(cand) == 0 {
+		run.setState(in, dead)
+		return nil
+	}
+	e, err := errprop.AverageOutputBERs(run.locked, x, cand, opts.EpsG)
+	if err != nil {
+		return fmt.Errorf("statsat: BER estimation: %w", err)
+	}
+
+	d := &dip{x: append([]bool(nil), x...), probs: probs, u: u, e: e, y: make([]int8, len(probs))}
+	for i := range d.y {
+		d.y[i] = -1
+	}
+	d.outA, d.outB, err = in.miter.AddDIPCopies(x)
+	if err != nil {
+		return err
+	}
+	d.outs, err = in.ks.AddDIPCopy(x)
+	if err != nil {
+		return err
+	}
+	in.dips = append(in.dips, d)
+	in.byInput[keyOf(x)] = len(in.dips) - 1
+
+	// eq. 4: specify bits that are both certain and low-estimated-BER.
+	specified := 0
+	for i := range probs {
+		if u[i] <= opts.ULambda && e[i] <= opts.ELambda {
+			in.specify(d, i, probs[i] >= 0.5)
+			specified++
+		}
+	}
+	if run.opts.Logf != nil {
+		run.logf("statsat: instance %d DIP %d: x=%s y=%s (%d/%d bits specified, %d candidate keys)",
+			in.id, len(in.dips), keyOf(x), fmtY(d.y), specified, len(probs), len(cand))
+	}
+	return nil
+}
+
+// handleRepeat implements §IV-D: duplicate when capacity allows
+// (eq. 5), otherwise force-proceed (eq. 6). The capacity check and
+// child registration are atomic so the parallel scheduler respects
+// N_inst exactly.
+func (run *attackRun) handleRepeat(in *instance, d *dip) error {
+	unspec := d.unspecified()
+	if len(unspec) == 0 {
+		// Should be impossible: fully specified DIPs exclude their
+		// input from the miter. Defensive: treat as dead.
+		run.setState(in, dead)
+		return nil
+	}
+	run.mu.Lock()
+	var child *instance
+	if run.liveCountLocked() < run.opts.NInst {
+		run.nextID++
+		child = in.clone(run.nextID)
+		run.insts = append(run.insts, child)
+		run.res.InstancesCreated++
+		run.res.Forks++
+		if live := run.liveCountLocked(); live > run.peakLive {
+			run.peakLive = live
+		}
+	} else {
+		run.res.ForceProceeds++
+	}
+	run.mu.Unlock()
+
+	if child != nil {
+		// eq. 5: pick j_dup = argmax U if that max exceeds U_lambda,
+		// else argmax E.
+		j := argmaxAt(d.u, unspec)
+		if d.u[j] <= run.opts.ULambda {
+			j = argmaxAt(d.e, unspec)
+		}
+		v := d.probs[j] >= 0.5
+		in.specify(d, j, v)
+		childDip := child.dips[in.dipIndex(d)]
+		child.specify(childDip, j, !v)
+		run.logf("statsat: instance %d forked -> %d on bit %d (U=%.3f E=%.3f)",
+			in.id, child.id, j, d.u[j], d.e[j])
+		if run.spawn != nil {
+			run.spawn(child)
+		}
+		return nil
+	}
+	// eq. 6: force-proceed on the least-risky unspecified bit.
+	j := argminAt(d.e, unspec)
+	in.specify(d, j, d.probs[j] >= 0.5)
+	run.logf("statsat: instance %d force-proceeds on bit %d (E=%.3f)", in.id, j, d.e[j])
+	return nil
+}
+
+func (in *instance) dipIndex(d *dip) int {
+	return in.byInput[keyOf(d.x)]
+}
+
+func argmaxAt(vals []float64, idx []int) int {
+	best := idx[0]
+	for _, i := range idx[1:] {
+		if vals[i] > vals[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func argminAt(vals []float64, idx []int) int {
+	best := idx[0]
+	for _, i := range idx[1:] {
+		if vals[i] < vals[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// evaluateKeys scores every key with FM/HD against fresh oracle
+// measurements (eq. 7-8) and sorts best (min FM) first. The oracle is
+// sampled once; the per-key simulations are independent and run
+// concurrently (each with its own simulated chip and noise stream, so
+// results are deterministic regardless of scheduling).
+func (run *attackRun) evaluateKeys(keys []KeyReport) {
+	opts := &run.opts
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
+	inputs := metrics.RandomInputSet(run.locked, opts.NEval, rng)
+	oracleProbs := metrics.SignalProbMatrix(run.orc, inputs, opts.EvalNs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range keys {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			sim := oracle.NewProbabilistic(run.locked, keys[i].Key, opts.EpsG, opts.Seed+int64(i)*7919)
+			keyProbs := metrics.SignalProbMatrix(sim, inputs, opts.EvalNs)
+			keys[i].FM = metrics.FM(oracleProbs, keyProbs)
+			keys[i].HD = metrics.HD(oracleProbs, keyProbs)
+		}(i)
+	}
+	wg.Wait()
+	// Selection sort by FM (N_inst keys at most; simplicity wins).
+	for i := 0; i < len(keys); i++ {
+		min := i
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j].FM < keys[min].FM {
+				min = j
+			}
+		}
+		keys[i], keys[min] = keys[min], keys[i]
+	}
+	run.res.Keys = keys
+	run.res.Best = &run.res.Keys[0]
+}
+
+// EstimateOptions configures the §V-E gate-error estimator.
+type EstimateOptions struct {
+	// NProbe random inputs are compared (default 20).
+	NProbe int
+	// Ns oracle/simulation samples per input (default 200).
+	Ns int
+	// NKeys random keys are averaged on the simulation side (default 5).
+	NKeys int
+	// Grid step factor for eps' (default 1.25; grid starts at 1e-4 and
+	// is capped at 0.25).
+	Step float64
+	// Tolerance for "comparable" uncertainties: |U_sim - U_oracle| <=
+	// max(AbsTol, RelTol*U_oracle). Defaults 0.02 / 0.25.
+	AbsTol, RelTol float64
+	Seed           int64
+}
+
+func (o *EstimateOptions) setDefaults() {
+	if o.NProbe <= 0 {
+		o.NProbe = 20
+	}
+	if o.Ns <= 0 {
+		o.Ns = 200
+	}
+	if o.NKeys <= 0 {
+		o.NKeys = 5
+	}
+	if o.Step <= 1 {
+		o.Step = 1.25
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 0.02
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 0.25
+	}
+}
+
+// EstimateGateError implements §V-E: the attacker, not knowing eps_g,
+// sweeps a guess eps' upward, simulating the locked netlist with
+// random keys, until at least half of the observed output
+// uncertainties become comparable with the oracle's. Like in the
+// paper, the estimate tends to undershoot the true eps_g (wrong keys
+// add functional, not noise-induced, disagreement that the comparison
+// charges against the uncertainty match).
+func EstimateGateError(locked *circuit.Circuit, orc oracle.Oracle, opts EstimateOptions) float64 {
+	opts.setDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x9e3779b9))
+	inputs := metrics.RandomInputSet(locked, opts.NProbe, rng)
+	oracleU := make([][]float64, len(inputs))
+	for j, x := range inputs {
+		oracleU[j] = oracle.Uncertainties(oracle.SignalProbs(orc, x, opts.Ns))
+	}
+	randKeys := make([][]bool, opts.NKeys)
+	for i := range randKeys {
+		randKeys[i] = locked.RandomKey(rng)
+	}
+
+	best, bestFrac := 1e-4, -1.0
+	for eps := 1e-4; eps <= 0.25; eps *= opts.Step {
+		match, total := 0, 0
+		for j, x := range inputs {
+			// Average simulated uncertainty over the random keys.
+			simU := make([]float64, locked.NumPOs())
+			for ki, k := range randKeys {
+				sim := oracle.NewProbabilistic(locked, k, eps, opts.Seed+int64(ki)*131+int64(j))
+				u := oracle.Uncertainties(oracle.SignalProbs(sim, x, opts.Ns))
+				for i := range u {
+					simU[i] += u[i]
+				}
+			}
+			for i := range simU {
+				simU[i] /= float64(opts.NKeys)
+				tol := opts.AbsTol
+				if r := opts.RelTol * oracleU[j][i]; r > tol {
+					tol = r
+				}
+				if math.Abs(simU[i]-oracleU[j][i]) <= tol {
+					match++
+				}
+				total++
+			}
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(match) / float64(total)
+		}
+		if frac >= 0.5 {
+			return eps
+		}
+		if frac > bestFrac {
+			best, bestFrac = eps, frac
+		}
+	}
+	// The stopping rule never triggered: fall back to the best-matching
+	// grid point instead of the grid maximum.
+	return best
+}

@@ -1,0 +1,117 @@
+// Package errprop estimates per-output bit error ratios (BERs) of a
+// probabilistic circuit for a specific input/key assignment using the
+// Boolean Difference Calculus style of probabilistic error propagation
+// (Mohyuddin et al.), which §IV-C of the paper relies on.
+//
+// Model: every logic gate inverts its computed output with probability
+// eps, independently. For a concrete input vector the deterministic
+// value of every wire is known; the propagated quantity is the
+// probability that a wire's actual value differs from its
+// deterministic value. Gate inputs are treated as independent (the
+// standard approximation — reconvergent fanout correlations are
+// ignored, which is why the paper calls the estimate "rough").
+package errprop
+
+import (
+	"fmt"
+
+	"statsat/internal/circuit"
+)
+
+// MaxEnumFanin bounds the exact flip-pattern enumeration per gate.
+const MaxEnumFanin = 16
+
+// WireErrorProbs returns, for every gate ID, the probability that the
+// wire's value differs from its deterministic value, for input x, key
+// k and per-gate error probability eps.
+func WireErrorProbs(c *circuit.Circuit, x, k []bool, eps float64) ([]float64, error) {
+	if eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("errprop: eps %v out of [0,1]", eps)
+	}
+	vals := c.EvalWires(x, k, nil)
+	p := make([]float64, c.NumGates())
+	var faninVals [MaxEnumFanin]bool
+	var faninErrs [MaxEnumFanin]float64
+	var flipped [MaxEnumFanin]bool
+	for _, id := range c.MustTopoOrder() {
+		g := &c.Gates[id]
+		if g.Type.IsInputType() {
+			p[id] = 0 // inputs and constants are noise-free
+			continue
+		}
+		n := len(g.Fanin)
+		if n > MaxEnumFanin {
+			return nil, fmt.Errorf("errprop: gate %d (%s) fanin %d exceeds enumeration limit %d",
+				id, g.Name, n, MaxEnumFanin)
+		}
+		for i, f := range g.Fanin {
+			faninVals[i] = vals[f]
+			faninErrs[i] = p[f]
+		}
+		correct := vals[id]
+		// q = P(gate function over (possibly flipped) inputs differs
+		// from the deterministic output), enumerating flip patterns.
+		q := 0.0
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			prob := 1.0
+			for i := 0; i < n; i++ {
+				if mask>>uint(i)&1 == 1 {
+					prob *= faninErrs[i]
+					flipped[i] = !faninVals[i]
+				} else {
+					prob *= 1 - faninErrs[i]
+					flipped[i] = faninVals[i]
+				}
+			}
+			if prob == 0 {
+				continue
+			}
+			if g.Type.Eval(flipped[:n]) != correct {
+				q += prob
+			}
+		}
+		// Fold in the gate's own flip: wrong iff exactly one of
+		// (inputs made it wrong, gate flipped).
+		p[id] = q*(1-eps) + (1-q)*eps
+	}
+	return p, nil
+}
+
+// OutputBERs returns the per-output BER estimate for input x and key k
+// under gate error eps (the attacker's E vector of §IV-C for one
+// candidate key).
+func OutputBERs(c *circuit.Circuit, x, k []bool, eps float64) ([]float64, error) {
+	p, err := WireErrorProbs(c, x, k, eps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, c.NumPOs())
+	for i, po := range c.POs {
+		out[i] = p[po]
+	}
+	return out, nil
+}
+
+// AverageOutputBERs averages OutputBERs over several candidate keys,
+// exactly as §IV-C prescribes: the satisfying keys of the previous
+// DIPs each yield a BER estimate; their mean is the E used for
+// thresholding. Returns an error if keys is empty.
+func AverageOutputBERs(c *circuit.Circuit, x []bool, keys [][]bool, eps float64) ([]float64, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("errprop: no candidate keys to average over")
+	}
+	acc := make([]float64, c.NumPOs())
+	for _, k := range keys {
+		e, err := OutputBERs(c, x, k, eps)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range e {
+			acc[i] += v
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(len(keys))
+	}
+	return acc, nil
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Figures 4-6 re-plot the Table II / Table III runs rather than
+// re-running them; a process-local memo keyed by profile and circuit
+// selection keeps `-exp all` from paying for the sweeps twice.
+// Experiment functions remain deterministic in (profile, circuit
+// list), so caching cannot change results.
+var (
+	cacheMu      sync.Mutex
+	tableIIMemo  = map[string][]TableIIRow{}
+	tableIIIMemo = map[string][]TableIIIRow{}
+)
+
+func cacheKey(p Profile, circuits []string) string {
+	return fmt.Sprintf("%s|scale=%d|ns=%d|eps=%g|pts=%d|ninst=%d|%s",
+		p.Name, p.Scale, p.Ns, p.EpsFactor, p.EpsPoints, p.MaxNInst,
+		strings.Join(circuits, ","))
+}
+
+func tableIICached(p Profile) ([]TableIIRow, error) {
+	key := cacheKey(p, tableIICircuits)
+	cacheMu.Lock()
+	rows, ok := tableIIMemo[key]
+	cacheMu.Unlock()
+	if ok {
+		return rows, nil
+	}
+	rows, err := TableII(p, io.Discard)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	tableIIMemo[key] = rows
+	cacheMu.Unlock()
+	return rows, nil
+}
+
+func tableIIICached(p Profile) ([]TableIIIRow, error) {
+	key := cacheKey(p, tableIIICircuits)
+	cacheMu.Lock()
+	rows, ok := tableIIIMemo[key]
+	cacheMu.Unlock()
+	if ok {
+		return rows, nil
+	}
+	rows, err := TableIII(p, io.Discard)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	tableIIIMemo[key] = rows
+	cacheMu.Unlock()
+	return rows, nil
+}
+
+// storeTableII primes the cache (TableII calls it so an explicit
+// table2 run also feeds later fig4/fig5 calls).
+func storeTableII(p Profile, rows []TableIIRow) {
+	cacheMu.Lock()
+	tableIIMemo[cacheKey(p, tableIICircuits)] = rows
+	cacheMu.Unlock()
+}
+
+func storeTableIII(p Profile, rows []TableIIIRow) {
+	cacheMu.Lock()
+	tableIIIMemo[cacheKey(p, tableIIICircuits)] = rows
+	cacheMu.Unlock()
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+)
+
+// WriteCSV emits any experiment row slice (e.g. []TableIIRow,
+// []Fig6Point) as CSV with a header row derived from the struct field
+// names. Unexported and non-scalar fields are skipped.
+func WriteCSV(w io.Writer, rows interface{}) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("exp: WriteCSV wants a slice, got %T", rows)
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if v.Len() == 0 {
+		return nil
+	}
+	t := v.Index(0).Type()
+	if t.Kind() != reflect.Struct {
+		return fmt.Errorf("exp: WriteCSV wants a slice of structs, got %T", rows)
+	}
+	var cols []int
+	var header []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" { // unexported
+			continue
+		}
+		switch f.Type.Kind() {
+		case reflect.String, reflect.Bool,
+			reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64:
+			cols = append(cols, i)
+			header = append(header, f.Name)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(cols))
+	for r := 0; r < v.Len(); r++ {
+		row := v.Index(r)
+		for j, i := range cols {
+			rec[j] = formatCSVValue(row.Field(i))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatCSVValue(v reflect.Value) string {
+	switch v.Kind() {
+	case reflect.String:
+		return v.String()
+	case reflect.Bool:
+		return strconv.FormatBool(v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return strconv.FormatInt(v.Int(), 10)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return strconv.FormatUint(v.Uint(), 10)
+	case reflect.Float32, reflect.Float64:
+		return strconv.FormatFloat(v.Float(), 'g', 6, 64)
+	}
+	return ""
+}

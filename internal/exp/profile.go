@@ -1,0 +1,167 @@
+// Package exp is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§V) — Table I (benchmarks),
+// Table II (N_inst vs eps_g), Table III (HD vs N_inst), Table IV
+// (estimated eps'_g), Table V (PSAT comparison), Fig. 4 (iterations),
+// Fig. 5 (attack/eval time) and Fig. 6 (FM vs total time) — plus the
+// ablations called out in DESIGN.md §5.
+//
+// Experiments run under a Profile: "paper" keeps the published
+// parameters (full-size circuits, Ns=500, N_eval=2000, 16-bit SFLL
+// keys) and takes hours; "quick" scales circuits and sampling down so
+// the full suite finishes in minutes while preserving every trend the
+// paper claims; "smoke" is for unit tests and the bench harness.
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Profile fixes every knob of an experiment run.
+type Profile struct {
+	Name string
+	// Scale divides benchmark gate counts (1 = published size).
+	Scale int
+	// Attack-side parameters (paper: 500 / 100 / 2000).
+	Ns     int
+	NSatis int
+	NEval  int
+	EvalNs int
+	// Key widths: the paper uses 16-bit SFLL-HD keys, a 253-bit SLL
+	// key on ex1010, and 32-bit keys on c880 (Table V).
+	SFLLKeyBits int
+	SLLKeyBits  int
+	C880KeyBits int
+	// BER measurement (Table II: 100 random inputs).
+	BERInputs  int
+	BERSamples int
+	// MaxNInst caps the N_inst doubling search.
+	MaxNInst int
+	// EpsFactor rescales the paper's eps_g percentages: scaled-down
+	// stand-in circuits are shallower, so the same gate error yields
+	// lower output BERs; a factor > 1 restores comparable BER levels.
+	EpsFactor float64
+	// EpsPoints limits how many eps_g rows run per circuit (0 = all).
+	EpsPoints int
+	// Runs is the number of repetitions for Table V (paper: 20).
+	Runs int
+	// MaxTotalIter is the per-attack iteration safety net.
+	MaxTotalIter int
+	// Seed namespaces all randomness.
+	Seed int64
+}
+
+// Paper reproduces the published setup. Expect multi-hour runtimes.
+var Paper = Profile{
+	Name:        "paper",
+	Scale:       1,
+	Ns:          500,
+	NSatis:      100,
+	NEval:       2000,
+	EvalNs:      500,
+	SFLLKeyBits: 16,
+	SLLKeyBits:  253,
+	C880KeyBits: 32,
+	BERInputs:   100,
+	BERSamples:  500,
+	MaxNInst:    64,
+	EpsFactor:   1,
+	Runs:        20,
+
+	MaxTotalIter: 200000,
+	Seed:         20200720,
+}
+
+// Quick preserves the paper's trends at CI-friendly cost (minutes).
+var Quick = Profile{
+	Name:        "quick",
+	Scale:       16,
+	Ns:          512,
+	NSatis:      16,
+	NEval:       100,
+	EvalNs:      256,
+	SFLLKeyBits: 8,
+	SLLKeyBits:  24,
+	C880KeyBits: 16,
+	BERInputs:   64,
+	BERSamples:  256,
+	MaxNInst:    64,
+	EpsFactor:   1.5,
+	Runs:        8,
+
+	MaxTotalIter: 6000,
+	Seed:         20200720,
+}
+
+// Smoke is for unit tests: seconds, trends still visible on the
+// smallest circuits.
+var Smoke = Profile{
+	Name:        "smoke",
+	Scale:       48,
+	Ns:          128,
+	NSatis:      8,
+	NEval:       25,
+	EvalNs:      128,
+	SFLLKeyBits: 6,
+	SLLKeyBits:  10,
+	C880KeyBits: 10,
+	BERInputs:   15,
+	BERSamples:  60,
+	MaxNInst:    8,
+	EpsFactor:   2.5,
+	EpsPoints:   2,
+	Runs:        3,
+
+	MaxTotalIter: 2500,
+	Seed:         20200720,
+}
+
+// ProfileByName resolves "paper", "quick" or "smoke".
+func ProfileByName(name string) (Profile, bool) {
+	switch name {
+	case "paper":
+		return Paper, true
+	case "quick":
+		return Quick, true
+	case "smoke":
+		return Smoke, true
+	}
+	return Profile{}, false
+}
+
+// epsList returns the profile-adjusted eps_g values (fractions, not
+// percent) for a circuit, honouring EpsPoints.
+func (p Profile) epsList(paperPct []float64) []float64 {
+	n := len(paperPct)
+	if p.EpsPoints > 0 && p.EpsPoints < n {
+		n = p.EpsPoints
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = paperPct[i] / 100 * p.EpsFactor
+	}
+	return out
+}
+
+// paperEps lists Table II's eps_g points (percent) per circuit, plus
+// Table V's c880 points.
+var paperEps = map[string][]float64{
+	"c3540":  {1.25, 1.50, 1.75, 2.00},
+	"c7552":  {2.00, 2.25, 2.50, 3.00},
+	"seq":    {6.0, 7.0, 8.0, 9.0},
+	"b14":    {0.50, 0.75, 0.80, 0.85},
+	"ex1010": {0.4, 0.5, 0.6},
+	"b15":    {0.2, 0.4, 0.5, 0.6},
+	"c880":   {1.0, 1.5, 2.0},
+}
+
+// labels A, B, C, D used in the paper's tables and figure axes.
+func epsLabel(i int) string { return string(rune('A' + i)) }
+
+// hr prints a horizontal rule.
+func hr(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"statsat/internal/metrics"
+	"statsat/internal/oracle"
+)
+
+// SweepRow is one point of the Ns sweep: the oracle-sampling budget
+// per distinguishing input against attack success and key quality.
+// The paper fixes Ns=500 and notes T_eval ∝ Ns; this sweep makes the
+// underlying trade-off explicit and adds the analytic sampling-noise
+// floor (metrics.SamplingHDFloor) that explains the HD(K*) of exactly
+// correct keys.
+type SweepRow struct {
+	Bench         string
+	EpsPct        float64
+	Ns            int
+	Correct       bool
+	HDBest        float64
+	HDFloor       float64
+	OracleQueries int64
+	AttackSecs    float64
+}
+
+// SweepNs runs StatSAT on one mid-noise workload across sampling
+// budgets Ns ∈ {32, 64, ..., p.Ns}.
+func SweepNs(p Profile, w io.Writer) ([]SweepRow, error) {
+	wl, err := BuildWorkload(p, "c3540")
+	if err != nil {
+		return nil, err
+	}
+	epsPts := p.epsList(paperEps["c3540"])
+	eps := epsPts[min(1, len(epsPts)-1)]
+
+	fmt.Fprintf(w, "SWEEP: HD(K*) and success vs oracle sampling budget Ns on %s at eps=%.2f%% (profile %s)\n",
+		wl.Orig.Name, eps*100, p.Name)
+	fmt.Fprintf(w, "%6s %5s %9s %10s %10s %9s\n", "Ns", "corr", "HD(K*)", "HDfloor", "queries", "T_atk(s)")
+	hr(w, 56)
+
+	var rows []SweepRow
+	for ns := 32; ns <= p.Ns; ns *= 2 {
+		opts := p.attackOpts(eps, p.MaxNInst/2+1, p.Seed+int64(ns))
+		opts.Ns = ns
+		opts.EvalNs = ns
+		out, err := runAttack(wl, eps, opts, p.Seed+int64(ns)*331)
+		if err != nil {
+			return nil, err
+		}
+		row := SweepRow{Bench: wl.Orig.Name, EpsPct: eps * 100, Ns: ns}
+		if out.Res != nil && out.Res.Best != nil {
+			row.Correct = out.CorrectAny
+			row.HDBest = out.Res.Best.HD
+			row.OracleQueries = out.Res.OracleQueries
+			row.AttackSecs = out.Res.AttackDuration.Seconds()
+		}
+		// Analytic floor for this Ns (fresh oracle, modest estimate).
+		orc := oracle.NewProbabilistic(wl.Locked.Circuit, wl.Locked.Key, eps, p.Seed+int64(ns)+5)
+		rngInputs := metrics.RandomInputSet(wl.Locked.Circuit, 10, newSeededRand(p.Seed+int64(ns)))
+		row.HDFloor = metrics.SamplingHDFloor(orc, rngInputs, ns, 2048)
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%6d %5v %9.4f %10.4f %10d %9.2f\n",
+			row.Ns, row.Correct, row.HDBest, row.HDFloor, row.OracleQueries, row.AttackSecs)
+	}
+	fmt.Fprintln(w, "\nReading: HD(K*) of a correct key tracks the sampling floor ~ 1/sqrt(Ns);")
+	fmt.Fprintln(w, "the paper's remark that HD(K*) is pure sampling error is quantitative.")
+	return rows, nil
+}

@@ -1,0 +1,208 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestC17(t *testing.T) {
+	c := C17()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.Inputs != 5 || s.Gates != 6 || s.Outputs != 2 {
+		t.Errorf("c17 summary = %+v", s)
+	}
+	// Known vector: all ones → 22=NAND(10,16); 10=NAND(1,1)=0 → 22=1.
+	out := c.Eval([]bool{true, true, true, true, true}, nil, nil)
+	if out[0] != true {
+		t.Errorf("c17(11111)[0] = %v, want true", out[0])
+	}
+}
+
+func TestRandomDimensions(t *testing.T) {
+	c := Random("r", 12, 200, 9, 42)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.Inputs != 12 || s.Gates != 200 || s.Outputs != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Depth < 3 {
+		t.Errorf("depth %d suspiciously small for 200 gates", s.Depth)
+	}
+}
+
+func TestRandomDeterministicInSeed(t *testing.T) {
+	a := Random("a", 10, 150, 6, 7)
+	b := Random("b", 10, 150, 6, 7)
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("same seed, different gate count")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type || len(a.Gates[i].Fanin) != len(b.Gates[i].Fanin) {
+			t.Fatalf("gate %d differs between same-seed builds", i)
+		}
+		for j := range a.Gates[i].Fanin {
+			if a.Gates[i].Fanin[j] != b.Gates[i].Fanin[j] {
+				t.Fatalf("gate %d fanin differs", i)
+			}
+		}
+	}
+	for i := range a.POs {
+		if a.POs[i] != b.POs[i] {
+			t.Fatal("outputs differ between same-seed builds")
+		}
+	}
+}
+
+func TestRandomDifferentSeedsDiffer(t *testing.T) {
+	a := Random("a", 10, 150, 6, 1)
+	b := Random("b", 10, 150, 6, 2)
+	same := true
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical gate types (astronomically unlikely)")
+	}
+}
+
+func TestRandomAllInputsUsed(t *testing.T) {
+	c := Random("r", 20, 100, 5, 3)
+	fan := c.Fanouts()
+	for i, id := range c.PIs {
+		if len(fan[id]) == 0 {
+			t.Errorf("input %d unused", i)
+		}
+	}
+}
+
+func TestRandomMostGatesObservable(t *testing.T) {
+	c := Random("r", 15, 400, 12, 11)
+	reach := c.ReachesOutput()
+	obs := 0
+	for id := range c.Gates {
+		if reach[id] {
+			obs++
+		}
+	}
+	frac := float64(obs) / float64(c.NumGates())
+	if frac < 0.5 {
+		t.Errorf("only %.0f%% of gates observable; generator degenerated", 100*frac)
+	}
+}
+
+func TestRandomOutputsDistinct(t *testing.T) {
+	c := Random("r", 8, 60, 10, 5)
+	seen := map[int]bool{}
+	for _, po := range c.POs {
+		if seen[po] {
+			t.Fatalf("duplicate output driver %d", po)
+		}
+		seen[po] = true
+	}
+}
+
+func TestRandomPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for zero inputs")
+		}
+	}()
+	Random("bad", 0, 10, 1, 1)
+}
+
+func TestTableIInventory(t *testing.T) {
+	wantNames := []string{"c3540", "c7552", "ex1010", "seq", "b14", "b15", "c880"}
+	if len(TableI) != len(wantNames) {
+		t.Fatalf("TableI has %d entries", len(TableI))
+	}
+	for i, n := range wantNames {
+		if TableI[i].Name != n {
+			t.Errorf("TableI[%d] = %s, want %s", i, TableI[i].Name, n)
+		}
+	}
+	if b, ok := ByName("c3540"); !ok || b.Gates != 1669 || b.Inputs != 50 || b.Outputs != 22 {
+		t.Errorf("c3540 entry wrong: %+v", b)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName should miss unknown circuits")
+	}
+}
+
+func TestBuildFullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size synthesis in -short mode")
+	}
+	b, _ := ByName("c3540")
+	c := b.Build()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.Inputs != 50 || s.Gates != 1669 || s.Outputs != 22 {
+		t.Errorf("c3540-syn summary = %+v, want published dims", s)
+	}
+}
+
+func TestBuildScaled(t *testing.T) {
+	b, _ := ByName("b14")
+	c := b.BuildScaled(16)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summary()
+	if s.Gates != 9767/16 {
+		t.Errorf("scaled gates = %d, want %d", s.Gates, 9767/16)
+	}
+	if s.Inputs != 277/2 || s.Outputs != 299/2 {
+		t.Errorf("scaled interface = %d/%d", s.Inputs, s.Outputs)
+	}
+	if c.Name != "b14-s16" {
+		t.Errorf("scaled name = %q", c.Name)
+	}
+}
+
+func TestBuildScaledFloors(t *testing.T) {
+	b := Benchmark{Name: "tiny", Inputs: 6, Gates: 30, Outputs: 3, Seed: 1}
+	c := b.BuildScaled(1000)
+	s := c.Summary()
+	if s.Gates < 20 || s.Inputs < 5 || s.Outputs < 2 {
+		t.Errorf("floors not applied: %+v", s)
+	}
+	if d := b.BuildScaled(0); d.Summary().Gates != 30 {
+		t.Error("scale<1 should clamp to 1")
+	}
+}
+
+func TestScaledCircuitsAttackableShape(t *testing.T) {
+	// Every Table I stand-in at scale 16 must validate and evaluate.
+	for _, b := range TableI {
+		c := b.BuildScaled(16)
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+			continue
+		}
+		var pi []bool
+		for range c.PIs {
+			pi = append(pi, true)
+		}
+		out := c.Eval(pi, nil, nil)
+		if len(out) != c.NumPOs() {
+			t.Errorf("%s: eval output width %d", b.Name, len(out))
+		}
+	}
+}
+
+func BenchmarkBuildC3540Full(b *testing.B) {
+	bm, _ := ByName("c3540")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bm.Build()
+	}
+}

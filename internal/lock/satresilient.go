@@ -1,0 +1,149 @@
+package lock
+
+import (
+	"fmt"
+	"math/rand"
+
+	"statsat/internal/circuit"
+)
+
+// AntiSAT implements the Anti-SAT block (Xie & Srivastava, CHES'16 —
+// reference [17] of the paper): two complementary AND-comparator
+// functions over the same protected inputs,
+//
+//	f = AND(X_p ⊕ K1) ∧ ¬AND(X_p ⊕ K2),
+//
+// XOR-ed into one primary output. f is identically 0 exactly when
+// K1 == K2, so every key (r, r) is correct; any K1 ≠ K2 corrupts at
+// least the input X_p = ¬K1. Each distinguishing input eliminates only
+// a handful of wrong keys, which is what makes the classic SAT attack
+// take ~2^(keyBits/2) iterations.
+//
+// keyBits must be even: the first half drives K1, the second K2.
+func AntiSAT(orig *circuit.Circuit, keyBits int, rng *rand.Rand) (*Locked, error) {
+	if keyBits <= 0 {
+		return nil, ErrNoKeys
+	}
+	if keyBits%2 != 0 {
+		return nil, fmt.Errorf("lock: Anti-SAT needs an even key width, got %d", keyBits)
+	}
+	if orig.NumKeys() != 0 {
+		return nil, fmt.Errorf("lock: circuit %q already carries %d key inputs", orig.Name, orig.NumKeys())
+	}
+	n := keyBits / 2
+	if n > orig.NumPIs() {
+		return nil, fmt.Errorf("lock: Anti-SAT needs %d protected inputs, circuit has %d", n, orig.NumPIs())
+	}
+	if orig.NumPOs() == 0 {
+		return nil, fmt.Errorf("lock: circuit %q has no outputs to protect", orig.Name)
+	}
+	c := orig.Clone()
+	c.Name = orig.Name + "-antisat"
+	perm := rng.Perm(c.NumPIs())[:n]
+	prot := make([]int, n)
+	for i, p := range perm {
+		prot[i] = c.PIs[p]
+	}
+	// Key inputs: K1 then K2.
+	k1 := make([]int, n)
+	k2 := make([]int, n)
+	for i := 0; i < n; i++ {
+		k1[i] = c.AddKey(fmt.Sprintf("keyinput%d", i))
+	}
+	for i := 0; i < n; i++ {
+		k2[i] = c.AddKey(fmt.Sprintf("keyinput%d", n+i))
+	}
+	and1 := comparatorAND(c, prot, k1, "as1")
+	and2 := comparatorAND(c, prot, k2, "as2")
+	n2 := c.AddGate(circuit.Not, "as_n2", and2)
+	f := c.AddGate(circuit.And, "as_f", and1, n2)
+	drv := c.POs[0]
+	c.POs[0] = c.AddGate(circuit.Xor, "as_flip", drv, f)
+
+	// Correct key: K1 = K2 = r.
+	r := make([]bool, n)
+	for i := range r {
+		r[i] = rng.Intn(2) == 1
+	}
+	key := append(append([]bool(nil), r...), r...)
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("lock: Anti-SAT produced invalid netlist: %w", err)
+	}
+	return &Locked{Circuit: c, Key: key, Technique: "Anti-SAT"}, nil
+}
+
+// comparatorAND builds AND over (x_i ⊕ k_i) — true exactly when
+// X == ¬K.
+func comparatorAND(c *circuit.Circuit, xs, ks []int, prefix string) int {
+	eqs := make([]int, len(xs))
+	for i := range xs {
+		eqs[i] = c.AddGate(circuit.Xor, fmt.Sprintf("%s_x%d", prefix, i), xs[i], ks[i])
+	}
+	return andTree(c, eqs, prefix+"_and")
+}
+
+// SARLock implements SARLock (Yasin et al., HOST'16 — reference [18]
+// of the paper): the protected output is flipped for the single input
+// pattern that matches the key, except when the key is the correct
+// one:
+//
+//	flip = [X_p == K] ∧ [K ≠ K*],
+//
+// with K* hardwired. Every distinguishing input eliminates exactly one
+// wrong key, forcing the classic SAT attack through ~2^keyBits
+// iterations.
+func SARLock(orig *circuit.Circuit, keyBits int, rng *rand.Rand) (*Locked, error) {
+	if keyBits <= 0 {
+		return nil, ErrNoKeys
+	}
+	if orig.NumKeys() != 0 {
+		return nil, fmt.Errorf("lock: circuit %q already carries %d key inputs", orig.Name, orig.NumKeys())
+	}
+	if keyBits > orig.NumPIs() {
+		return nil, fmt.Errorf("lock: SARLock needs %d protected inputs, circuit has %d", keyBits, orig.NumPIs())
+	}
+	if orig.NumPOs() == 0 {
+		return nil, fmt.Errorf("lock: circuit %q has no outputs to protect", orig.Name)
+	}
+	c := orig.Clone()
+	c.Name = orig.Name + "-sarlock"
+	perm := rng.Perm(c.NumPIs())[:keyBits]
+	prot := make([]int, keyBits)
+	for i, p := range perm {
+		prot[i] = c.PIs[p]
+	}
+	keys := make([]int, keyBits)
+	for i := range keys {
+		keys[i] = c.AddKey(fmt.Sprintf("keyinput%d", i))
+	}
+	// [X_p == K]: AND over XNOR(x_i, k_i).
+	eqs := make([]int, keyBits)
+	for i := range eqs {
+		eqs[i] = c.AddGate(circuit.Xnor, fmt.Sprintf("sar_eq%d", i), prot[i], keys[i])
+	}
+	match := andTree(c, eqs, "sar_match")
+
+	// [K == K*] with K* hardwired.
+	kstar := make([]bool, keyBits)
+	for i := range kstar {
+		kstar[i] = rng.Intn(2) == 1
+	}
+	eqk := make([]int, keyBits)
+	for i := range eqk {
+		if kstar[i] {
+			eqk[i] = c.AddGate(circuit.Buf, fmt.Sprintf("sar_kc%d", i), keys[i])
+		} else {
+			eqk[i] = c.AddGate(circuit.Not, fmt.Sprintf("sar_kc%d", i), keys[i])
+		}
+	}
+	isCorrect := andTree(c, eqk, "sar_kand")
+	notCorrect := c.AddGate(circuit.Not, "sar_nk", isCorrect)
+	flip := c.AddGate(circuit.And, "sar_flip", match, notCorrect)
+	drv := c.POs[0]
+	c.POs[0] = c.AddGate(circuit.Xor, "sar_out", drv, flip)
+
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("lock: SARLock produced invalid netlist: %w", err)
+	}
+	return &Locked{Circuit: c, Key: kstar, Technique: "SARLock"}, nil
+}

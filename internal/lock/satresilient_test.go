@@ -1,0 +1,180 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+
+	"statsat/internal/gen"
+)
+
+func TestAntiSATCorrectKeyRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := gen.C17()
+	l, err := AntiSAT(orig, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Circuit.NumKeys() != 6 {
+		t.Fatalf("keys = %d", l.Circuit.NumKeys())
+	}
+	if !exhaustiveEquiv(t, orig, l, l.Key) {
+		t.Error("correct key fails")
+	}
+	if l.Technique != "Anti-SAT" {
+		t.Errorf("technique = %q", l.Technique)
+	}
+}
+
+func TestAntiSATAnyEqualHalvesCorrect(t *testing.T) {
+	// Anti-SAT's equivalence class: every key with K1 == K2 restores
+	// the function.
+	rng := rand.New(rand.NewSource(2))
+	orig := gen.C17()
+	l, err := AntiSAT(orig, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		r := make([]bool, 4)
+		for i := range r {
+			r[i] = rng.Intn(2) == 1
+		}
+		key := append(append([]bool(nil), r...), r...)
+		if !exhaustiveEquiv(t, orig, l, key) {
+			t.Errorf("K1==K2 key %v should be correct", key)
+		}
+	}
+}
+
+func TestAntiSATMismatchedHalvesCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := gen.C17()
+	l, err := AntiSAT(orig, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := append([]bool(nil), l.Key...)
+	wrong[0] = !wrong[0] // K1 ≠ K2 now
+	if exhaustiveEquiv(t, orig, l, wrong) {
+		t.Error("mismatched halves should corrupt some input")
+	}
+}
+
+func TestAntiSATErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	orig := gen.C17()
+	if _, err := AntiSAT(orig, 0, rng); err == nil {
+		t.Error("want error for 0 keys")
+	}
+	if _, err := AntiSAT(orig, 5, rng); err == nil {
+		t.Error("want error for odd key width")
+	}
+	if _, err := AntiSAT(orig, 20, rng); err == nil {
+		t.Error("want error for too many protected inputs")
+	}
+	l, _ := RLL(orig, 2, rng)
+	if _, err := AntiSAT(l.Circuit, 4, rng); err == nil {
+		t.Error("want error for re-locking")
+	}
+}
+
+func TestSARLockCorrectKeyRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	orig := gen.C17()
+	l, err := SARLock(orig, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exhaustiveEquiv(t, orig, l, l.Key) {
+		t.Error("correct key fails")
+	}
+	if l.Technique != "SARLock" {
+		t.Errorf("technique = %q", l.Technique)
+	}
+}
+
+func TestSARLockWrongKeyCorruptsExactlyItsCube(t *testing.T) {
+	// A wrong key K corrupts exactly the inputs with X_p == K (one
+	// cube of the protected subspace).
+	rng := rand.New(rand.NewSource(6))
+	orig := gen.C17()
+	l, err := SARLock(orig, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := append([]bool(nil), l.Key...)
+	wrong[1] = !wrong[1]
+	diffs := 0
+	pi := make([]bool, 5)
+	for m := 0; m < 32; m++ {
+		for b := 0; b < 5; b++ {
+			pi[b] = m>>uint(b)&1 == 1
+		}
+		a := orig.Eval(pi, nil, nil)
+		g := l.Circuit.Eval(pi, wrong, nil)
+		for i := range a {
+			if a[i] != g[i] {
+				diffs++
+				break
+			}
+		}
+	}
+	// 4 protected bits of 5 inputs: the wrong cube covers 2 patterns.
+	if diffs != 2 {
+		t.Errorf("wrong key corrupts %d/32 patterns, want 2", diffs)
+	}
+}
+
+func TestSARLockAllWrongKeysCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	orig := gen.C17()
+	l, err := SARLock(orig, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correctCount := 0
+	for kb := 0; kb < 8; kb++ {
+		key := []bool{kb&1 == 1, kb&2 == 2, kb&4 == 4}
+		if exhaustiveEquiv(t, orig, l, key) {
+			correctCount++
+		}
+	}
+	if correctCount != 1 {
+		t.Errorf("%d keys restore the function, want exactly 1", correctCount)
+	}
+}
+
+func TestSARLockErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	orig := gen.C17()
+	if _, err := SARLock(orig, 0, rng); err == nil {
+		t.Error("want error for 0 keys")
+	}
+	if _, err := SARLock(orig, 9, rng); err == nil {
+		t.Error("want error for too many protected inputs")
+	}
+	l, _ := RLL(orig, 2, rng)
+	if _, err := SARLock(l.Circuit, 3, rng); err == nil {
+		t.Error("want error for re-locking")
+	}
+}
+
+func TestSATResilientOnLargerCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	orig := gen.Random("big", 20, 300, 10, 77)
+	for _, mk := range []struct {
+		name string
+		f    func() (*Locked, error)
+	}{
+		{"antisat", func() (*Locked, error) { return AntiSAT(orig, 12, rng) }},
+		{"sarlock", func() (*Locked, error) { return SARLock(orig, 10, rng) }},
+	} {
+		l, err := mk.f()
+		if err != nil {
+			t.Fatalf("%s: %v", mk.name, err)
+		}
+		if !sampledEquiv(orig, l, l.Key, 300, rng) {
+			t.Errorf("%s: correct key fails", mk.name)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package metrics implements the paper's evaluation quantities: the
+// figure of merit FM(K) (eq. 7), the signal-probability Hamming
+// distance HD(K) (eq. 8), measured oracle BERs (Table II columns) and
+// SAT-based key equivalence checking (used to decide whether an attack
+// recovered "the correct key").
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"statsat/internal/circuit"
+	"statsat/internal/cnf"
+	"statsat/internal/oracle"
+	"statsat/internal/sat"
+)
+
+// FM computes the figure of merit of eq. 7 from two signal-probability
+// matrices indexed [input j][output i]: the per-output maximum
+// absolute difference over the evaluation inputs, averaged over
+// outputs. Smaller is better.
+func FM(oracleProbs, keyProbs [][]float64) float64 {
+	if len(oracleProbs) != len(keyProbs) || len(oracleProbs) == 0 {
+		panic("metrics: FM needs equal, non-empty probability matrices")
+	}
+	n := len(oracleProbs[0])
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		maxDiff := 0.0
+		for j := range oracleProbs {
+			d := math.Abs(oracleProbs[j][i] - keyProbs[j][i])
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+		sum += maxDiff
+	}
+	return sum / float64(n)
+}
+
+// HD computes the average signal-probability Hamming distance of
+// eq. 8: the per-input mean absolute difference over outputs,
+// averaged over the evaluation inputs.
+func HD(oracleProbs, keyProbs [][]float64) float64 {
+	if len(oracleProbs) != len(keyProbs) || len(oracleProbs) == 0 {
+		panic("metrics: HD needs equal, non-empty probability matrices")
+	}
+	n := float64(len(oracleProbs[0]))
+	total := 0.0
+	for j := range oracleProbs {
+		rowSum := 0.0
+		for i := range oracleProbs[j] {
+			rowSum += math.Abs(oracleProbs[j][i] - keyProbs[j][i])
+		}
+		total += rowSum / n
+	}
+	return total / float64(len(oracleProbs))
+}
+
+// BERStats reports measured oracle BERs (Table II's "Avg. BER" and
+// "Max. BER" columns).
+type BERStats struct {
+	Avg float64
+	Max float64
+}
+
+// MeasureBER samples the probabilistic oracle ns times on each of
+// nInputs random vectors and reports the average and maximum
+// per-(input, output) bit error ratio relative to the deterministic
+// reference behaviour.
+func MeasureBER(c *circuit.Circuit, key []bool, eps float64, nInputs, ns int, seed int64) BERStats {
+	rng := rand.New(rand.NewSource(seed))
+	det := oracle.NewDeterministic(c, key)
+	prob := oracle.NewProbabilistic(c, key, eps, seed+1)
+	var stats BERStats
+	count := 0
+	for in := 0; in < nInputs; in++ {
+		x := c.RandomInputs(rng)
+		ref := det.Query(x)
+		wrong := make([]int, len(ref))
+		for s := 0; s < ns; s++ {
+			y := prob.Query(x)
+			for i := range y {
+				if y[i] != ref[i] {
+					wrong[i]++
+				}
+			}
+		}
+		for i := range wrong {
+			ber := float64(wrong[i]) / float64(ns)
+			stats.Avg += ber
+			if ber > stats.Max {
+				stats.Max = ber
+			}
+			count++
+		}
+	}
+	if count > 0 {
+		stats.Avg /= float64(count)
+	}
+	return stats
+}
+
+// SignalProbMatrix samples signal probabilities for each input vector
+// (rows) over ns queries each, producing the matrices FM/HD consume.
+func SignalProbMatrix(o oracle.Oracle, inputs [][]bool, ns int) [][]float64 {
+	out := make([][]float64, len(inputs))
+	for j, x := range inputs {
+		out[j] = oracle.SignalProbs(o, x, ns)
+	}
+	return out
+}
+
+// RandomInputSet draws nEval distinct-ish random input vectors for key
+// evaluation (eq. 7's X_1..X_Neval).
+func RandomInputSet(c *circuit.Circuit, nEval int, rng *rand.Rand) [][]bool {
+	out := make([][]bool, nEval)
+	for i := range out {
+		out[i] = c.RandomInputs(rng)
+	}
+	return out
+}
+
+// SamplingHDFloor estimates the HD value that pure sampling noise
+// produces for the *correct* key: even when the unlocked circuit and
+// the oracle have identical signal probabilities p, two independent
+// Ns-sample estimates differ by E|p̂₁-p̂₂| ≈ sqrt(2·p(1-p)/Ns)·sqrt(2/π)
+// per output (normal approximation to the binomial). Table II's remark
+// that "it is only due to sampling error that HD(K*) is non-zero" is
+// quantified by comparing measured HD(K*) against this floor.
+//
+// The true per-(input,output) signal probabilities are estimated from
+// the oracle itself with refNs samples per input (choose refNs >> ns).
+func SamplingHDFloor(o oracle.Oracle, inputs [][]bool, ns, refNs int) float64 {
+	if ns <= 0 || refNs <= 0 {
+		panic("metrics: SamplingHDFloor needs positive sample counts")
+	}
+	const sqrt2OverPi = 0.7978845608028654 // sqrt(2/pi)
+	total := 0.0
+	count := 0
+	for _, x := range inputs {
+		probs := oracle.SignalProbs(o, x, refNs)
+		for _, p := range probs {
+			sd := math.Sqrt(2 * p * (1 - p) / float64(ns))
+			total += sd * sqrt2OverPi
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// KeysEquivalent reports whether two keys induce the same function on
+// the locked circuit, decided exactly with a SAT miter: UNSAT ⇔ no
+// input distinguishes them ⇔ the keys are equivalent (footnote 1 of
+// the paper).
+func KeysEquivalent(locked *circuit.Circuit, keyA, keyB []bool) (bool, error) {
+	if len(keyA) != locked.NumKeys() || len(keyB) != locked.NumKeys() {
+		return false, fmt.Errorf("metrics: key widths %d/%d, circuit has %d", len(keyA), len(keyB), locked.NumKeys())
+	}
+	s := sat.New()
+	pis := cnf.FreshLits(s, locked.NumPIs())
+	ca, err := cnf.Encode(s, locked, cnf.Options{PILits: pis, FixedKeys: keyA})
+	if err != nil {
+		return false, err
+	}
+	cb, err := cnf.Encode(s, locked, cnf.Options{PILits: pis, FixedKeys: keyB})
+	if err != nil {
+		return false, err
+	}
+	cnf.NotEqualAny(s, ca.Outs, cb.Outs)
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, nil
+	case sat.Sat:
+		return false, nil
+	}
+	return false, fmt.Errorf("metrics: equivalence check exceeded budget")
+}
+
+// EquivalentToOriginal reports whether locked circuit + key matches an
+// unlocked reference circuit exactly (same PI order, same PO order).
+func EquivalentToOriginal(locked *circuit.Circuit, key []bool, orig *circuit.Circuit) (bool, error) {
+	if locked.NumPIs() != orig.NumPIs() || locked.NumPOs() != orig.NumPOs() {
+		return false, fmt.Errorf("metrics: interface mismatch (%d/%d PIs, %d/%d POs)",
+			locked.NumPIs(), orig.NumPIs(), locked.NumPOs(), orig.NumPOs())
+	}
+	s := sat.New()
+	pis := cnf.FreshLits(s, locked.NumPIs())
+	cl, err := cnf.Encode(s, locked, cnf.Options{PILits: pis, FixedKeys: key})
+	if err != nil {
+		return false, err
+	}
+	co, err := cnf.Encode(s, orig, cnf.Options{PILits: pis})
+	if err != nil {
+		return false, err
+	}
+	cnf.NotEqualAny(s, cl.Outs, co.Outs)
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, nil
+	case sat.Sat:
+		return false, nil
+	}
+	return false, fmt.Errorf("metrics: equivalence check exceeded budget")
+}

@@ -1,0 +1,296 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"statsat/internal/gen"
+	"statsat/internal/lock"
+	"statsat/internal/oracle"
+)
+
+func TestFMIdenticalMatricesZero(t *testing.T) {
+	m := [][]float64{{0.1, 0.9}, {0.4, 0.6}}
+	if got := FM(m, m); got != 0 {
+		t.Errorf("FM(m,m) = %v", got)
+	}
+	if got := HD(m, m); got != 0 {
+		t.Errorf("HD(m,m) = %v", got)
+	}
+}
+
+func TestFMHandComputed(t *testing.T) {
+	a := [][]float64{{0.0, 1.0}, {0.5, 0.5}}
+	b := [][]float64{{0.2, 0.9}, {0.1, 0.5}}
+	// Output 0 diffs: |0-0.2|=0.2, |0.5-0.1|=0.4 → max 0.4.
+	// Output 1 diffs: 0.1, 0.0 → max 0.1. FM = (0.4+0.1)/2 = 0.25.
+	if got := FM(a, b); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("FM = %v, want 0.25", got)
+	}
+	// HD: row0 mean = (0.2+0.1)/2 = 0.15; row1 = (0.4+0)/2 = 0.2.
+	// HD = 0.175.
+	if got := HD(a, b); math.Abs(got-0.175) > 1e-12 {
+		t.Errorf("HD = %v, want 0.175", got)
+	}
+}
+
+func TestFMPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	FM([][]float64{{1}}, [][]float64{})
+}
+
+func TestHDPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	HD(nil, nil)
+}
+
+func TestFMBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(5), 1+rng.Intn(5)
+		a := make([][]float64, rows)
+		b := make([][]float64, rows)
+		for j := range a {
+			a[j] = make([]float64, cols)
+			b[j] = make([]float64, cols)
+			for i := range a[j] {
+				a[j][i] = rng.Float64()
+				b[j][i] = rng.Float64()
+			}
+		}
+		fm, hd := FM(a, b), HD(a, b)
+		if fm < 0 || fm > 1 || hd < 0 || hd > 1 {
+			t.Fatalf("metrics out of [0,1]: FM=%v HD=%v", fm, hd)
+		}
+		if hd > fm+1e-12 {
+			t.Fatalf("HD (%v) exceeded FM (%v): mean-of-max ≥ mean-of-mean must hold", hd, fm)
+		}
+	}
+}
+
+func TestMeasureBERZeroEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l, err := lock.RLL(gen.C17(), 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MeasureBER(l.Circuit, l.Key, 0, 20, 50, 7)
+	if s.Avg != 0 || s.Max != 0 {
+		t.Errorf("eps=0 BER stats = %+v", s)
+	}
+}
+
+func TestMeasureBERGrowsWithEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bm, _ := gen.ByName("c880")
+	orig := bm.BuildScaled(4)
+	l, err := lock.RLL(orig, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := MeasureBER(l.Circuit, l.Key, 0.005, 20, 100, 7)
+	high := MeasureBER(l.Circuit, l.Key, 0.03, 20, 100, 7)
+	if !(high.Avg > low.Avg) {
+		t.Errorf("avg BER not increasing: %.4f → %.4f", low.Avg, high.Avg)
+	}
+	if high.Max < high.Avg {
+		t.Errorf("max (%v) below avg (%v)", high.Max, high.Avg)
+	}
+}
+
+func TestSignalProbMatrixShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l, err := lock.RLL(gen.C17(), 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oracle.NewProbabilistic(l.Circuit, l.Key, 0.02, 9)
+	inputs := RandomInputSet(l.Circuit, 7, rng)
+	m := SignalProbMatrix(o, inputs, 30)
+	if len(m) != 7 || len(m[0]) != 2 {
+		t.Fatalf("matrix shape %dx%d", len(m), len(m[0]))
+	}
+	for _, row := range m {
+		for _, p := range row {
+			if p < 0 || p > 1 {
+				t.Fatal("probability out of range")
+			}
+		}
+	}
+}
+
+func TestKeysEquivalentExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l, err := lock.RLL(gen.C17(), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := KeysEquivalent(l.Circuit, l.Key, l.Key)
+	if err != nil || !eq {
+		t.Errorf("key not equivalent to itself: %v %v", eq, err)
+	}
+	wrong := append([]bool(nil), l.Key...)
+	wrong[0] = !wrong[0]
+	eq, err = KeysEquivalent(l.Circuit, l.Key, wrong)
+	if err != nil || eq {
+		t.Errorf("flipped XOR key bit reported equivalent: %v %v", eq, err)
+	}
+}
+
+func TestKeysEquivalentSFLLAntipodal(t *testing.T) {
+	// SFLL-HD with h = keyBits/2: the antipodal key is functionally
+	// equivalent; the equivalence checker must agree.
+	rng := rand.New(rand.NewSource(6))
+	l, err := lock.SFLLHD(gen.C17(), 4, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anti := make([]bool, len(l.Key))
+	for i, b := range l.Key {
+		anti[i] = !b
+	}
+	eq, err := KeysEquivalent(l.Circuit, l.Key, anti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("antipodal SFLL-HD^{k/2} key should be equivalent")
+	}
+}
+
+func TestKeysEquivalentWidthError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l, _ := lock.RLL(gen.C17(), 3, rng)
+	if _, err := KeysEquivalent(l.Circuit, []bool{true}, l.Key); err == nil {
+		t.Error("want width error")
+	}
+}
+
+func TestEquivalentToOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	orig := gen.C17()
+	l, err := lock.SLL(orig, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := EquivalentToOriginal(l.Circuit, l.Key, orig)
+	if err != nil || !eq {
+		t.Errorf("correct key should restore original: %v %v", eq, err)
+	}
+	wrong := append([]bool(nil), l.Key...)
+	wrong[2] = !wrong[2]
+	eq, err = EquivalentToOriginal(l.Circuit, wrong, orig)
+	if err != nil || eq {
+		t.Errorf("wrong key reported equivalent: %v %v", eq, err)
+	}
+}
+
+func TestEquivalentToOriginalInterfaceMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l, _ := lock.RLL(gen.C17(), 3, rng)
+	other := gen.Random("other", 4, 20, 3, 1)
+	if _, err := EquivalentToOriginal(l.Circuit, l.Key, other); err == nil {
+		t.Error("want interface mismatch error")
+	}
+}
+
+// TestSamplingHDFloorExplainsCorrectKeyHD validates the paper's
+// Table II remark: the measured HD of the exactly-correct key should
+// sit near the analytic sampling-noise floor.
+func TestSamplingHDFloorExplainsCorrectKeyHD(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	bm, _ := gen.ByName("c880")
+	orig := bm.BuildScaled(8)
+	l, err := lock.RLL(orig, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.01
+	const ns = 200
+	inputs := RandomInputSet(l.Circuit, 25, rng)
+	oraProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 70), inputs, ns)
+	keyProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 71), inputs, ns)
+	measured := HD(oraProbs, keyProbs)
+	floor := SamplingHDFloor(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 72), inputs, ns, 4000)
+	if floor <= 0 {
+		t.Fatal("floor should be positive under noise")
+	}
+	// The measured correct-key HD must be within ~2.5x of the floor
+	// (it IS the floor up to estimation noise).
+	if measured > 2.5*floor || floor > 2.5*measured {
+		t.Errorf("measured HD(K*) %.5f vs sampling floor %.5f diverge", measured, floor)
+	}
+}
+
+func TestSamplingHDFloorZeroNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l, _ := lock.RLL(gen.C17(), 3, rng)
+	inputs := RandomInputSet(l.Circuit, 10, rng)
+	floor := SamplingHDFloor(oracle.NewDeterministic(l.Circuit, l.Key), inputs, 100, 500)
+	if floor != 0 {
+		t.Errorf("deterministic oracle floor = %v, want 0", floor)
+	}
+}
+
+func TestSamplingHDFloorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for ns=0")
+		}
+	}()
+	SamplingHDFloor(nil, nil, 0, 10)
+}
+
+func TestFMDiscriminatesKeyQuality(t *testing.T) {
+	// FM of the correct key must beat FM of a corrupted key when both
+	// are evaluated against the same noisy oracle.
+	rng := rand.New(rand.NewSource(10))
+	bm, _ := gen.ByName("c880")
+	orig := bm.BuildScaled(4)
+	l, err := lock.RLL(orig, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.01
+	inputs := RandomInputSet(l.Circuit, 30, rng)
+	oraProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 50), inputs, 200)
+	goodProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 51), inputs, 200)
+	wrong := append([]bool(nil), l.Key...)
+	wrong[0], wrong[3] = !wrong[0], !wrong[3]
+	badProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, wrong, eps, 52), inputs, 200)
+	fmGood := FM(oraProbs, goodProbs)
+	fmBad := FM(oraProbs, badProbs)
+	if fmGood >= fmBad {
+		t.Errorf("FM(correct)=%.4f not better than FM(wrong)=%.4f", fmGood, fmBad)
+	}
+	if hdGood, hdBad := HD(oraProbs, goodProbs), HD(oraProbs, badProbs); hdGood >= hdBad {
+		t.Errorf("HD(correct)=%.4f not better than HD(wrong)=%.4f", hdGood, hdBad)
+	}
+}
+
+func BenchmarkKeysEquivalentScale8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bm, _ := gen.ByName("c3540")
+	orig := bm.BuildScaled(8)
+	l, err := lock.RLL(orig, 32, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wrong := append([]bool(nil), l.Key...)
+	wrong[0] = !wrong[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := KeysEquivalent(l.Circuit, l.Key, wrong); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package oracle models the activated chip the attacker buys on the
+// open market (§II-B threat model). A deterministic oracle answers
+// queries exactly; a probabilistic oracle implements the paper's §III
+// error model — every logic gate independently inverts its output with
+// probability eps per evaluation — so repeated queries with the same
+// input return inconsistent answers.
+package oracle
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"statsat/internal/circuit"
+)
+
+// Oracle is a black-box activated chip: one Query is one application
+// of an input vector to the silicon.
+type Oracle interface {
+	// Query applies x once and returns the (possibly noisy) outputs.
+	Query(x []bool) []bool
+	// NumInputs and NumOutputs describe the pinout.
+	NumInputs() int
+	NumOutputs() int
+	// Queries returns the number of Query calls so far (attack cost
+	// accounting: the paper's T_eval and Ns trade-offs count queries).
+	Queries() int64
+}
+
+// Deterministic is the noise-free activated chip (used by the
+// standard SAT attack and as the reference for BER measurements).
+type Deterministic struct {
+	c       *circuit.Circuit
+	key     []bool
+	scratch []bool
+	queries int64
+}
+
+// NewDeterministic activates circuit c with the given correct key
+// (key may be nil for unlocked netlists).
+func NewDeterministic(c *circuit.Circuit, key []bool) *Deterministic {
+	if len(key) != c.NumKeys() {
+		panic(fmt.Sprintf("oracle: key width %d, circuit has %d key inputs", len(key), c.NumKeys()))
+	}
+	return &Deterministic{
+		c:       c,
+		key:     append([]bool(nil), key...),
+		scratch: make([]bool, c.NumGates()),
+	}
+}
+
+// Query implements Oracle.
+func (o *Deterministic) Query(x []bool) []bool {
+	o.queries++
+	return o.c.Eval(x, o.key, o.scratch)
+}
+
+// NumInputs implements Oracle.
+func (o *Deterministic) NumInputs() int { return o.c.NumPIs() }
+
+// NumOutputs implements Oracle.
+func (o *Deterministic) NumOutputs() int { return o.c.NumPOs() }
+
+// Queries implements Oracle.
+func (o *Deterministic) Queries() int64 { return o.queries }
+
+// Probabilistic is the paper's noisy activated chip.
+type Probabilistic struct {
+	c        *circuit.Circuit
+	key      []bool
+	eps      float64
+	rng      *rand.Rand
+	scratch  []bool
+	wscratch []uint64
+	queries  int64
+}
+
+// BatchQuerier is implemented by oracles that can evaluate
+// circuit.BatchLanes independent samples per call. SignalProbs uses it
+// when available; each call counts as BatchLanes queries.
+type BatchQuerier interface {
+	QueryBatch(x []bool) []uint64
+}
+
+// NewProbabilistic activates circuit c with the correct key under
+// gate error probability eps. The noise stream is seeded for
+// reproducible experiments.
+func NewProbabilistic(c *circuit.Circuit, key []bool, eps float64, seed int64) *Probabilistic {
+	if len(key) != c.NumKeys() {
+		panic(fmt.Sprintf("oracle: key width %d, circuit has %d key inputs", len(key), c.NumKeys()))
+	}
+	if eps < 0 || eps > 1 {
+		panic(fmt.Sprintf("oracle: gate error probability %v out of [0,1]", eps))
+	}
+	return &Probabilistic{
+		c:       c,
+		key:     append([]bool(nil), key...),
+		eps:     eps,
+		rng:     rand.New(rand.NewSource(seed)),
+		scratch: make([]bool, c.NumGates()),
+	}
+}
+
+// Query implements Oracle: one noisy evaluation.
+func (o *Probabilistic) Query(x []bool) []bool {
+	o.queries++
+	return o.c.EvalNoisy(x, o.key, o.eps, o.rng, o.scratch)
+}
+
+// QueryBatch implements BatchQuerier: circuit.BatchLanes independent
+// noisy evaluations in one bit-parallel pass (one word per output,
+// one sample per bit lane).
+func (o *Probabilistic) QueryBatch(x []bool) []uint64 {
+	o.queries += circuit.BatchLanes
+	if o.wscratch == nil {
+		o.wscratch = make([]uint64, o.c.NumGates())
+	}
+	return o.c.EvalNoisyBatch(x, o.key, o.eps, o.rng, o.wscratch)
+}
+
+// NumInputs implements Oracle.
+func (o *Probabilistic) NumInputs() int { return o.c.NumPIs() }
+
+// NumOutputs implements Oracle.
+func (o *Probabilistic) NumOutputs() int { return o.c.NumPOs() }
+
+// Queries implements Oracle.
+func (o *Probabilistic) Queries() int64 { return o.queries }
+
+// Eps exposes the true gate error probability (experiment harness
+// only; the attacker is not entitled to it — §V-E estimates it).
+func (o *Probabilistic) Eps() float64 { return o.eps }
+
+// SignalProbs queries the oracle ns times with x and returns the
+// per-output signal probabilities (eq. 1). Oracles implementing
+// BatchQuerier are sampled bit-parallel, BatchLanes samples per pass
+// (the sample count is then rounded up to a whole number of passes —
+// never fewer samples than requested).
+func SignalProbs(o Oracle, x []bool, ns int) []float64 {
+	if ns <= 0 {
+		panic("oracle: SignalProbs needs ns >= 1")
+	}
+	counts := make([]int, o.NumOutputs())
+	if bq, ok := o.(BatchQuerier); ok {
+		passes := (ns + circuit.BatchLanes - 1) / circuit.BatchLanes
+		total := passes * circuit.BatchLanes
+		for p := 0; p < passes; p++ {
+			words := bq.QueryBatch(x)
+			for j, w := range words {
+				counts[j] += bits.OnesCount64(w)
+			}
+		}
+		probs := make([]float64, len(counts))
+		for j, c := range counts {
+			probs[j] = float64(c) / float64(total)
+		}
+		return probs
+	}
+	for i := 0; i < ns; i++ {
+		y := o.Query(x)
+		for j, b := range y {
+			if b {
+				counts[j]++
+			}
+		}
+	}
+	probs := make([]float64, len(counts))
+	for j, c := range counts {
+		probs[j] = float64(c) / float64(ns)
+	}
+	return probs
+}
+
+// Uncertainties converts signal probabilities to the paper's
+// uncertainty measure U_i = min(P_i, 1-P_i) (eq. 2).
+func Uncertainties(probs []float64) []float64 {
+	u := make([]float64, len(probs))
+	for i, p := range probs {
+		if p <= 0.5 {
+			u[i] = p
+		} else {
+			u[i] = 1 - p
+		}
+	}
+	return u
+}
+
+// PatternCounts queries the oracle ns times and tallies whole output
+// patterns (the PSAT baseline consumes patterns, not per-bit
+// probabilities). Keys are the string of '0'/'1' bytes.
+func PatternCounts(o Oracle, x []bool, ns int) map[string]int {
+	counts := make(map[string]int)
+	buf := make([]byte, o.NumOutputs())
+	remaining := ns
+	if bq, ok := o.(BatchQuerier); ok {
+		for remaining >= circuit.BatchLanes {
+			words := bq.QueryBatch(x)
+			for lane := 0; lane < circuit.BatchLanes; lane++ {
+				for j, w := range words {
+					if w>>uint(lane)&1 == 1 {
+						buf[j] = '1'
+					} else {
+						buf[j] = '0'
+					}
+				}
+				counts[string(buf)]++
+			}
+			remaining -= circuit.BatchLanes
+		}
+	}
+	for i := 0; i < remaining; i++ {
+		y := o.Query(x)
+		for j, b := range y {
+			if b {
+				buf[j] = '1'
+			} else {
+				buf[j] = '0'
+			}
+		}
+		counts[string(buf)]++
+	}
+	return counts
+}
+
+// PatternToBits decodes a PatternCounts key back into a bool vector.
+func PatternToBits(p string) []bool {
+	out := make([]bool, len(p))
+	for i := range p {
+		out[i] = p[i] == '1'
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSSimple(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -3 0
+2 3 -1 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Errorf("vars = %d", s.NumVars())
+	}
+	if s.Solve() != Sat {
+		t.Error("formula should be Sat")
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	src := "p cnf 1 2\n1 0\n-1 0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Unsat {
+		t.Error("x ∧ ¬x should be Unsat")
+	}
+}
+
+func TestParseDIMACSNoHeader(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("1 2 0\n-1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat || !s.ModelValue(Var(1)) {
+		t.Error("headerless parse broken")
+	}
+}
+
+func TestParseDIMACSUndercountedHeader(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("p cnf 1 1\n1 5 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() < 5 {
+		t.Errorf("vars = %d, want ≥5", s.NumVars())
+	}
+}
+
+func TestParseDIMACSMissingFinalZero(t *testing.T) {
+	s, err := ParseDIMACS(strings.NewReader("p cnf 2 1\n1 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat {
+		t.Error("trailing clause without 0 not accepted")
+	}
+}
+
+func TestParseDIMACSPercentTrailer(t *testing.T) {
+	src := "p cnf 1 1\n1 0\n%\n0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat {
+		t.Error("benchmark-style trailer broke the parse")
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, src := range []string{
+		"p cnf x 2\n",
+		"p dnf 3 2\n",
+		"p cnf 2 1\n1 frog 0\n",
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("want parse error for %q", src)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(6)
+		s := New()
+		s.NewVars(n)
+		var clauses [][]Lit
+		ok := true
+		for j := 0; j < 3*n; j++ {
+			k := 1 + rng.Intn(3)
+			c := make([]Lit, k)
+			for x := range c {
+				c[x] = MkLit(Var(rng.Intn(n)), rng.Intn(2) == 1)
+			}
+			clauses = append(clauses, c)
+			if !s.AddClause(c...) {
+				ok = false
+			}
+		}
+		var buf bytes.Buffer
+		if err := s.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		var want, got Status
+		if ok {
+			want = s.Solve()
+		} else {
+			want = Unsat
+		}
+		got = s2.Solve()
+		if want != got {
+			t.Fatalf("trial %d: original %v, round-trip %v", trial, want, got)
+		}
+	}
+}
+
+func TestWriteDIMACSAfterSolve(t *testing.T) {
+	s, v := mk(3)
+	s.AddClause(PosLit(v[0]), PosLit(v[1]))
+	s.AddClause(NegLit(v[0]))
+	if s.Solve() != Sat {
+		t.Fatal("setup")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "-1 0") {
+		t.Errorf("root-level unit missing from dump:\n%s", out)
+	}
+}

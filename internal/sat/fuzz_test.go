@@ -1,0 +1,53 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS exercises the DIMACS reader for panics; any formula
+// it accepts must solve without crashing, and a Sat verdict's model
+// must actually satisfy every retained clause.
+func FuzzParseDIMACS(f *testing.F) {
+	seeds := []string{
+		"p cnf 3 2\n1 -3 0\n2 3 -1 0\n",
+		"p cnf 1 2\n1 0\n-1 0\n",
+		"c comment\n1 2 0",
+		"p cnf 0 0\n",
+		"%\n0\n",
+		"p cnf 2 1\n1 -2",
+		"1 1 1 0\n-1 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		s, err := ParseDIMACS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if s.NumVars() > 1<<16 {
+			return // header-declared monsters: skip solving
+		}
+		clauses := s.Clauses()
+		s.ConflictBudget = 2000
+		if s.Solve() != Sat {
+			return
+		}
+		for _, c := range clauses {
+			ok := false
+			for _, l := range c {
+				if s.ModelLit(l) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("model does not satisfy clause %v", c)
+			}
+		}
+	})
+}

@@ -1,0 +1,900 @@
+// Package sat implements a from-scratch CDCL (conflict-driven clause
+// learning) Boolean satisfiability solver in the MiniSat lineage:
+// two-watched-literal propagation, first-UIP conflict analysis with
+// clause minimisation, VSIDS variable activities, phase saving, Luby
+// restarts, activity-based learnt-clause reduction, incremental clause
+// addition between calls, solving under assumptions, and deep cloning
+// (used by StatSAT instance duplication).
+//
+// The paper's reference implementation drives Lingeling through the
+// Subramanyan et al. SAT-attack framework; this package is the
+// self-contained substitute.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Var is a 0-based variable index.
+type Var int32
+
+// Lit is a literal: variable 2*v for the positive phase, 2*v+1 for the
+// negative phase.
+type Lit int32
+
+// MkLit builds a literal from a variable and a sign (true = negated).
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// PosLit and NegLit are convenience constructors.
+func PosLit(v Var) Lit { return MkLit(v, false) }
+func NegLit(v Var) Lit { return MkLit(v, true) }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// String renders the literal DIMACS-style (1-based, minus = negated).
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+func (b lbool) neg() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+type clause struct {
+	lits   []Lit
+	act    float32
+	lbd    int32
+	learnt bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Status is the outcome of a Solve call.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Unknown means the solver stopped before reaching a verdict
+	// (budget exhausted).
+	Unknown Status = iota
+	// Sat means a model was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) has no model.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause // problem clauses
+	learnts []*clause // learnt clauses
+	watches [][]watcher
+
+	assigns  []lbool
+	level    []int32
+	reason   []*clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	varDecay float64
+	order    heap // max-activity variable heap
+	phase    []lbool
+
+	claInc   float64
+	claDecay float64
+
+	okay bool // false once a top-level conflict is established
+
+	// Luby restart state.
+	restartBase int
+
+	// analyze scratch.
+	seen       []byte
+	analyzeBuf []Lit
+
+	// Statistics.
+	Stats Statistics
+
+	// Budget limits a single Solve call; 0 means unlimited.
+	ConflictBudget int64
+
+	// Model caching: last solution, indexed by var.
+	model []lbool
+}
+
+// Statistics accumulates solver counters across Solve calls.
+type Statistics struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+	Removed      int64
+	Solves       int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{
+		varInc:      1,
+		varDecay:    0.95,
+		claInc:      1,
+		claDecay:    0.999,
+		okay:        true,
+		restartBase: 100,
+	}
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses retained.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Clauses returns a copy of the retained problem clauses (after
+// top-level simplification) plus the root-level unit assignments.
+// Intended for tooling and verification, not hot paths.
+func (s *Solver) Clauses() [][]Lit {
+	out := make([][]Lit, 0, len(s.clauses)+8)
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			out = append(out, []Lit{l})
+		}
+	}
+	for _, c := range s.clauses {
+		out = append(out, append([]Lit(nil), c.lits...))
+	}
+	return out
+}
+
+// NewVar allocates a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, lFalse)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v, &s.activity)
+	return v
+}
+
+// NewVars allocates n fresh variables and returns the first.
+func (s *Solver) NewVars(n int) Var {
+	first := Var(len(s.assigns))
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	return first
+}
+
+func (s *Solver) litValue(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return v.neg()
+	}
+	return v
+}
+
+// Okay reports whether the solver is still consistent at the top level
+// (false after an empty-clause addition or a level-0 conflict).
+func (s *Solver) Okay() bool { return s.okay }
+
+// AddClause adds a clause (given as a literal disjunction). It may be
+// called before or between Solve calls; the solver backtracks to the
+// root level first. Returns false if the solver became inconsistent.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	return s.addClauseCopy(lits)
+}
+
+func (s *Solver) addClauseCopy(in []Lit) bool {
+	if !s.okay {
+		return false
+	}
+	s.cancelUntil(0)
+	// Sort and dedup; drop tautologies and false literals.
+	lits := append([]Lit(nil), in...)
+	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	out := lits[:0]
+	var prev Lit = -1
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assigns) {
+			panic(fmt.Sprintf("sat: clause uses unallocated variable %d", l.Var()))
+		}
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() && l.Var() == prev.Var() {
+			return true // tautology: x ∨ ¬x
+		}
+		switch s.litValue(l) {
+		case lTrue:
+			if s.level[l.Var()] == 0 {
+				return true // satisfied at root
+			}
+		case lFalse:
+			if s.level[l.Var()] == 0 {
+				prev = l
+				continue // drop root-false literal
+			}
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.okay = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.okay = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.okay = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Not(), c)
+	s.removeWatch(c.lits[1].Not(), c)
+}
+
+func (s *Solver) removeWatch(l Lit, c *clause) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.litValue(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	s.assigns[v] = boolToLbool(!l.Neg())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		i, j := 0, 0
+		var confl *clause
+	outer:
+		for i < len(ws) {
+			w := ws[i]
+			if s.litValue(w.blocker) == lTrue {
+				ws[j] = w
+				i++
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = watcher{c, first}
+				i++
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					i++
+					continue outer
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c, first}
+			i++
+			j++
+			if !s.enqueue(first, c) {
+				confl = c
+				s.qhead = len(s.trail)
+				break
+			}
+		}
+		for i < len(ws) {
+			ws[j] = ws[i]
+			i++
+			j++
+		}
+		s.watches[p] = ws[:j]
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(level int32) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = s.assigns[v]
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		if !s.order.inHeap(v) {
+			s.order.push(v, &s.activity)
+		}
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.order.inHeap(v) {
+		s.order.decrease(v, &s.activity)
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += float32(s.claInc)
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs 1-UIP conflict analysis and returns the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int32) {
+	learnt := s.analyzeBuf[:0]
+	learnt = append(learnt, 0) // placeholder for asserting literal
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	counter := 0
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for k := start; k < len(confl.lits); k++ {
+			q := confl.lits[k]
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.seen[v] = 1
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find next literal on trail to resolve on.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = 0
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Conflict clause minimisation (local: drop literals implied by
+	// the rest of the clause through their reason clauses). Record all
+	// marked variables first so seen[] can be fully cleared afterwards
+	// even for the literals the minimisation drops.
+	toClear := make([]Var, len(learnt))
+	for i, l := range learnt {
+		s.seen[l.Var()] = 1
+		toClear[i] = l.Var()
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		if !s.redundant(learnt[i]) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	minimised := learnt[:j]
+
+	// Backtrack level: second-highest level in clause.
+	btLevel := int32(0)
+	if len(minimised) > 1 {
+		maxI := 1
+		for i := 2; i < len(minimised); i++ {
+			if s.level[minimised[i].Var()] > s.level[minimised[maxI].Var()] {
+				maxI = i
+			}
+		}
+		minimised[1], minimised[maxI] = minimised[maxI], minimised[1]
+		btLevel = s.level[minimised[1].Var()]
+	}
+	for _, v := range toClear {
+		s.seen[v] = 0
+	}
+	s.analyzeBuf = learnt[:0]
+	out := append([]Lit(nil), minimised...)
+	return out, btLevel
+}
+
+// redundant reports whether literal l in a learnt clause is implied by
+// the other marked literals via its reason clause (one-step check).
+func (s *Solver) redundant(l Lit) bool {
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if s.seen[q.Var()] == 0 && s.level[q.Var()] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	seenLevels := map[int32]struct{}{}
+	for _, l := range lits {
+		seenLevels[s.level[l.Var()]] = struct{}{}
+	}
+	return int32(len(seenLevels))
+}
+
+func (s *Solver) recordLearnt(lits []Lit, btLevel int32) bool {
+	s.cancelUntil(btLevel)
+	switch len(lits) {
+	case 0:
+		s.okay = false
+		return false
+	case 1:
+		if !s.enqueue(lits[0], nil) {
+			s.okay = false
+			return false
+		}
+	default:
+		c := &clause{lits: lits, learnt: true, lbd: s.computeLBD(lits)}
+		s.learnts = append(s.learnts, c)
+		s.Stats.Learnt++
+		s.attach(c)
+		s.bumpClause(c)
+		if !s.enqueue(lits[0], c) {
+			s.okay = false
+			return false
+		}
+	}
+	s.varInc /= s.varDecay
+	s.claInc /= s.claDecay
+	return true
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping the
+// most active / lowest-LBD ones and any currently locked clause.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		a, b := s.learnts[i], s.learnts[j]
+		if (a.lbd <= 2) != (b.lbd <= 2) {
+			return a.lbd <= 2
+		}
+		return a.act > b.act
+	})
+	keep := len(s.learnts) / 2
+	kept := s.learnts[:0]
+	for i, c := range s.learnts {
+		locked := len(c.lits) > 0 && s.reason[c.lits[0].Var()] == c && s.litValue(c.lits[0]) == lTrue
+		if i < keep || locked || len(c.lits) <= 2 {
+			kept = append(kept, c)
+		} else {
+			s.detach(c)
+			s.Stats.Removed++
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) pickBranchVar() (Var, bool) {
+	for s.order.size() > 0 {
+		v := s.order.pop(&s.activity)
+		if s.assigns[v] == lUndef {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// luby computes the Luby sequence value for index i (1-based):
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int64) int64 {
+	x := i - 1
+	size, seq := int64(1), uint(0)
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << seq
+}
+
+// Solve runs the CDCL search under the given assumptions. It returns
+// Sat, Unsat, or Unknown (only when ConflictBudget is exhausted).
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.Stats.Solves++
+	if !s.okay {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.okay = false
+		return Unsat
+	}
+
+	var conflictsAtStart = s.Stats.Conflicts
+	var restartIdx int64 = 1
+	restartLimit := int64(s.restartBase) * luby(restartIdx)
+	conflictsSinceRestart := int64(0)
+	maxLearnts := int64(len(s.clauses))/3 + 1000
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflictsSinceRestart++
+			if s.decisionLevel() == 0 {
+				s.okay = false
+				return Unsat
+			}
+			// Learn and backjump. Backjumping below the assumption
+			// levels is fine: the decision loop re-asserts the
+			// assumptions; a genuinely inconsistent assumption then
+			// shows up as litValue == lFalse at its decision point.
+			learnt, btLevel := s.analyze(confl)
+			if !s.recordLearnt(learnt, btLevel) {
+				return Unsat
+			}
+			if s.ConflictBudget > 0 && s.Stats.Conflicts-conflictsAtStart >= s.ConflictBudget {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+
+		if conflictsSinceRestart >= restartLimit {
+			s.Stats.Restarts++
+			restartIdx++
+			restartLimit = int64(s.restartBase) * luby(restartIdx)
+			conflictsSinceRestart = 0
+			s.cancelUntil(int32(s.countAssumptionLevels(assumptions)))
+			continue
+		}
+
+		if int64(len(s.learnts)) >= maxLearnts {
+			maxLearnts += maxLearnts / 10
+			s.reduceDB()
+		}
+
+		// Assumption decisions first.
+		if int(s.decisionLevel()) < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.litValue(a) {
+			case lTrue:
+				// Already satisfied: open an empty decision level so
+				// the level↔assumption-index mapping stays aligned.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				s.cancelUntil(0)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			if !s.enqueue(a, nil) {
+				s.cancelUntil(0)
+				return Unsat
+			}
+			continue
+		}
+
+		v, ok := s.pickBranchVar()
+		if !ok {
+			// All variables assigned: model found.
+			s.saveModel()
+			s.cancelUntil(0)
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		ph := s.phase[v]
+		lit := MkLit(v, ph != lTrue)
+		s.enqueue(lit, nil)
+	}
+}
+
+func (s *Solver) countAssumptionLevels(assumptions []Lit) int {
+	n := len(assumptions)
+	if int(s.decisionLevel()) < n {
+		n = int(s.decisionLevel())
+	}
+	return n
+}
+
+func (s *Solver) saveModel() {
+	if cap(s.model) < len(s.assigns) {
+		s.model = make([]lbool, len(s.assigns))
+	}
+	s.model = s.model[:len(s.assigns)]
+	copy(s.model, s.assigns)
+}
+
+// ModelValue returns the last model's value of v. Only meaningful
+// directly after Solve returned Sat.
+func (s *Solver) ModelValue(v Var) bool {
+	if int(v) >= len(s.model) {
+		return false
+	}
+	return s.model[v] == lTrue
+}
+
+// ModelLit returns the last model's truth value of a literal.
+func (s *Solver) ModelLit(l Lit) bool {
+	b := s.ModelValue(l.Var())
+	if l.Neg() {
+		return !b
+	}
+	return b
+}
+
+// Clone returns a deep copy of the solver: clauses, learnt clauses,
+// activities, phases and statistics. The clone can evolve completely
+// independently (StatSAT instance duplication relies on this).
+func (s *Solver) Clone() *Solver {
+	s.cancelUntil(0)
+	n := New()
+	n.okay = s.okay
+	n.varInc, n.varDecay = s.varInc, s.varDecay
+	n.claInc, n.claDecay = s.claInc, s.claDecay
+	n.restartBase = s.restartBase
+	n.ConflictBudget = s.ConflictBudget
+	n.Stats = s.Stats
+
+	n.assigns = append([]lbool(nil), s.assigns...)
+	n.level = append([]int32(nil), s.level...)
+	n.trail = append([]Lit(nil), s.trail...)
+	n.qhead = s.qhead
+	n.activity = append([]float64(nil), s.activity...)
+	n.phase = append([]lbool(nil), s.phase...)
+	n.seen = make([]byte, len(s.seen))
+	n.model = append([]lbool(nil), s.model...)
+
+	// Deep-copy clauses, tracking the old→new mapping for watches and
+	// reasons.
+	remap := make(map[*clause]*clause, len(s.clauses)+len(s.learnts))
+	cp := func(c *clause) *clause {
+		nc := &clause{lits: append([]Lit(nil), c.lits...), act: c.act, lbd: c.lbd, learnt: c.learnt}
+		remap[c] = nc
+		return nc
+	}
+	n.clauses = make([]*clause, len(s.clauses))
+	for i, c := range s.clauses {
+		n.clauses[i] = cp(c)
+	}
+	n.learnts = make([]*clause, len(s.learnts))
+	for i, c := range s.learnts {
+		n.learnts[i] = cp(c)
+	}
+	n.watches = make([][]watcher, len(s.watches))
+	for i, ws := range s.watches {
+		if len(ws) == 0 {
+			continue
+		}
+		nws := make([]watcher, len(ws))
+		for j, w := range ws {
+			nws[j] = watcher{c: remap[w.c], blocker: w.blocker}
+		}
+		n.watches[i] = nws
+	}
+	n.reason = make([]*clause, len(s.reason))
+	for i, r := range s.reason {
+		if r != nil {
+			n.reason[i] = remap[r]
+		}
+	}
+	n.order = s.order.clone()
+	return n
+}
+
+// heap is a max-heap over variables keyed by activity.
+type heap struct {
+	data []Var
+	pos  []int32 // var -> index in data, -1 if absent
+}
+
+func (h *heap) size() int { return len(h.data) }
+
+func (h *heap) inHeap(v Var) bool {
+	return int(v) < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *heap) push(v Var, act *[]float64) {
+	for int(v) >= len(h.pos) {
+		h.pos = append(h.pos, -1)
+	}
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = int32(len(h.data))
+	h.data = append(h.data, v)
+	h.up(int(h.pos[v]), act)
+}
+
+func (h *heap) pop(act *[]float64) Var {
+	top := h.data[0]
+	last := h.data[len(h.data)-1]
+	h.data = h.data[:len(h.data)-1]
+	h.pos[top] = -1
+	if len(h.data) > 0 {
+		h.data[0] = last
+		h.pos[last] = 0
+		h.down(0, act)
+	}
+	return top
+}
+
+func (h *heap) decrease(v Var, act *[]float64) {
+	h.up(int(h.pos[v]), act)
+}
+
+func (h *heap) up(i int, act *[]float64) {
+	a := *act
+	x := h.data[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[h.data[p]] >= a[x] {
+			break
+		}
+		h.data[i] = h.data[p]
+		h.pos[h.data[i]] = int32(i)
+		i = p
+	}
+	h.data[i] = x
+	h.pos[x] = int32(i)
+}
+
+func (h *heap) down(i int, act *[]float64) {
+	a := *act
+	x := h.data[i]
+	for {
+		l := 2*i + 1
+		if l >= len(h.data) {
+			break
+		}
+		c := l
+		if r := l + 1; r < len(h.data) && a[h.data[r]] > a[h.data[l]] {
+			c = r
+		}
+		if a[h.data[c]] <= a[x] {
+			break
+		}
+		h.data[i] = h.data[c]
+		h.pos[h.data[i]] = int32(i)
+		i = c
+	}
+	h.data[i] = x
+	h.pos[x] = int32(i)
+}
+
+func (h *heap) clone() heap {
+	return heap{
+		data: append([]Var(nil), h.data...),
+		pos:  append([]int32(nil), h.pos...),
+	}
+}

@@ -1,0 +1,33 @@
+package verilog
+
+import "testing"
+
+// FuzzParse exercises the structural-Verilog parser for panics and
+// invariant violations on arbitrary input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		c17Verilog,
+		"module m(a,y); input a; output y; not g(y,a); endmodule",
+		"module m(a,y); input a; output y; assign y = 1'b0; endmodule",
+		"module m(); endmodule",
+		"module m(a,y); /* c */ input a; // x\n output y; buf g(y,a); endmodule",
+		"module",
+		"and g(y,a)",
+		"module m(a,keyinput0,y); input a, keyinput0; output y; xor g(y,a,keyinput0); endmodule",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("parser returned invalid circuit: %v", verr)
+		}
+		if _, rerr := ParseString(Format(c)); rerr != nil {
+			t.Fatalf("round-trip failed: %v\n%s", rerr, Format(c))
+		}
+	})
+}

@@ -1,0 +1,308 @@
+package verilog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"statsat/internal/bench"
+	"statsat/internal/circuit"
+	"statsat/internal/gen"
+	"statsat/internal/lock"
+)
+
+const c17Verilog = `// ISCAS85 c17
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand g1 (N10, N1, N3);
+  nand g2 (N11, N3, N6);
+  nand g3 (N16, N2, N11);
+  nand g4 (N19, N11, N7);
+  nand g5 (N22, N10, N16);
+  nand g6 (N23, N16, N19);
+endmodule
+`
+
+func TestParseC17(t *testing.T) {
+	c, err := ParseString(c17Verilog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "c17" {
+		t.Errorf("module name = %q", c.Name)
+	}
+	s := c.Summary()
+	if s.Inputs != 5 || s.Gates != 6 || s.Outputs != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Must agree with the canonical c17 on the full truth table.
+	ref := gen.C17()
+	pi := make([]bool, 5)
+	for m := 0; m < 32; m++ {
+		for b := 0; b < 5; b++ {
+			pi[b] = m>>uint(b)&1 == 1
+		}
+		a := ref.Eval(pi, nil, nil)
+		g := c.Eval(pi, nil, nil)
+		if a[0] != g[0] || a[1] != g[1] {
+			t.Fatalf("c17 mismatch at %v: %v vs %v", pi, g, a)
+		}
+	}
+}
+
+func TestParseMultiLineAndComments(t *testing.T) {
+	src := `
+module m (a,
+          b, /* block
+          comment spanning lines */ y);
+  input a, b;   // line comment
+  output y;
+  and g1 (y,
+          a, b);
+endmodule
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval([]bool{true, true}, nil, nil)[0]; got != true {
+		t.Errorf("AND(1,1) = %v", got)
+	}
+}
+
+func TestParseKeyInputs(t *testing.T) {
+	src := `
+module locked (a, keyinput1, keyinput0, y);
+  input a;
+  input keyinput1, keyinput0;
+  output y;
+  wire t;
+  xor g1 (t, a, keyinput0);
+  xnor g2 (y, t, keyinput1);
+endmodule
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumKeys() != 2 || c.NumPIs() != 1 {
+		t.Fatalf("keys=%d pis=%d", c.NumKeys(), c.NumPIs())
+	}
+	if c.Gates[c.Keys[0]].Name != "keyinput0" {
+		t.Error("key ordering wrong")
+	}
+}
+
+func TestParseAssignAndConstants(t *testing.T) {
+	src := `
+module m (a, y1, y2, y3);
+  input a;
+  output y1, y2, y3;
+  wire w;
+  not g1 (w, a);
+  assign y1 = w;
+  assign y2 = 1'b1;
+  assign y3 = 1'b0;
+endmodule
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Eval([]bool{true}, nil, nil)
+	if out[0] != false || out[1] != true || out[2] != false {
+		t.Errorf("eval = %v", out)
+	}
+}
+
+func TestParseOutOfOrder(t *testing.T) {
+	src := `
+module m (a, y);
+  input a;
+  output y;
+  wire w1, w2;
+  and g2 (y, w1, w2);
+  not g1 (w1, a);
+  buf g0 (w2, a);
+endmodule
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval([]bool{true}, nil, nil)[0]; got != false {
+		t.Errorf("a AND NOT a = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"behavioural assign", "module m(a,y); input a; output y; assign y = a & a; endmodule"},
+		{"always block", "module m(a,y); input a; output y; always @(a) y = a; endmodule"},
+		{"undriven output", "module m(a,y); input a; output y; endmodule"},
+		{"undeclared signal ok but undriven", "module m(a,y); input a; output y; and g(y, a, ghost); endmodule"},
+		{"double driver", "module m(a,y); input a; output y; not g1(y,a); buf g2(y,a); endmodule"},
+		{"cycle", "module m(a,y); input a; output y; wire w; and g1(y,a,w); not g2(w,y); endmodule"},
+		{"bad arity not", "module m(a,b,y); input a,b; output y; not g(y,a,b); endmodule"},
+		{"malformed gate", "module m(a,y); input a; output y; and g y a; endmodule"},
+		{"empty port", "module m(a,y); input a; output y; and g(y,,a); endmodule"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.src); err == nil {
+				t.Errorf("want error for %s", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorString(t *testing.T) {
+	_, err := ParseString("module m(a,y); input a; output y; frobnicate g(y,a); endmodule")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("error lacks context: %v", err)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for seed := int64(0); seed < 8; seed++ {
+		orig := gen.Random("rt", 8, 60, 5, seed)
+		text := Format(orig)
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, text)
+		}
+		for trial := 0; trial < 40; trial++ {
+			pi := orig.RandomInputs(rng)
+			a := orig.Eval(pi, nil, nil)
+			b := back.Eval(pi, nil, nil)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d: round-trip mismatch at output %d", seed, i)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteRoundTripLockedCircuit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	orig := gen.Random("lk", 10, 80, 6, 3)
+	l, err := lock.RLL(orig, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(Format(l.Circuit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumKeys() != 8 {
+		t.Fatalf("keys lost: %d", back.NumKeys())
+	}
+	for trial := 0; trial < 50; trial++ {
+		pi := orig.RandomInputs(rng)
+		a := l.Circuit.Eval(pi, l.Key, nil)
+		b := back.Eval(pi, l.Key, nil)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("locked round-trip mismatch")
+			}
+		}
+	}
+}
+
+func TestWriteMuxLowering(t *testing.T) {
+	c := circuit.New("muxer")
+	s := c.AddInput("s")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	m := c.AddGate(circuit.Mux, "m", s, a, b)
+	c.AddOutput(m, "y")
+	back, err := ParseString(Format(c))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, Format(c))
+	}
+	for mval := 0; mval < 8; mval++ {
+		pi := []bool{mval&1 == 1, mval&2 == 2, mval&4 == 4}
+		if c.Eval(pi, nil, nil)[0] != back.Eval(pi, nil, nil)[0] {
+			t.Fatalf("mux lowering wrong at %v", pi)
+		}
+	}
+}
+
+func TestWriteConstants(t *testing.T) {
+	c := circuit.New("k")
+	c.AddInput("a")
+	z := c.AddGate(circuit.Const0, "z")
+	o := c.AddGate(circuit.Const1, "o")
+	g := c.AddGate(circuit.Nor, "g", z, o)
+	c.AddOutput(g, "y")
+	back, err := ParseString(Format(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Eval([]bool{false}, nil, nil)[0]; got != false {
+		t.Errorf("NOR(0,1) = %v", got)
+	}
+}
+
+func TestWriteSanitizesNames(t *testing.T) {
+	c := circuit.New("weird name!")
+	a := c.AddInput("in[0]")
+	g := c.AddGate(circuit.Not, "3bad.name", a)
+	c.AddOutput(g, "out-1")
+	text := Format(c)
+	if strings.ContainsAny(text, "[].!-") {
+		t.Errorf("unsanitised identifiers in:\n%s", text)
+	}
+	if _, err := ParseString(text); err != nil {
+		t.Fatalf("sanitised output unparsable: %v\n%s", err, text)
+	}
+}
+
+// TestCrossFormatAgreement: bench → circuit → verilog → circuit keeps
+// behaviour.
+func TestCrossFormatAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := gen.Random("xf", 9, 70, 5, 11)
+	viaBench, err := bench.ParseString(bench.Format(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaVerilog, err := ParseString(Format(viaBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 40; trial++ {
+		pi := orig.RandomInputs(rng)
+		a := orig.Eval(pi, nil, nil)
+		b := viaVerilog.Eval(pi, nil, nil)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("cross-format mismatch")
+			}
+		}
+	}
+}
+
+func BenchmarkParseC17(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(c17Verilog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormatRandom(b *testing.B) {
+	c := gen.Random("f", 20, 500, 10, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Format(c)
+	}
+}

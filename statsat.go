@@ -1,0 +1,253 @@
+// Package statsat is the public API of the StatSAT reproduction — a
+// Boolean-Satisfiability attack on logic-locked probabilistic circuits
+// (Mondal, Zuzak, Srivastava, DAC 2020).
+//
+// The package re-exports the building blocks a downstream user needs:
+//
+//   - gate-level circuits and .bench I/O (Circuit, ParseBench, ...),
+//   - benchmark generation (C17, Benchmarks, RandomCircuit),
+//   - logic locking (LockRLL, LockSLL, LockSFLLHD),
+//   - activated-chip oracles (NewOracle, NewNoisyOracle),
+//   - the StatSAT attack (Attack, Options, Result) plus the standard
+//     SAT attack and the PSAT baseline,
+//   - evaluation metrics (FM, HD, KeysEquivalent, MeasureBER) and the
+//     §V-E gate-error estimator (EstimateGateError).
+//
+// Quickstart:
+//
+//	orig := statsat.C17()
+//	locked, _ := statsat.LockRLL(orig, 4, 1)
+//	orc := statsat.NewNoisyOracle(locked.Circuit, locked.Key, 0.01, 7)
+//	res, _ := statsat.Attack(locked.Circuit, orc, statsat.Options{EpsG: 0.01, NInst: 4})
+//	fmt.Println(res.Best.Key, res.Best.HD)
+package statsat
+
+import (
+	"io"
+	"math/rand"
+
+	"statsat/internal/attack"
+	"statsat/internal/bench"
+	"statsat/internal/circuit"
+	"statsat/internal/core"
+	"statsat/internal/gen"
+	"statsat/internal/lock"
+	"statsat/internal/metrics"
+	"statsat/internal/oracle"
+	"statsat/internal/verilog"
+)
+
+// Circuit is a combinational gate-level netlist.
+type Circuit = circuit.Circuit
+
+// GateType enumerates supported gate functions.
+type GateType = circuit.GateType
+
+// Re-exported gate types for circuit construction.
+const (
+	Input  = circuit.Input
+	Key    = circuit.Key
+	Const0 = circuit.Const0
+	Const1 = circuit.Const1
+	Buf    = circuit.Buf
+	Not    = circuit.Not
+	And    = circuit.And
+	Nand   = circuit.Nand
+	Or     = circuit.Or
+	Nor    = circuit.Nor
+	Xor    = circuit.Xor
+	Xnor   = circuit.Xnor
+	Mux    = circuit.Mux
+)
+
+// NewCircuit returns an empty circuit with the given name.
+func NewCircuit(name string) *Circuit { return circuit.New(name) }
+
+// Simplify returns a functionally equivalent, cleaned-up copy of a
+// netlist: constants propagated, identities folded, common
+// subexpressions merged, dead gates swept. The I/O interface is
+// preserved exactly.
+func Simplify(c *Circuit) (*Circuit, error) { return circuit.Simplify(c) }
+
+// ParseBench reads an ISCAS .bench netlist; inputs named "keyinput*"
+// become key inputs.
+func ParseBench(r io.Reader) (*Circuit, error) { return bench.Parse(r) }
+
+// ParseBenchString is ParseBench over a string.
+func ParseBenchString(s string) (*Circuit, error) { return bench.ParseString(s) }
+
+// WriteBench serialises a circuit in .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// FormatBench renders a circuit as a .bench string.
+func FormatBench(c *Circuit) string { return bench.Format(c) }
+
+// ParseVerilog reads a gate-level structural Verilog module (the
+// ISCAS/ITC distribution format); "keyinput*" ports become key inputs.
+func ParseVerilog(r io.Reader) (*Circuit, error) { return verilog.Parse(r) }
+
+// ParseVerilogString is ParseVerilog over a string.
+func ParseVerilogString(s string) (*Circuit, error) { return verilog.ParseString(s) }
+
+// WriteVerilog serialises a circuit as a structural Verilog module.
+func WriteVerilog(w io.Writer, c *Circuit) error { return verilog.Write(w, c) }
+
+// FormatVerilog renders a circuit as a Verilog string.
+func FormatVerilog(c *Circuit) string { return verilog.Format(c) }
+
+// C17 returns the real ISCAS85 c17 netlist.
+func C17() *Circuit { return gen.C17() }
+
+// Benchmark describes one synthetic stand-in benchmark.
+type Benchmark = gen.Benchmark
+
+// Benchmarks lists the paper's Table I suite (plus c880).
+func Benchmarks() []Benchmark { return gen.TableI }
+
+// BenchmarkByName looks up a Table I benchmark.
+func BenchmarkByName(name string) (Benchmark, bool) { return gen.ByName(name) }
+
+// RandomCircuit generates a seeded random combinational circuit.
+func RandomCircuit(name string, inputs, gates, outputs int, seed int64) *Circuit {
+	return gen.Random(name, inputs, gates, outputs, seed)
+}
+
+// Locked bundles a locked netlist with its ground-truth key.
+type Locked = lock.Locked
+
+// LockRLL locks a circuit with random XOR/XNOR key gates.
+func LockRLL(orig *Circuit, keyBits int, seed int64) (*Locked, error) {
+	return lock.RLL(orig, keyBits, rand.New(rand.NewSource(seed)))
+}
+
+// LockSLL locks a circuit with Strong Logic Locking (interference-
+// maximising key-gate placement).
+func LockSLL(orig *Circuit, keyBits int, seed int64) (*Locked, error) {
+	return lock.SLL(orig, keyBits, rand.New(rand.NewSource(seed)))
+}
+
+// LockSFLLHD locks a circuit with SFLL-HD^h over keyBits protected
+// primary inputs.
+func LockSFLLHD(orig *Circuit, keyBits, h int, seed int64) (*Locked, error) {
+	return lock.SFLLHD(orig, keyBits, h, rand.New(rand.NewSource(seed)))
+}
+
+// Oracle is a black-box activated chip.
+type Oracle = oracle.Oracle
+
+// NewOracle returns a deterministic (noise-free) activated chip.
+func NewOracle(c *Circuit, key []bool) Oracle { return oracle.NewDeterministic(c, key) }
+
+// NewNoisyOracle returns a probabilistic activated chip where every
+// logic gate flips its output with probability eps per evaluation.
+func NewNoisyOracle(c *Circuit, key []bool, eps float64, seed int64) Oracle {
+	return oracle.NewProbabilistic(c, key, eps, seed)
+}
+
+// SignalProbs queries an oracle ns times and returns per-output
+// signal probabilities (eq. 1 of the paper).
+func SignalProbs(o Oracle, x []bool, ns int) []float64 { return oracle.SignalProbs(o, x, ns) }
+
+// Options configures the StatSAT attack (zero values pick the paper's
+// defaults: Ns=500, NSatis=100, NEval=2000, U_lambda=0.25,
+// E_lambda=0.30, NInst=1).
+type Options = core.Options
+
+// Result reports a StatSAT run: every recovered key scored by FM/HD
+// (best first), instance statistics and timing.
+type Result = core.Result
+
+// KeyReport is one recovered key with its evaluation scores.
+type KeyReport = core.KeyReport
+
+// ErrNoInstances is returned when every SAT instance died without a key.
+var ErrNoInstances = core.ErrNoInstances
+
+// Attack runs StatSAT against the oracle.
+func Attack(locked *Circuit, orc Oracle, opts Options) (*Result, error) {
+	return core.Attack(locked, orc, opts)
+}
+
+// EstimateOptions configures EstimateGateError.
+type EstimateOptions = core.EstimateOptions
+
+// EstimateGateError implements §V-E: the attacker estimates the
+// oracle's gate error probability by uncertainty matching.
+func EstimateGateError(locked *Circuit, orc Oracle, opts EstimateOptions) float64 {
+	return core.EstimateGateError(locked, orc, opts)
+}
+
+// BaselineResult reports a standard-SAT or PSAT run.
+type BaselineResult = attack.Result
+
+// PSATOptions configures the PSAT baseline.
+type PSATOptions = attack.PSATOptions
+
+// StandardSAT runs the classic SAT attack (deterministic oracles).
+func StandardSAT(locked *Circuit, orc Oracle, maxIter int) (*BaselineResult, error) {
+	return attack.StandardSAT(locked, orc, maxIter)
+}
+
+// PSAT runs the probabilistic-SAT baseline of Patnaik et al.
+func PSAT(locked *Circuit, orc Oracle, opts PSATOptions) (*BaselineResult, error) {
+	return attack.PSAT(locked, orc, opts)
+}
+
+// AppSATOptions configures the AppSAT baseline.
+type AppSATOptions = attack.AppSATOptions
+
+// AppSATResult reports an AppSAT run.
+type AppSATResult = attack.AppSATResult
+
+// AppSAT runs the approximate SAT attack (Shamsi et al.) — effective
+// on deterministic oracles, inapplicable to probabilistic ones (the
+// paper's footnote 2).
+func AppSAT(locked *Circuit, orc Oracle, opts AppSATOptions) (*AppSATResult, error) {
+	return attack.AppSAT(locked, orc, opts)
+}
+
+// LockRLLDeep locks a circuit with depth-targeted random key gates —
+// the defensive variant explored for the paper's future-work question
+// (see internal/exp.Defense).
+func LockRLLDeep(orig *Circuit, keyBits int, seed int64) (*Locked, error) {
+	return lock.RLLDeep(orig, keyBits, rand.New(rand.NewSource(seed)))
+}
+
+// LockAntiSAT locks a circuit with an Anti-SAT block (Xie &
+// Srivastava); keyBits must be even.
+func LockAntiSAT(orig *Circuit, keyBits int, seed int64) (*Locked, error) {
+	return lock.AntiSAT(orig, keyBits, rand.New(rand.NewSource(seed)))
+}
+
+// LockSARLock locks a circuit with SARLock (Yasin et al.).
+func LockSARLock(orig *Circuit, keyBits int, seed int64) (*Locked, error) {
+	return lock.SARLock(orig, keyBits, rand.New(rand.NewSource(seed)))
+}
+
+// FM computes the figure of merit (eq. 7) between two signal-
+// probability matrices indexed [input][output].
+func FM(oracleProbs, keyProbs [][]float64) float64 { return metrics.FM(oracleProbs, keyProbs) }
+
+// HD computes the signal-probability Hamming distance (eq. 8).
+func HD(oracleProbs, keyProbs [][]float64) float64 { return metrics.HD(oracleProbs, keyProbs) }
+
+// BERStats reports measured average/maximum output bit error ratios.
+type BERStats = metrics.BERStats
+
+// MeasureBER samples a probabilistic chip and reports its output BERs
+// relative to the deterministic reference (Table II's BER columns).
+func MeasureBER(c *Circuit, key []bool, eps float64, inputs, samples int, seed int64) BERStats {
+	return metrics.MeasureBER(c, key, eps, inputs, samples, seed)
+}
+
+// KeysEquivalent decides exactly (via SAT) whether two keys induce the
+// same function on the locked circuit.
+func KeysEquivalent(locked *Circuit, keyA, keyB []bool) (bool, error) {
+	return metrics.KeysEquivalent(locked, keyA, keyB)
+}
+
+// EquivalentToOriginal decides exactly whether locked+key matches an
+// unlocked reference circuit.
+func EquivalentToOriginal(locked *Circuit, key []bool, orig *Circuit) (bool, error) {
+	return metrics.EquivalentToOriginal(locked, key, orig)
+}
