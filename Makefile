@@ -1,0 +1,23 @@
+# Tier-1 verification: vet, build everything, run all tests with the
+# race detector (trace emission from parallel attack instances must
+# stay race-free — see docs/OBSERVABILITY.md).
+.PHONY: verify build test vet race bench
+
+verify: vet build race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Smoke-profile benchmarks: one pass over every table/figure generator
+# (see bench_test.go). BENCH_baseline.json records a reference run.
+bench:
+	go test -run='^$$' -bench=. -benchtime=1x -benchmem .

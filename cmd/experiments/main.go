@@ -23,9 +23,11 @@ import (
 
 func main() {
 	var (
-		profile = flag.String("profile", "quick", "profile: paper | quick | smoke")
-		expID   = flag.String("exp", "all", "experiment id(s), comma-separated: table1..table5, fig4..fig6, ablations, defense, all")
-		csvDir  = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+		profile  = flag.String("profile", "quick", "profile: paper | quick | smoke")
+		expID    = flag.String("exp", "all", "experiment id(s), comma-separated: table1..table5, fig4..fig6, ablations, defense, all")
+		csvDir   = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+		traceDir = flag.String("trace", "", "record one JSON-lines trace per attack run into this directory (schema: docs/OBSERVABILITY.md)")
+		verbose  = flag.Bool("v", false, "stream trace events to stderr as they happen")
 	)
 	flag.Parse()
 	p, ok := exp.ProfileByName(*profile)
@@ -33,6 +35,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown profile %q\n", *profile)
 		os.Exit(1)
 	}
+	p.TraceDir = *traceDir
+	p.Verbose = *verbose
 
 	ids := strings.Split(*expID, ",")
 	if *expID == "all" {

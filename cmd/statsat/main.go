@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"statsat/internal/metrics"
 	"statsat/internal/netio"
 	"statsat/internal/oracle"
+	"statsat/internal/trace"
 )
 
 func main() {
@@ -38,7 +40,8 @@ func main() {
 		eLam     = flag.Float64("elambda", 0.30, "estimated-BER threshold E_lambda")
 		epsG     = flag.Float64("epsg", -1, "attacker's gate-error estimate (-1 = estimate via §V-E; ignored when -eps 0)")
 		seed     = flag.Int64("seed", 1, "PRNG seed")
-		verbose  = flag.Bool("v", false, "log attack progress")
+		verbose  = flag.Bool("v", false, "log attack progress and stream trace events to stderr")
+		traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file (schema: docs/OBSERVABILITY.md)")
 		maxIter  = flag.Int("maxiter", 20000, "iteration safety cap")
 		parallel = flag.Bool("parallel", false, "run SAT instances concurrently (faster, non-reproducible)")
 	)
@@ -66,15 +69,21 @@ func main() {
 		orc = oracle.NewDeterministic(locked, key)
 	}
 
+	tracer, closeTrace, err := openTrace(*traceOut, *verbose)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeTrace()
+
 	switch *mode {
 	case "sat":
-		res, err := attack.StandardSAT(locked, orc, *maxIter)
+		res, err := attack.StandardSATOpt(locked, orc, attack.SATOptions{MaxIter: *maxIter, Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
 		reportBaseline("standard SAT", res, locked, key)
 	case "psat":
-		res, err := attack.PSAT(locked, orc, attack.PSATOptions{Ns: *ns, MaxIter: *maxIter, Seed: *seed})
+		res, err := attack.PSAT(locked, orc, attack.PSATOptions{Ns: *ns, MaxIter: *maxIter, Seed: *seed, Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
@@ -93,6 +102,7 @@ func main() {
 			Ns: *ns, NSatis: *nSatis, NEval: *nEval, NInst: *nInst,
 			ULambda: *uLam, ELambda: *eLam, EpsG: guess,
 			MaxTotalIter: *maxIter, Seed: *seed, Parallel: *parallel,
+			Tracer: tracer,
 		}
 		if *verbose {
 			opts.Logf = func(format string, args ...interface{}) {
@@ -131,6 +141,31 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown attack %q (want statsat, psat or sat)", *mode))
 	}
+}
+
+// openTrace assembles the requested trace sinks: a JSON-lines file for
+// -trace, a human-readable stderr stream for -v, both, or none (nil
+// tracer, tracing off). The closer flushes the file and is always safe
+// to call.
+func openTrace(path string, verbose bool) (trace.Tracer, func(), error) {
+	var sinks []trace.Tracer
+	closer := func() {}
+	if verbose {
+		sinks = append(sinks, trace.NewText(os.Stderr))
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		bw := bufio.NewWriter(f)
+		sinks = append(sinks, trace.NewJSONL(bw))
+		closer = func() {
+			bw.Flush()
+			f.Close()
+		}
+	}
+	return trace.Multi(sinks...), closer, nil
 }
 
 func reportBaseline(name string, res *attack.Result, locked interface {

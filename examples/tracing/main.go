@@ -1,0 +1,87 @@
+// Command tracing demonstrates the attack observability layer: it
+// locks a small benchmark circuit, runs StatSAT against a noisy oracle
+// with two trace sinks attached (a JSON-lines file and an in-memory
+// recorder), then summarises what the trace reveals about the run —
+// per-iteration solver effort, gating decisions and oracle spend.
+//
+// Run it from the repository root:
+//
+//	go run ./examples/tracing
+//
+// It writes trace.jsonl to the working directory; the schema of every
+// line is documented in docs/OBSERVABILITY.md.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+
+	"statsat"
+)
+
+func main() {
+	// A c880-style benchmark at reduced scale, locked with random
+	// XOR/XNOR key gates, queried through a noisy chip (eps = 1%).
+	bm, _ := statsat.BenchmarkByName("c880")
+	orig := bm.BuildScaled(8)
+	locked, err := statsat.LockRLL(orig, 12, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const eps = 0.01
+	orc := statsat.NewNoisyOracle(locked.Circuit, locked.Key, eps, 7)
+
+	// Sink 1: the portable JSON-lines format, for offline analysis.
+	f, err := os.Create("trace.jsonl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	defer bw.Flush()
+
+	// Sink 2: an in-memory recorder, for programmatic inspection.
+	rec := statsat.NewTraceRecorder()
+
+	opts := statsat.Options{
+		Ns: 128, NSatis: 16, NEval: 50, EvalNs: 128,
+		NInst: 8, EpsG: eps, Seed: 1,
+		Tracer: statsat.MultiTracer(statsat.NewJSONLTracer(bw), rec),
+	}
+	res, err := statsat.Attack(locked.Circuit, orc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("attack finished: %d key(s), best HD = %.4f\n", len(res.Keys), res.Best.HD)
+	fmt.Printf("trace: %d events written to trace.jsonl\n", len(rec.Events()))
+
+	// The recorder gives structured access to everything the engine
+	// did. A few things a Result alone cannot tell you:
+	fmt.Printf("  dip_found events:   %d\n", rec.Count(statsat.TraceDIPFound))
+	fmt.Printf("  forks:              %d\n", rec.Count(statsat.TraceFork))
+	fmt.Printf("  force_proceeds:     %d\n", rec.Count(statsat.TraceForceProceed))
+
+	var gatedU, gatedE, conflicts, queries int64
+	for _, ev := range rec.Events() {
+		switch ev.Type {
+		case statsat.TraceBitsGated:
+			gatedU += int64(len(ev.Gating.GatedU))
+			gatedE += int64(len(ev.Gating.GatedE))
+		case statsat.TraceAttackEnd:
+			queries = ev.Totals.OracleQueries
+		case statsat.TraceIterEnd:
+			// Solver counters are cumulative; the last iteration_end
+			// per instance holds that instance's total. Summing maxima
+			// is overkill here — just remember the largest seen.
+			if ev.Solver.Conflicts > conflicts {
+				conflicts = ev.Solver.Conflicts
+			}
+		}
+	}
+	fmt.Printf("  bits gated by U_lambda: %d, by E_lambda: %d\n", gatedU, gatedE)
+	fmt.Printf("  peak solver conflicts (one instance): %d\n", conflicts)
+	fmt.Printf("  attack-phase oracle queries: %d\n", queries)
+}

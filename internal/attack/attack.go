@@ -22,6 +22,7 @@ import (
 	"statsat/internal/cnf"
 	"statsat/internal/oracle"
 	"statsat/internal/sat"
+	"statsat/internal/trace"
 )
 
 // ErrIterationLimit is returned when an attack exceeds its iteration
@@ -44,9 +45,24 @@ type Result struct {
 	Failed bool
 }
 
+// SATOptions configures StandardSATOpt.
+type SATOptions struct {
+	// MaxIter bounds the number of DIP iterations (0 = 1<<20).
+	MaxIter int
+	// Tracer, if set, receives structured trace events (the same
+	// schema as StatSAT; see docs/OBSERVABILITY.md).
+	Tracer trace.Tracer
+}
+
 // StandardSAT runs the classic SAT attack against a (deterministic)
 // oracle. maxIter bounds the number of DIP iterations (0 = 1<<20).
 func StandardSAT(locked *circuit.Circuit, orc oracle.Oracle, maxIter int) (*Result, error) {
+	return StandardSATOpt(locked, orc, SATOptions{MaxIter: maxIter})
+}
+
+// StandardSATOpt is StandardSAT with the full option set.
+func StandardSATOpt(locked *circuit.Circuit, orc oracle.Oracle, opts SATOptions) (*Result, error) {
+	maxIter := opts.MaxIter
 	if maxIter <= 0 {
 		maxIter = 1 << 20
 	}
@@ -54,6 +70,8 @@ func StandardSAT(locked *circuit.Circuit, orc oracle.Oracle, maxIter int) (*Resu
 		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch (%d/%d in, %d/%d out)",
 			locked.NumPIs(), orc.NumInputs(), locked.NumPOs(), orc.NumOutputs())
 	}
+	tr := trace.NewEmitter(opts.Tracer)
+	emitStart(tr, "sat", locked, &trace.OptionsInfo{MaxIter: maxIter})
 	start := time.Now()
 	startQ := orc.Queries()
 	m, err := cnf.NewMiter(locked)
@@ -63,42 +81,53 @@ func StandardSAT(locked *circuit.Circuit, orc oracle.Oracle, maxIter int) (*Resu
 	ks := cnf.NewKeySolver(locked)
 	res := &Result{}
 	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		emitIterStart(tr, res.Iterations+1, m.S, orc, startQ)
 		status := m.S.Solve()
 		if status == sat.Unknown {
 			return nil, fmt.Errorf("attack: miter solve exceeded budget at iteration %d", res.Iterations)
 		}
 		if status == sat.Unsat {
 			// Converged: any key satisfying the DIPs is correct.
-			if ks.S.Solve() != sat.Sat {
+			if ks.S.Solve() == sat.Sat {
+				res.Key = ks.Key()
+			} else {
 				res.Failed = true
-				res.Duration = time.Since(start)
-				res.OracleQueries = orc.Queries() - startQ
-				return res, nil
 			}
-			res.Key = ks.Key()
 			res.Duration = time.Since(start)
 			res.OracleQueries = orc.Queries() - startQ
+			emitConverged(tr, m.S, orc, startQ, res)
 			return res, nil
 		}
 		x := m.Input()
 		y := orc.Query(x)
-		outA, outB, err := m.AddDIPCopies(x)
-		if err != nil {
+		if err := installDIP(m, ks, x, y); err != nil {
 			return nil, err
 		}
-		for i := range y {
-			cnf.Equal(m.S, outA[i], y[i])
-			cnf.Equal(m.S, outB[i], y[i])
-		}
-		outs, err := ks.AddDIPCopy(x)
-		if err != nil {
-			return nil, err
-		}
-		for i := range y {
-			cnf.Equal(ks.S, outs[i], y[i])
-		}
+		emitDIP(tr, res.Iterations, keyString(x), keyString(y), orc, startQ)
+		emitIterEnd(tr, res.Iterations+1, "dip", m.S, orc, startQ)
 	}
 	return nil, ErrIterationLimit
+}
+
+// installDIP adds one fully specified distinguishing I/O pair to the
+// miter and key solvers.
+func installDIP(m *cnf.Miter, ks *cnf.KeySolver, x, y []bool) error {
+	outA, outB, err := m.AddDIPCopies(x)
+	if err != nil {
+		return err
+	}
+	for i := range y {
+		cnf.Equal(m.S, outA[i], y[i])
+		cnf.Equal(m.S, outB[i], y[i])
+	}
+	outs, err := ks.AddDIPCopy(x)
+	if err != nil {
+		return err
+	}
+	for i := range y {
+		cnf.Equal(ks.S, outs[i], y[i])
+	}
+	return nil
 }
 
 // PSATOptions configures the PSAT baseline.
@@ -115,6 +144,9 @@ type PSATOptions struct {
 	MaxIter int
 	// Seed drives the frequency-sampling randomness.
 	Seed int64
+	// Tracer, if set, receives structured trace events (the same
+	// schema as StatSAT; see docs/OBSERVABILITY.md).
+	Tracer trace.Tracer
 }
 
 func (o *PSATOptions) setDefaults() {
@@ -141,6 +173,8 @@ func PSAT(locked *circuit.Circuit, orc oracle.Oracle, opts PSATOptions) (*Result
 		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch")
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	tr := trace.NewEmitter(opts.Tracer)
+	emitStart(tr, "psat", locked, &trace.OptionsInfo{Ns: opts.Ns, MaxIter: opts.MaxIter})
 	start := time.Now()
 	startQ := orc.Queries()
 	m, err := cnf.NewMiter(locked)
@@ -150,43 +184,129 @@ func PSAT(locked *circuit.Circuit, orc oracle.Oracle, opts PSATOptions) (*Result
 	ks := cnf.NewKeySolver(locked)
 	res := &Result{}
 	for res.Iterations = 0; res.Iterations < opts.MaxIter; res.Iterations++ {
+		emitIterStart(tr, res.Iterations+1, m.S, orc, startQ)
 		status := m.S.Solve()
 		if status == sat.Unknown {
 			return nil, fmt.Errorf("attack: miter solve exceeded budget at iteration %d", res.Iterations)
 		}
 		if status == sat.Unsat {
-			if ks.S.Solve() != sat.Sat {
+			if ks.S.Solve() == sat.Sat {
+				res.Key = ks.Key()
+			} else {
 				res.Failed = true
-				res.Duration = time.Since(start)
-				res.OracleQueries = orc.Queries() - startQ
-				return res, nil
 			}
-			res.Key = ks.Key()
 			res.Duration = time.Since(start)
 			res.OracleQueries = orc.Queries() - startQ
+			emitConverged(tr, m.S, orc, startQ, res)
 			return res, nil
 		}
 		x := m.Input()
 		y := choosePattern(orc, x, opts.Ns, opts.DominanceThreshold, rng)
-		outA, outB, err := m.AddDIPCopies(x)
-		if err != nil {
+		if err := installDIP(m, ks, x, y); err != nil {
 			return nil, err
 		}
-		for i := range y {
-			cnf.Equal(m.S, outA[i], y[i])
-			cnf.Equal(m.S, outB[i], y[i])
-		}
-		outs, err := ks.AddDIPCopy(x)
-		if err != nil {
-			return nil, err
-		}
-		for i := range y {
-			cnf.Equal(ks.S, outs[i], y[i])
-		}
+		emitDIP(tr, res.Iterations, keyString(x), keyString(y), orc, startQ)
+		emitIterEnd(tr, res.Iterations+1, "dip", m.S, orc, startQ)
 		// A wrong committed pattern may have made the formulas UNSAT
 		// already; the next Solve detects it.
 	}
 	return nil, ErrIterationLimit
+}
+
+// keyString renders a bit vector as a '0'/'1' string for trace events.
+func keyString(bits []bool) string {
+	b := make([]byte, len(bits))
+	for i, v := range bits {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// The emit helpers below keep the baselines on the same event schema
+// as StatSAT (docs/OBSERVABILITY.md); baselines run a single SAT
+// instance, so every instance-scoped event carries instance 0.
+
+func emitStart(tr *trace.Emitter, name string, locked *circuit.Circuit, opts *trace.OptionsInfo) {
+	tr.Emit(trace.Event{
+		Type: trace.AttackStart, Attack: name, Instance: -1,
+		Circuit: &trace.CircuitInfo{
+			Name: locked.Name, PIs: locked.NumPIs(), POs: locked.NumPOs(), Keys: locked.NumKeys(),
+		},
+		Opts: opts,
+	})
+}
+
+func emitIterStart(tr *trace.Emitter, iter int, s *sat.Solver, orc oracle.Oracle, startQ int64) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(trace.Event{
+		Type: trace.IterStart, Instance: 0, Iter: iter,
+		Solver: trace.SolverSnapshot(s), OracleQueries: orc.Queries() - startQ,
+	})
+}
+
+func emitIterEnd(tr *trace.Emitter, iter int, status string, s *sat.Solver, orc oracle.Oracle, startQ int64) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(trace.Event{
+		Type: trace.IterEnd, Instance: 0, Iter: iter, Status: status,
+		Solver: trace.SolverSnapshot(s), OracleQueries: orc.Queries() - startQ,
+	})
+}
+
+func emitDIP(tr *trace.Emitter, index int, x, y string, orc oracle.Oracle, startQ int64) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(trace.Event{
+		Type: trace.DIPFound, Instance: 0, Iter: index + 1,
+		OracleQueries: orc.Queries() - startQ,
+		DIP: &trace.DIPInfo{
+			Index: index, X: x, Y: y, Outputs: len(y), Specified: len(y),
+		},
+	})
+}
+
+// emitConverged closes a baseline trace: the final iteration_end
+// ("unsat"), then key_accepted or instance_dead, then attack_end.
+func emitConverged(tr *trace.Emitter, s *sat.Solver, orc oracle.Oracle, startQ int64, res *Result) {
+	if !tr.Enabled() {
+		return
+	}
+	emitIterEnd(tr, res.Iterations+1, "unsat", s, orc, startQ)
+	if res.Key != nil {
+		tr.Emit(trace.Event{
+			Type: trace.KeyAccepted, Instance: 0,
+			Key: &trace.KeyInfo{Key: keyString(res.Key), Iterations: res.Iterations, DIPs: res.Iterations},
+		})
+	} else {
+		tr.Emit(trace.Event{
+			Type: trace.InstanceDead, Instance: 0,
+			Key: &trace.KeyInfo{Iterations: res.Iterations, DIPs: res.Iterations},
+		})
+	}
+	keys := 0
+	if res.Key != nil {
+		keys = 1
+	}
+	dead := 0
+	if res.Failed {
+		dead = 1
+	}
+	tr.Emit(trace.Event{
+		Type: trace.AttackEnd, Instance: -1,
+		Totals: &trace.TotalsInfo{
+			Keys: keys, Iterations: res.Iterations, InstancesCreated: 1, PeakLive: 1,
+			DeadInstances: dead, OracleQueries: res.OracleQueries,
+			DurationNs: res.Duration.Nanoseconds(),
+		},
+	})
 }
 
 // choosePattern implements [15]'s pattern selection: dominant pattern

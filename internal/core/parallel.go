@@ -14,6 +14,11 @@ import (
 type lockedOracle struct {
 	mu    sync.Mutex
 	inner oracle.Oracle
+	// batch is inner's BatchQuerier view, stored once at wrap time so
+	// QueryBatch cannot panic on a mismatched dynamic type later; it
+	// is non-nil exactly when wrapOracle returned *lockedOracle
+	// directly (the batch-capable path).
+	batch oracle.BatchQuerier
 }
 
 func (o *lockedOracle) Query(x []bool) []bool {
@@ -25,7 +30,7 @@ func (o *lockedOracle) Query(x []bool) []bool {
 func (o *lockedOracle) QueryBatch(x []bool) []uint64 {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.inner.(oracle.BatchQuerier).QueryBatch(x)
+	return o.batch.QueryBatch(x)
 }
 
 func (o *lockedOracle) NumInputs() int  { return o.inner.NumInputs() }
@@ -51,7 +56,8 @@ func (o scalarLockedOracle) Queries() int64        { return o.lo.Queries() }
 // sampling capability when present.
 func wrapOracle(orc oracle.Oracle) oracle.Oracle {
 	lo := &lockedOracle{inner: orc}
-	if _, ok := orc.(oracle.BatchQuerier); ok {
+	if bq, ok := orc.(oracle.BatchQuerier); ok {
+		lo.batch = bq
 		return lo
 	}
 	return scalarLockedOracle{lo}

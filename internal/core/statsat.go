@@ -37,6 +37,7 @@ import (
 	"statsat/internal/metrics"
 	"statsat/internal/oracle"
 	"statsat/internal/sat"
+	"statsat/internal/trace"
 )
 
 // Options configures a StatSAT run. Zero values select the paper's
@@ -80,6 +81,12 @@ type Options struct {
 	Parallel bool
 	// Logf, if set, receives progress lines (serialised internally).
 	Logf func(format string, args ...interface{})
+	// Tracer, if set, receives structured trace events for every
+	// iteration, DIP, gating decision, fork, force-proceed and key —
+	// the schema is documented in docs/OBSERVABILITY.md. Emission is
+	// race-safe under Parallel. Tracing an attack changes nothing
+	// about its behaviour or results.
+	Tracer trace.Tracer
 }
 
 func (o *Options) setDefaults() {
@@ -295,6 +302,10 @@ type attackRun struct {
 	err      error
 	spawn    func(*instance) // set by the parallel scheduler
 
+	// tr stamps and forwards trace events; nil (all methods no-op)
+	// when no Tracer is configured.
+	tr *trace.Emitter
+
 	logMu sync.Mutex
 }
 
@@ -324,6 +335,23 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 	if opts.Parallel {
 		run.orc = wrapOracle(orc)
 	}
+	run.tr = trace.NewEmitter(opts.Tracer)
+	run.tr.Emit(trace.Event{
+		Type:     trace.AttackStart,
+		Attack:   "statsat",
+		Instance: -1,
+		Circuit: &trace.CircuitInfo{
+			Name: locked.Name,
+			PIs:  locked.NumPIs(),
+			POs:  locked.NumPOs(),
+			Keys: locked.NumKeys(),
+		},
+		Opts: &trace.OptionsInfo{
+			Ns: opts.Ns, NSatis: opts.NSatis, NEval: opts.NEval, EvalNs: opts.EvalNs,
+			NInst: opts.NInst, ULambda: opts.ULambda, ELambda: opts.ELambda,
+			EpsG: opts.EpsG, MaxIter: opts.MaxTotalIter, Parallel: opts.Parallel,
+		},
+	})
 	startQ := run.orc.Queries()
 	start := time.Now()
 
@@ -383,17 +411,48 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 			})
 		}
 	}
+	run.tr.Emit(trace.Event{
+		Type:     trace.AttackEnd,
+		Instance: -1,
+		Totals: &trace.TotalsInfo{
+			Keys:             len(keys),
+			Iterations:       run.res.TotalIterations,
+			InstancesCreated: run.res.InstancesCreated,
+			PeakLive:         run.res.Instances,
+			Forks:            run.res.Forks,
+			ForceProceeds:    run.res.ForceProceeds,
+			DeadInstances:    run.res.DeadInstances,
+			OracleQueries:    run.res.OracleQueries,
+			Truncated:        run.res.Truncated,
+			DurationNs:       run.res.AttackDuration.Nanoseconds(),
+		},
+	})
 	if len(keys) == 0 {
 		return run.res, ErrNoInstances
 	}
 
 	// Evaluation phase (eq. 7 / eq. 8).
+	run.tr.Emit(trace.Event{
+		Type:     trace.EvalStart,
+		Instance: -1,
+		Eval:     &trace.EvalInfo{Keys: len(keys), NEval: opts.NEval, EvalNs: opts.EvalNs},
+	})
 	evalStart := time.Now()
 	startEvalQ := run.orc.Queries()
 	run.evaluateKeys(keys)
 	run.res.EvalDuration = time.Since(evalStart)
 	run.res.EvalQueries = run.orc.Queries() - startEvalQ
 	run.res.EvalPerKey = run.res.EvalDuration / time.Duration(len(keys))
+	run.tr.Emit(trace.Event{
+		Type:     trace.EvalEnd,
+		Instance: -1,
+		Score:    &trace.ScoreInfo{FM: run.res.Best.FM, HD: run.res.Best.HD},
+		Eval: &trace.EvalInfo{
+			Keys:          len(keys),
+			DurationNs:    run.res.EvalDuration.Nanoseconds(),
+			OracleQueries: run.res.EvalQueries,
+		},
+	})
 	return run.res, nil
 }
 
@@ -440,16 +499,23 @@ func (run *attackRun) markTruncated() {
 }
 
 // setState transitions an instance under the shared lock and keeps the
-// dead-instance counter and live peak consistent.
+// dead-instance counter and live peak consistent. Death is traced here
+// so every path that kills an instance emits exactly one event.
 func (run *attackRun) setState(in *instance, st instState) {
 	run.mu.Lock()
-	defer run.mu.Unlock()
-	if in.state == st {
-		return
+	changed := in.state != st
+	if changed {
+		in.state = st
+		if st == dead {
+			run.res.DeadInstances++
+		}
 	}
-	in.state = st
-	if st == dead {
-		run.res.DeadInstances++
+	run.mu.Unlock()
+	if changed && st == dead {
+		run.tr.Emit(trace.Event{
+			Type: trace.InstanceDead, Instance: in.id,
+			Key: &trace.KeyInfo{Iterations: in.iterations, DIPs: len(in.dips)},
+		})
 	}
 }
 
@@ -489,23 +555,59 @@ func (run *attackRun) newRootInstance() (*instance, error) {
 }
 
 // step performs one SAT iteration for the instance. It is safe to call
-// concurrently for distinct instances.
+// concurrently for distinct instances (each emits only for itself; the
+// emitter and sinks serialise internally).
 func (run *attackRun) step(in *instance) error {
+	iter := in.iterations + 1
+	if run.tr.Enabled() {
+		run.tr.Emit(trace.Event{
+			Type: trace.IterStart, Instance: in.id, Iter: iter,
+			Solver:        trace.SolverSnapshot(in.miter.S),
+			OracleQueries: run.orc.Queries(),
+		})
+	}
 	status := in.miter.S.Solve()
 	if status == sat.Unknown {
 		return fmt.Errorf("statsat: instance %d miter solve exceeded budget", in.id)
 	}
 	if status == sat.Unsat {
 		run.finish(in)
+		run.emitIterEnd(in, iter, "unsat")
 		return nil
 	}
 	in.iterations++
 	x := in.miter.Input()
 	if idx, ok := in.byInput[keyOf(x)]; ok {
 		// Repeated DI (§IV-D): the unspecified bits starve the solver.
-		return run.handleRepeat(in, in.dips[idx])
+		err := run.handleRepeat(in, in.dips[idx])
+		run.emitIterEnd(in, iter, "repeat")
+		return err
 	}
-	return run.recordNewDIP(in, x)
+	if err := run.recordNewDIP(in, x); err != nil {
+		return err
+	}
+	// recordNewDIP kills the instance when key enumeration comes up
+	// empty; only this goroutine transitions in.state, so the read is
+	// safe without the lock.
+	outcome := "dip"
+	if in.state == dead {
+		outcome = "dead"
+	}
+	run.emitIterEnd(in, iter, outcome)
+	return nil
+}
+
+// emitIterEnd closes one iteration attempt with its outcome and a
+// post-iteration solver snapshot.
+func (run *attackRun) emitIterEnd(in *instance, iter int, outcome string) {
+	if !run.tr.Enabled() {
+		return
+	}
+	run.tr.Emit(trace.Event{
+		Type: trace.IterEnd, Instance: in.id, Iter: iter, Status: outcome,
+		Solver:        trace.SolverSnapshot(in.miter.S),
+		OracleQueries: run.orc.Queries(),
+	})
 }
 
 // finish extracts the instance's key (or marks it dead).
@@ -513,6 +615,10 @@ func (run *attackRun) finish(in *instance) {
 	if in.ks.S.Solve() == sat.Sat {
 		in.key = in.ks.Key()
 		run.setState(in, finished)
+		run.tr.Emit(trace.Event{
+			Type: trace.KeyAccepted, Instance: in.id,
+			Key: &trace.KeyInfo{Key: keyOf(in.key), Iterations: in.iterations, DIPs: len(in.dips)},
+		})
 		run.logf("statsat: instance %d finished after %d iterations", in.id, in.iterations)
 		return
 	}
@@ -571,19 +677,41 @@ func (run *attackRun) recordNewDIP(in *instance, x []bool) error {
 		return err
 	}
 	in.dips = append(in.dips, d)
-	in.byInput[keyOf(x)] = len(in.dips) - 1
+	dipIdx := len(in.dips) - 1
+	in.byInput[keyOf(x)] = dipIdx
 
-	// eq. 4: specify bits that are both certain and low-estimated-BER.
-	specified := 0
+	// eq. 4: specify bits that are both certain and low-estimated-BER;
+	// the rest stay unspecified, partitioned by which threshold
+	// withheld them (eq. 3's U_lambda first, then eq. 4's E_lambda).
+	var specIdx, gatedU, gatedE []int
 	for i := range probs {
-		if u[i] <= opts.ULambda && e[i] <= opts.ELambda {
+		switch {
+		case u[i] > opts.ULambda:
+			gatedU = append(gatedU, i)
+		case e[i] > opts.ELambda:
+			gatedE = append(gatedE, i)
+		default:
 			in.specify(d, i, probs[i] >= 0.5)
-			specified++
+			specIdx = append(specIdx, i)
 		}
+	}
+	if run.tr.Enabled() {
+		run.tr.Emit(trace.Event{
+			Type: trace.DIPFound, Instance: in.id, Iter: in.iterations,
+			OracleQueries: run.orc.Queries(),
+			DIP: &trace.DIPInfo{
+				Index: dipIdx, X: keyOf(x), Y: fmtY(d.y),
+				Outputs: len(probs), Specified: len(specIdx), Candidates: len(cand),
+			},
+		})
+		run.tr.Emit(trace.Event{
+			Type: trace.BitsGated, Instance: in.id, Iter: in.iterations,
+			Gating: &trace.GatingInfo{DIP: dipIdx, Specified: specIdx, GatedU: gatedU, GatedE: gatedE},
+		})
 	}
 	if run.opts.Logf != nil {
 		run.logf("statsat: instance %d DIP %d: x=%s y=%s (%d/%d bits specified, %d candidate keys)",
-			in.id, len(in.dips), keyOf(x), fmtY(d.y), specified, len(probs), len(cand))
+			in.id, len(in.dips), keyOf(x), fmtY(d.y), len(specIdx), len(probs), len(cand))
 	}
 	return nil
 }
@@ -627,6 +755,10 @@ func (run *attackRun) handleRepeat(in *instance, d *dip) error {
 		in.specify(d, j, v)
 		childDip := child.dips[in.dipIndex(d)]
 		child.specify(childDip, j, !v)
+		run.tr.Emit(trace.Event{
+			Type: trace.Fork, Instance: in.id, Iter: in.iterations,
+			Fork: &trace.ForkInfo{Child: child.id, Bit: j, U: d.u[j], E: d.e[j], Value: v},
+		})
 		run.logf("statsat: instance %d forked -> %d on bit %d (U=%.3f E=%.3f)",
 			in.id, child.id, j, d.u[j], d.e[j])
 		if run.spawn != nil {
@@ -636,7 +768,12 @@ func (run *attackRun) handleRepeat(in *instance, d *dip) error {
 	}
 	// eq. 6: force-proceed on the least-risky unspecified bit.
 	j := argminAt(d.e, unspec)
-	in.specify(d, j, d.probs[j] >= 0.5)
+	v := d.probs[j] >= 0.5
+	in.specify(d, j, v)
+	run.tr.Emit(trace.Event{
+		Type: trace.ForceProceed, Instance: in.id, Iter: in.iterations,
+		Fork: &trace.ForkInfo{Bit: j, U: d.u[j], E: d.e[j], Value: v},
+	})
 	run.logf("statsat: instance %d force-proceeds on bit %d (E=%.3f)", in.id, j, d.e[j])
 	return nil
 }
@@ -686,6 +823,11 @@ func (run *attackRun) evaluateKeys(keys []KeyReport) {
 			keyProbs := metrics.SignalProbMatrix(sim, inputs, opts.EvalNs)
 			keys[i].FM = metrics.FM(oracleProbs, keyProbs)
 			keys[i].HD = metrics.HD(oracleProbs, keyProbs)
+			run.tr.Emit(trace.Event{
+				Type: trace.KeyScored, Instance: keys[i].Instance,
+				Key:   &trace.KeyInfo{Key: keyOf(keys[i].Key)},
+				Score: &trace.ScoreInfo{FM: keys[i].FM, HD: keys[i].HD},
+			})
 		}(i)
 	}
 	wg.Wait()

@@ -168,7 +168,7 @@ func Ablations(p Profile, w io.Writer) ([]AblationRow, error) {
 		opts.ULambda = uLambda
 		opts.ELambda = eLambda
 		opts.NSatis = nSatis
-		out, err := runAttack(wl, eps, opts, p.Seed+8887)
+		out, err := runAttack(p, wl, eps, opts, p.Seed+8887)
 		if err != nil {
 			return nil, err
 		}

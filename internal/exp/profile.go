@@ -49,6 +49,14 @@ type Profile struct {
 	MaxTotalIter int
 	// Seed namespaces all randomness.
 	Seed int64
+	// TraceDir, when non-empty, records one JSON-lines trace file per
+	// attack run under this directory (schema: docs/OBSERVABILITY.md).
+	// Trace files ride alongside the CSV exports; tracing failures are
+	// reported on stderr but never fail an experiment.
+	TraceDir string
+	// Verbose additionally streams a human-readable rendering of every
+	// trace event to stderr.
+	Verbose bool
 }
 
 // Paper reproduces the published setup. Expect multi-hour runtimes.

@@ -45,7 +45,7 @@ func SweepNs(p Profile, w io.Writer) ([]SweepRow, error) {
 		opts := p.attackOpts(eps, p.MaxNInst/2+1, p.Seed+int64(ns))
 		opts.Ns = ns
 		opts.EvalNs = ns
-		out, err := runAttack(wl, eps, opts, p.Seed+int64(ns)*331)
+		out, err := runAttack(p, wl, eps, opts, p.Seed+int64(ns)*331)
 		if err != nil {
 			return nil, err
 		}

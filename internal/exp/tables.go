@@ -179,7 +179,7 @@ func TableIII(p Profile, w io.Writer) ([]TableIIIRow, error) {
 		eps := epsPts[min(1, len(epsPts)-1)] // point B
 		for nInst := 1; nInst <= p.MaxNInst; nInst *= 2 {
 			opts := p.attackOpts(eps, nInst, p.Seed+int64(nInst))
-			out, err := runAttack(wl, eps, opts, p.Seed+int64(nInst)*2003)
+			out, err := runAttack(p, wl, eps, opts, p.Seed+int64(nInst)*2003)
 			if err != nil {
 				return nil, err
 			}
@@ -250,7 +250,7 @@ func TableIV(p Profile, w io.Writer) ([]TableIVRow, error) {
 			for nInst := 1; nInst <= p.MaxNInst; nInst *= 2 {
 				opts := p.attackOpts(est, nInst, p.Seed+int64(nInst)*7)
 				opts.ELambda = 0.15
-				out, err = runAttack(wl, eps, opts, p.Seed+int64(nInst)*4001+int64(i))
+				out, err = runAttack(p, wl, eps, opts, p.Seed+int64(nInst)*4001+int64(i))
 				if err != nil {
 					return nil, err
 				}

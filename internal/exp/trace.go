@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"statsat/internal/core"
+	"statsat/internal/trace"
+)
+
+// traceSeq numbers trace files process-wide so repeated runs of the
+// same workload (doubling search, Table V repetitions) never collide.
+var traceSeq atomic.Int64
+
+// attachTrace wires a tracer into opts when the profile asks for one:
+// a JSON-lines file per attack run under TraceDir, and/or a
+// human-readable stream on stderr under Verbose. The returned closer
+// flushes and closes the file; it is always safe to call. Tracing
+// failures warn on stderr but never fail the experiment.
+func (p Profile) attachTrace(opts *core.Options, w Workload, eps float64) func() {
+	noop := func() {}
+	var sinks []trace.Tracer
+	if p.Verbose {
+		sinks = append(sinks, trace.NewText(os.Stderr))
+	}
+	closer := noop
+	if p.TraceDir != "" {
+		if err := os.MkdirAll(p.TraceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "exp: trace dir: %v\n", err)
+		} else {
+			name := fmt.Sprintf("%04d_%s_eps%.4g_n%d.jsonl",
+				traceSeq.Add(1), w.Bench.Name, eps, opts.NInst)
+			f, err := os.Create(filepath.Join(p.TraceDir, name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "exp: trace file: %v\n", err)
+			} else {
+				bw := bufio.NewWriter(f)
+				sinks = append(sinks, trace.NewJSONL(bw))
+				closer = func() {
+					bw.Flush()
+					f.Close()
+				}
+			}
+		}
+	}
+	opts.Tracer = trace.Multi(sinks...)
+	return closer
+}

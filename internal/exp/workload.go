@@ -93,9 +93,12 @@ type RunOutcome struct {
 }
 
 // runAttack performs one StatSAT run and checks the keys against the
-// ground truth.
-func runAttack(w Workload, eps float64, opts core.Options, oracleSeed int64) (RunOutcome, error) {
+// ground truth. When the profile enables tracing, the run's events are
+// recorded to a fresh JSON-lines file under p.TraceDir.
+func runAttack(p Profile, w Workload, eps float64, opts core.Options, oracleSeed int64) (RunOutcome, error) {
 	orc := oracle.NewProbabilistic(w.Locked.Circuit, w.Locked.Key, eps, oracleSeed)
+	closeTrace := p.attachTrace(&opts, w, eps)
+	defer closeTrace()
 	res, err := core.Attack(w.Locked.Circuit, orc, opts)
 	if err == core.ErrNoInstances {
 		return RunOutcome{Res: res, NInst: opts.NInst}, nil
@@ -128,7 +131,7 @@ func runDoubling(p Profile, w Workload, eps float64, seed int64) (RunOutcome, er
 	var last RunOutcome
 	for nInst := 1; nInst <= p.MaxNInst; nInst *= 2 {
 		opts := p.attackOpts(eps, nInst, seed)
-		out, err := runAttack(w, eps, opts, seed+int64(nInst)*1009)
+		out, err := runAttack(p, w, eps, opts, seed+int64(nInst)*1009)
 		if err != nil {
 			return RunOutcome{}, err
 		}
@@ -137,7 +140,7 @@ func runDoubling(p Profile, w Workload, eps float64, seed int64) (RunOutcome, er
 			// with lower values of one/both."
 			opts.ULambda = 0.15
 			opts.ELambda = 0.20
-			out, err = runAttack(w, eps, opts, seed+int64(nInst)*1013)
+			out, err = runAttack(p, w, eps, opts, seed+int64(nInst)*1013)
 			if err != nil {
 				return RunOutcome{}, err
 			}

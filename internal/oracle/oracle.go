@@ -64,15 +64,22 @@ func (o *Deterministic) NumOutputs() int { return o.c.NumPOs() }
 // Queries implements Oracle.
 func (o *Deterministic) Queries() int64 { return o.queries }
 
+// ScalarQueries implements QueryBreakdown (all queries are scalar).
+func (o *Deterministic) ScalarQueries() int64 { return o.queries }
+
+// BatchQueries implements QueryBreakdown.
+func (o *Deterministic) BatchQueries() int64 { return 0 }
+
 // Probabilistic is the paper's noisy activated chip.
 type Probabilistic struct {
-	c        *circuit.Circuit
-	key      []bool
-	eps      float64
-	rng      *rand.Rand
-	scratch  []bool
-	wscratch []uint64
-	queries  int64
+	c            *circuit.Circuit
+	key          []bool
+	eps          float64
+	rng          *rand.Rand
+	scratch      []bool
+	wscratch     []uint64
+	queries      int64
+	batchQueries int64
 }
 
 // BatchQuerier is implemented by oracles that can evaluate
@@ -80,6 +87,16 @@ type Probabilistic struct {
 // when available; each call counts as BatchLanes queries.
 type BatchQuerier interface {
 	QueryBatch(x []bool) []uint64
+}
+
+// QueryBreakdown is implemented by oracles that can split their total
+// query count into scalar and bit-parallel batch samples. The
+// invariant is Queries() == ScalarQueries() + BatchQueries(); the
+// trace layer records the split so sampling strategies are comparable
+// at equal query budgets.
+type QueryBreakdown interface {
+	ScalarQueries() int64
+	BatchQueries() int64
 }
 
 // NewProbabilistic activates circuit c with the correct key under
@@ -112,6 +129,7 @@ func (o *Probabilistic) Query(x []bool) []bool {
 // one sample per bit lane).
 func (o *Probabilistic) QueryBatch(x []bool) []uint64 {
 	o.queries += circuit.BatchLanes
+	o.batchQueries += circuit.BatchLanes
 	if o.wscratch == nil {
 		o.wscratch = make([]uint64, o.c.NumGates())
 	}
@@ -126,6 +144,12 @@ func (o *Probabilistic) NumOutputs() int { return o.c.NumPOs() }
 
 // Queries implements Oracle.
 func (o *Probabilistic) Queries() int64 { return o.queries }
+
+// ScalarQueries implements QueryBreakdown.
+func (o *Probabilistic) ScalarQueries() int64 { return o.queries - o.batchQueries }
+
+// BatchQueries implements QueryBreakdown.
+func (o *Probabilistic) BatchQueries() int64 { return o.batchQueries }
 
 // Eps exposes the true gate error probability (experiment harness
 // only; the attacker is not entitled to it — §V-E estimates it).

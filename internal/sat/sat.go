@@ -166,6 +166,27 @@ type Statistics struct {
 	Solves       int64
 }
 
+// Snapshot is a point-in-time view of a solver: current formula size
+// plus the cumulative Statistics counters. It is a plain value — safe
+// to retain after the solver moves on.
+type Snapshot struct {
+	Vars    int
+	Clauses int
+	Learnts int // learnt clauses currently retained (Statistics.Learnt counts all ever learnt)
+	Statistics
+}
+
+// Snapshot captures the solver's current counters. The solver is not
+// goroutine-safe, so call this only from the goroutine driving it.
+func (s *Solver) Snapshot() Snapshot {
+	return Snapshot{
+		Vars:       s.NumVars(),
+		Clauses:    s.NumClauses(),
+		Learnts:    s.NumLearnts(),
+		Statistics: s.Stats,
+	}
+}
+
 // New returns an empty solver.
 func New() *Solver {
 	return &Solver{
@@ -183,6 +204,10 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 
 // NumClauses returns the number of problem clauses retained.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of learnt clauses currently retained
+// (reduceDB periodically discards about half).
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
 // Clauses returns a copy of the retained problem clauses (after
 // top-level simplification) plus the root-level unit assignments.

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// jsonlTracer writes one JSON object per event, newline-terminated
+// (JSON-lines). Writes are serialised by a mutex.
+type jsonlTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONL returns a Tracer writing JSON-lines events to w. Each Emit
+// performs one Write on w; wrap files in a bufio.Writer (and flush it
+// when done) for high-frequency traces.
+func NewJSONL(w io.Writer) Tracer {
+	return &jsonlTracer{enc: json.NewEncoder(w)}
+}
+
+func (t *jsonlTracer) Emit(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Encode errors (closed file, full disk) are swallowed: tracing
+	// must never fail the attack it observes.
+	_ = t.enc.Encode(ev)
+}
+
+// textTracer writes one human-readable line per event.
+type textTracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewText returns a Tracer writing human-readable lines to w (the -v
+// style companion of NewJSONL).
+func NewText(w io.Writer) Tracer {
+	return &textTracer{w: w}
+}
+
+func (t *textTracer) Emit(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintln(t.w, ev.String())
+}
+
+// String renders the event as a single human-readable line.
+func (ev Event) String() string {
+	ts := time.Duration(ev.TNs).Round(time.Microsecond)
+	head := fmt.Sprintf("[%12v] #%-5d", ts, ev.Seq)
+	if ev.Instance >= 0 {
+		head += fmt.Sprintf(" inst %-3d", ev.Instance)
+	} else {
+		head += " run     "
+	}
+	body := string(ev.Type)
+	switch ev.Type {
+	case AttackStart:
+		if ev.Circuit != nil {
+			body += fmt.Sprintf(" %s attack on %q (%d in, %d out, %d key bits)",
+				ev.Attack, ev.Circuit.Name, ev.Circuit.PIs, ev.Circuit.POs, ev.Circuit.Keys)
+		}
+	case IterStart, IterEnd:
+		body += fmt.Sprintf(" iter %d", ev.Iter)
+		if ev.Status != "" {
+			body += " " + ev.Status
+		}
+		if ev.Solver != nil {
+			body += fmt.Sprintf(" [%d vars, %d clauses, %d learnts, %d conflicts]",
+				ev.Solver.Vars, ev.Solver.Clauses, ev.Solver.Learnts, ev.Solver.Conflicts)
+		}
+	case DIPFound:
+		if ev.DIP != nil {
+			body += fmt.Sprintf(" %d: x=%s y=%s (%d/%d specified, %d candidates)",
+				ev.DIP.Index, ev.DIP.X, ev.DIP.Y, ev.DIP.Specified, ev.DIP.Outputs, ev.DIP.Candidates)
+		}
+	case BitsGated:
+		if ev.Gating != nil {
+			body += fmt.Sprintf(" dip %d: gated_u=%v gated_e=%v",
+				ev.Gating.DIP, ev.Gating.GatedU, ev.Gating.GatedE)
+		}
+	case Fork:
+		if ev.Fork != nil {
+			body += fmt.Sprintf(" -> inst %d on bit %d (U=%.3f E=%.3f, parent takes %v)",
+				ev.Fork.Child, ev.Fork.Bit, ev.Fork.U, ev.Fork.E, ev.Fork.Value)
+		}
+	case ForceProceed:
+		if ev.Fork != nil {
+			body += fmt.Sprintf(" bit %d = %v (U=%.3f E=%.3f)",
+				ev.Fork.Bit, ev.Fork.Value, ev.Fork.U, ev.Fork.E)
+		}
+	case InstanceDead:
+		if ev.Key != nil {
+			body += fmt.Sprintf(" after %d iterations, %d dips", ev.Key.Iterations, ev.Key.DIPs)
+		}
+	case KeyAccepted:
+		if ev.Key != nil {
+			body += fmt.Sprintf(" key=%s after %d iterations, %d dips",
+				ev.Key.Key, ev.Key.Iterations, ev.Key.DIPs)
+		}
+	case KeyScored:
+		if ev.Key != nil && ev.Score != nil {
+			body += fmt.Sprintf(" key=%s FM=%.4f HD=%.4f", ev.Key.Key, ev.Score.FM, ev.Score.HD)
+		}
+	case AttackEnd:
+		if ev.Totals != nil {
+			body += fmt.Sprintf(" %d key(s), %d iterations, %d instances (%d forks, %d force-proceeds, %d dead), %d queries in %v",
+				ev.Totals.Keys, ev.Totals.Iterations, ev.Totals.InstancesCreated,
+				ev.Totals.Forks, ev.Totals.ForceProceeds, ev.Totals.DeadInstances,
+				ev.Totals.OracleQueries, time.Duration(ev.Totals.DurationNs).Round(time.Microsecond))
+		}
+	case EvalStart:
+		if ev.Eval != nil {
+			body += fmt.Sprintf(" %d key(s), N_eval=%d, Ns=%d", ev.Eval.Keys, ev.Eval.NEval, ev.Eval.EvalNs)
+		}
+	case EvalEnd:
+		if ev.Eval != nil && ev.Score != nil {
+			body += fmt.Sprintf(" best FM=%.4f HD=%.4f (%d queries in %v)",
+				ev.Score.FM, ev.Score.HD, ev.Eval.OracleQueries,
+				time.Duration(ev.Eval.DurationNs).Round(time.Microsecond))
+		}
+	}
+	if ev.OracleQueries > 0 && (ev.Type == IterStart || ev.Type == DIPFound) {
+		body += fmt.Sprintf(" (queries=%d)", ev.OracleQueries)
+	}
+	return head + " " + body
+}
+
+// multiTracer fans one event out to several sinks.
+type multiTracer struct{ ts []Tracer }
+
+// Multi returns a Tracer forwarding every event to each non-nil t in
+// order. With zero (or all-nil) arguments it returns nil, which the
+// attack engines treat as "tracing off".
+func Multi(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multiTracer{ts: live}
+}
+
+func (m *multiTracer) Emit(ev Event) {
+	for _, t := range m.ts {
+		t.Emit(ev)
+	}
+}
+
+// Recorder is an in-memory Tracer for tests and programmatic trace
+// consumption.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Events returns a copy of everything recorded so far.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Count returns the number of recorded events of type t.
+func (r *Recorder) Count(t EventType) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ev := range r.events {
+		if ev.Type == t {
+			n++
+		}
+	}
+	return n
+}

@@ -11,7 +11,9 @@
 //   - the StatSAT attack (Attack, Options, Result) plus the standard
 //     SAT attack and the PSAT baseline,
 //   - evaluation metrics (FM, HD, KeysEquivalent, MeasureBER) and the
-//     §V-E gate-error estimator (EstimateGateError).
+//     §V-E gate-error estimator (EstimateGateError),
+//   - attack observability (Tracer, NewJSONLTracer, TraceRecorder):
+//     structured, timestamped events from inside the attack loop.
 //
 // Quickstart:
 //
@@ -20,6 +22,30 @@
 //	orc := statsat.NewNoisyOracle(locked.Circuit, locked.Key, 0.01, 7)
 //	res, _ := statsat.Attack(locked.Circuit, orc, statsat.Options{EpsG: 0.01, NInst: 4})
 //	fmt.Println(res.Best.Key, res.Best.HD)
+//
+// # Tracing
+//
+// Every attack engine (Attack, StandardSATOpt, PSAT) accepts a Tracer
+// that receives a typed event for each milestone of the run: iteration
+// start/end with SAT-solver counters, distinguishing-input discovery,
+// output bits gated by the U_lambda/E_lambda thresholds, instance
+// forks and force-proceeds, key acceptance, and FM/HD scoring. Events
+// carry a total-order sequence number and a monotonic timestamp, and
+// emission is safe under Options.Parallel. The wire format and the
+// exact payload of every event type are documented in
+// docs/OBSERVABILITY.md; tracing never changes attack behaviour or
+// results.
+//
+// To record a run as JSON lines:
+//
+//	f, _ := os.Create("trace.jsonl")
+//	defer f.Close()
+//	opts := statsat.Options{EpsG: 0.01, NInst: 4, Tracer: statsat.NewJSONLTracer(f)}
+//	res, _ := statsat.Attack(locked.Circuit, orc, opts)
+//
+// To inspect events in memory (e.g. in tests), use NewTraceRecorder;
+// to fan one run out to several sinks, use MultiTracer. A runnable
+// walk-through lives in examples/tracing.
 package statsat
 
 import (
@@ -34,6 +60,7 @@ import (
 	"statsat/internal/lock"
 	"statsat/internal/metrics"
 	"statsat/internal/oracle"
+	"statsat/internal/trace"
 	"statsat/internal/verilog"
 )
 
@@ -193,6 +220,15 @@ func PSAT(locked *Circuit, orc Oracle, opts PSATOptions) (*BaselineResult, error
 	return attack.PSAT(locked, orc, opts)
 }
 
+// SATOptions configures StandardSATOpt.
+type SATOptions = attack.SATOptions
+
+// StandardSATOpt is StandardSAT with the full option set (iteration
+// bound plus tracing).
+func StandardSATOpt(locked *Circuit, orc Oracle, opts SATOptions) (*BaselineResult, error) {
+	return attack.StandardSATOpt(locked, orc, opts)
+}
+
 // AppSATOptions configures the AppSAT baseline.
 type AppSATOptions = attack.AppSATOptions
 
@@ -251,3 +287,51 @@ func KeysEquivalent(locked *Circuit, keyA, keyB []bool) (bool, error) {
 func EquivalentToOriginal(locked *Circuit, key []bool, orig *Circuit) (bool, error) {
 	return metrics.EquivalentToOriginal(locked, key, orig)
 }
+
+// Tracer receives attack trace events (set it via Options.Tracer,
+// SATOptions.Tracer or PSATOptions.Tracer). Implementations must
+// tolerate concurrent Emit calls. The event schema is documented in
+// docs/OBSERVABILITY.md.
+type Tracer = trace.Tracer
+
+// TraceEvent is one trace record; TraceEventType discriminates its
+// payload.
+type (
+	TraceEvent     = trace.Event
+	TraceEventType = trace.EventType
+)
+
+// Trace event types, re-exported from the schema (docs/OBSERVABILITY.md).
+const (
+	TraceAttackStart  = trace.AttackStart
+	TraceIterStart    = trace.IterStart
+	TraceIterEnd      = trace.IterEnd
+	TraceDIPFound     = trace.DIPFound
+	TraceBitsGated    = trace.BitsGated
+	TraceFork         = trace.Fork
+	TraceForceProceed = trace.ForceProceed
+	TraceInstanceDead = trace.InstanceDead
+	TraceKeyAccepted  = trace.KeyAccepted
+	TraceAttackEnd    = trace.AttackEnd
+	TraceEvalStart    = trace.EvalStart
+	TraceKeyScored    = trace.KeyScored
+	TraceEvalEnd      = trace.EvalEnd
+)
+
+// NewJSONLTracer writes one JSON object per event to w (the JSON-lines
+// wire format of docs/OBSERVABILITY.md). Writes are serialised; write
+// errors are swallowed — tracing never fails an attack.
+func NewJSONLTracer(w io.Writer) Tracer { return trace.NewJSONL(w) }
+
+// NewTextTracer writes a compact human-readable line per event to w.
+func NewTextTracer(w io.Writer) Tracer { return trace.NewText(w) }
+
+// MultiTracer fans events out to several sinks (nils are skipped; an
+// empty result is a nil Tracer, i.e. tracing off).
+func MultiTracer(ts ...Tracer) Tracer { return trace.Multi(ts...) }
+
+// TraceRecorder captures events in memory for later inspection.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns an empty, ready-to-use recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
