@@ -18,6 +18,9 @@ race:
 	go test -race ./...
 
 # Smoke-profile benchmarks: one pass over every table/figure generator
-# (see bench_test.go). BENCH_baseline.json records a reference run.
+# (see bench_test.go). BENCH_baseline.json records a reference run;
+# benchdiff warns (without failing) when allocs/op regress >20% —
+# allocation counts are deterministic, so that is signal, not noise.
 bench:
-	go test -run='^$$' -bench=. -benchtime=1x -benchmem .
+	go test -run='^$$' -bench=. -benchtime=1x -benchmem . | tee bench.out
+	go run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out

@@ -23,15 +23,25 @@ func benchWriter(i int) io.Writer {
 	return io.Discard
 }
 
+// smokeSeq pins the experiment scheduler to one worker so the
+// per-generator numbers stay comparable with BENCH_baseline.json,
+// which predates the parallel scheduler. BenchmarkTableII_Parallel
+// measures the pool itself.
+var smokeSeq = func() exp.Profile {
+	p := exp.Smoke
+	p.Workers = 1
+	return p
+}()
+
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		exp.TableI(exp.Smoke, benchWriter(i))
+		exp.TableI(smokeSeq, benchWriter(i))
 	}
 }
 
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TableII(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.TableII(smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -39,7 +49,7 @@ func BenchmarkTableII(b *testing.B) {
 
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TableIII(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.TableIII(smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -47,7 +57,7 @@ func BenchmarkTableIII(b *testing.B) {
 
 func BenchmarkTableIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TableIV(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.TableIV(smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -55,7 +65,21 @@ func BenchmarkTableIV(b *testing.B) {
 
 func BenchmarkTableV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TableV(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.TableV(smokeSeq, benchWriter(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_Parallel runs the same Table II workload with one
+// scheduler worker per CPU (Profile.Workers = 0, the default). The
+// speed-up over BenchmarkTableII tracks the core count; the rows are
+// byte-identical either way (TestParallelOutputByteIdentical).
+func BenchmarkTableII_Parallel(b *testing.B) {
+	p := exp.Smoke
+	p.Workers = 0
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableII(p, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,7 +87,7 @@ func BenchmarkTableV(b *testing.B) {
 
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig4(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.Fig4(smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,7 +95,7 @@ func BenchmarkFig4(b *testing.B) {
 
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig5(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.Fig5(smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -79,7 +103,7 @@ func BenchmarkFig5(b *testing.B) {
 
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig6(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.Fig6(smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +111,7 @@ func BenchmarkFig6(b *testing.B) {
 
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Ablations(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.Ablations(smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,7 +119,7 @@ func BenchmarkAblations(b *testing.B) {
 
 func BenchmarkDefense(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Defense(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.Defense(smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -103,7 +127,7 @@ func BenchmarkDefense(b *testing.B) {
 
 func BenchmarkSweepNs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.SweepNs(exp.Smoke, benchWriter(i)); err != nil {
+		if _, err := exp.SweepNs(smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,162 @@
+// benchdiff compares a `go test -bench` run against a recorded
+// baseline (BENCH_baseline.json) and warns — loudly, but without
+// failing — when allocs/op regress beyond a threshold. Wall-clock
+// numbers are reported for context only: single-shot -benchtime=1x
+// timings carry 10-20% noise, but allocation counts are deterministic
+// and a sustained jump means a scratch-reuse contract got dropped.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem . | tee bench.out
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
+//
+// With no file argument, benchdiff reads the benchmark output from
+// stdin. The exit code is always 0: the diff is a review aid, not a
+// gate (use the printed WARNING lines in CI logs).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baselineFile struct {
+	Recorded   string `json:"recorded"`
+	Benchmarks []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+type result struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// parseBench extracts per-benchmark results from `go test -bench`
+// output. Benchmark names are normalised by stripping the -GOMAXPROCS
+// suffix so they match the baseline's records.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := out[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.nsPerOp = v
+			case "allocs/op":
+				res.allocsPerOp = v
+				res.hasAllocs = true
+			}
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON to diff against")
+	threshold := flag.Float64("threshold", 20, "allocs/op regression percentage that triggers a warning")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parse %s: %v\n", *baselinePath, err)
+		os.Exit(1)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: read bench output: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchdiff vs %s (recorded %s); allocs/op warn threshold %+.0f%%\n",
+		*baselinePath, base.Recorded, *threshold)
+	fmt.Printf("%-28s %14s %14s %8s   %s\n", "benchmark", "base allocs", "now allocs", "Δ%", "time Δ% (noisy)")
+	warnings := 0
+	for _, b := range base.Benchmarks {
+		c, ok := cur[b.Name]
+		if !ok || !c.hasAllocs {
+			fmt.Printf("%-28s %14.0f %14s\n", b.Name, b.AllocsPerOp, "(not run)")
+			continue
+		}
+		dAlloc := pctDelta(b.AllocsPerOp, c.allocsPerOp)
+		dNs := pctDelta(b.NsPerOp, c.nsPerOp)
+		warn := ""
+		if dAlloc > *threshold {
+			warn = "  <-- WARNING: allocs/op regressed"
+			warnings++
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %+7.1f%%   %+7.1f%%%s\n",
+			b.Name, b.AllocsPerOp, c.allocsPerOp, dAlloc, dNs, warn)
+	}
+	for name, c := range cur {
+		if !known(base, name) && c.hasAllocs {
+			fmt.Printf("%-28s %14s %14.0f    (new; no baseline)\n", name, "-", c.allocsPerOp)
+		}
+	}
+	if warnings > 0 {
+		fmt.Printf("\n*** WARNING: %d benchmark(s) regressed allocs/op by more than %.0f%% ***\n", warnings, *threshold)
+		fmt.Println("*** Allocation counts are deterministic — this is a real regression, not noise.")
+		fmt.Println("*** Check the scratch-reuse contracts in docs/PERFORMANCE.md before shipping,")
+		fmt.Println("*** or re-record the baseline if the extra allocations are intended.")
+	} else {
+		fmt.Println("\nallocs/op within threshold for all recorded benchmarks.")
+	}
+}
+
+func pctDelta(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+func known(base baselineFile, name string) bool {
+	for _, b := range base.Benchmarks {
+		if b.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -28,6 +28,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
 		traceDir = flag.String("trace", "", "record one JSON-lines trace per attack run into this directory (schema: docs/OBSERVABILITY.md)")
 		verbose  = flag.Bool("v", false, "stream trace events to stderr as they happen")
+		workers  = flag.Int("workers", 0, "experiment scheduler workers: 0 = one per CPU, 1 = sequential (results are identical for any value; see docs/PERFORMANCE.md)")
 	)
 	flag.Parse()
 	p, ok := exp.ProfileByName(*profile)
@@ -37,6 +38,7 @@ func main() {
 	}
 	p.TraceDir = *traceDir
 	p.Verbose = *verbose
+	p.Workers = *workers
 
 	ids := strings.Split(*expID, ",")
 	if *expID == "all" {

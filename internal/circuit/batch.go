@@ -28,6 +28,15 @@ const BatchLanes = 64
 // The returned slice holds one word per primary output. scratch, if
 // cap-sufficient (NumGates words), backs the intermediate wires.
 func (c *Circuit) EvalNoisyBatch(pi, key []bool, eps float64, rng *rand.Rand, scratch []uint64) []uint64 {
+	return c.EvalNoisyBatchInto(nil, pi, key, eps, rng, scratch)
+}
+
+// EvalNoisyBatchInto is EvalNoisyBatch with a caller-provided output
+// buffer: when out has capacity for NumPOs words it backs the result
+// and no output allocation happens, which matters on sampling hot
+// paths (SignalProbs issues ceil(Ns/64) passes per distinguishing
+// input). Passing nil falls back to allocating.
+func (c *Circuit) EvalNoisyBatchInto(out []uint64, pi, key []bool, eps float64, rng *rand.Rand, scratch []uint64) []uint64 {
 	if len(pi) != len(c.PIs) || len(key) != len(c.Keys) {
 		panic(fmt.Sprintf("circuit %q: EvalNoisyBatch input width mismatch (%d/%d PIs, %d/%d keys)",
 			c.Name, len(pi), len(c.PIs), len(key), len(c.Keys)))
@@ -103,7 +112,11 @@ func (c *Circuit) EvalNoisyBatch(pi, key []bool, eps float64, rng *rand.Rand, sc
 		}
 		w[id] = v
 	}
-	out := make([]uint64, len(c.POs))
+	if cap(out) >= len(c.POs) {
+		out = out[:len(c.POs)]
+	} else {
+		out = make([]uint64, len(c.POs))
+	}
 	for i, po := range c.POs {
 		out[i] = w[po]
 	}
@@ -128,8 +141,11 @@ type flipStream struct {
 	// current gate's lane 0
 }
 
-func newFlipStream(eps float64, rng *rand.Rand) *flipStream {
-	fs := &flipStream{eps: eps, rng: rng}
+// newFlipStream returns the stream by value so the sampling hot path
+// keeps it on the stack (one batch pass = one stream; a heap stream
+// per pass was the top allocation of SignalProbs).
+func newFlipStream(eps float64, rng *rand.Rand) flipStream {
+	fs := flipStream{eps: eps, rng: rng}
 	switch {
 	case eps <= 0:
 		fs.gap = math.MaxInt64

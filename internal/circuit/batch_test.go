@@ -170,10 +170,12 @@ func TestFlipStreamMaskDistribution(t *testing.T) {
 
 func TestFlipStreamEdgeEps(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
-	if m := newFlipStream(0, rng).nextMask(); m != 0 {
+	zero := newFlipStream(0, rng)
+	if m := zero.nextMask(); m != 0 {
 		t.Error("eps=0 mask must be empty")
 	}
-	if m := newFlipStream(1, rng).nextMask(); m != ^uint64(0) {
+	one := newFlipStream(1, rng)
+	if m := one.nextMask(); m != ^uint64(0) {
 		t.Error("eps=1 mask must be full")
 	}
 }

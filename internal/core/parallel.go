@@ -30,7 +30,11 @@ func (o *lockedOracle) Query(x []bool) []bool {
 func (o *lockedOracle) QueryBatch(x []bool) []uint64 {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return o.batch.QueryBatch(x)
+	// The inner oracle reuses its output buffer across calls
+	// (oracle.BatchQuerier contract); the caller reads the words after
+	// the lock is released, so hand out a private copy — otherwise a
+	// concurrent instance's next pass would overwrite them mid-read.
+	return append([]uint64(nil), o.batch.QueryBatch(x)...)
 }
 
 func (o *lockedOracle) NumInputs() int  { return o.inner.NumInputs() }

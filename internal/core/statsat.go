@@ -194,8 +194,10 @@ func (d *dip) cloneFor() *dip {
 	return &nd
 }
 
-func (d *dip) unspecified() []int {
-	var idx []int
+// unspecifiedInto collects the indices of unspecified bits into buf
+// (reused across calls on the hot repeat path).
+func (d *dip) unspecifiedInto(buf []int) []int {
+	idx := buf[:0]
 	for i, v := range d.y {
 		if v < 0 {
 			idx = append(idx, i)
@@ -213,6 +215,9 @@ const (
 )
 
 // instance is one SAT formulation (CNF formulas + recorded DIPs).
+// The *Buf fields are per-instance scratch for the iteration hot path;
+// an instance is only ever driven by one goroutine at a time, so they
+// need no locking (and clones get fresh ones).
 type instance struct {
 	id         int
 	parent     int // id of the instance this one forked from (-1 for root)
@@ -223,6 +228,9 @@ type instance struct {
 	iterations int
 	state      instState
 	key        []bool
+
+	keyBuf    []byte // repeated-DIP map lookups without a string alloc
+	unspecBuf []int  // unspecified-bit index scratch (handleRepeat)
 }
 
 // fmtY renders a partially-specified output vector ('x' = unspecified).
@@ -242,15 +250,21 @@ func fmtY(y []int8) string {
 }
 
 func keyOf(x []bool) string {
-	b := make([]byte, len(x))
-	for i, v := range x {
+	return string(appendBits(nil, x))
+}
+
+// appendBits renders x as '0'/'1' bytes into buf. Looking a []byte up
+// in a map via m[string(buf)] compiles to an allocation-free access,
+// which is why the per-iteration repeat check uses this form.
+func appendBits(buf []byte, x []bool) []byte {
+	for _, v := range x {
 		if v {
-			b[i] = '1'
+			buf = append(buf, '1')
 		} else {
-			b[i] = '0'
+			buf = append(buf, '0')
 		}
 	}
-	return string(b)
+	return buf
 }
 
 func (in *instance) clone(id int) *instance {
@@ -306,7 +320,20 @@ type attackRun struct {
 	// when no Tracer is configured.
 	tr *trace.Emitter
 
+	// estPool hands out per-goroutine errprop.Estimators so the
+	// N_satis-key BER estimation of every DIP reuses its wire-value and
+	// probability scratch instead of reallocating it per key, without
+	// sharing buffers between concurrently stepping instances.
+	estPool sync.Pool
+
 	logMu sync.Mutex
+}
+
+func (run *attackRun) getEstimator() *errprop.Estimator {
+	if est, ok := run.estPool.Get().(*errprop.Estimator); ok {
+		return est
+	}
+	return errprop.NewEstimator(run.locked)
 }
 
 func (run *attackRun) logf(format string, args ...interface{}) {
@@ -577,7 +604,8 @@ func (run *attackRun) step(in *instance) error {
 	}
 	in.iterations++
 	x := in.miter.Input()
-	if idx, ok := in.byInput[keyOf(x)]; ok {
+	in.keyBuf = appendBits(in.keyBuf[:0], x)
+	if idx, ok := in.byInput[string(in.keyBuf)]; ok {
 		// Repeated DI (§IV-D): the unspecified bits starve the solver.
 		err := run.handleRepeat(in, in.dips[idx])
 		run.emitIterEnd(in, iter, "repeat")
@@ -659,7 +687,9 @@ func (run *attackRun) recordNewDIP(in *instance, x []bool) error {
 		run.setState(in, dead)
 		return nil
 	}
-	e, err := errprop.AverageOutputBERs(run.locked, x, cand, opts.EpsG)
+	est := run.getEstimator()
+	e, err := est.AverageOutputBERs(x, cand, opts.EpsG)
+	run.estPool.Put(est)
 	if err != nil {
 		return fmt.Errorf("statsat: BER estimation: %w", err)
 	}
@@ -683,25 +713,36 @@ func (run *attackRun) recordNewDIP(in *instance, x []bool) error {
 	// eq. 4: specify bits that are both certain and low-estimated-BER;
 	// the rest stay unspecified, partitioned by which threshold
 	// withheld them (eq. 3's U_lambda first, then eq. 4's E_lambda).
+	// The index slices exist only for the BitsGated trace event, so
+	// untraced runs skip building them on this hot path.
+	traced := run.tr.Enabled()
+	specified := 0
 	var specIdx, gatedU, gatedE []int
 	for i := range probs {
 		switch {
 		case u[i] > opts.ULambda:
-			gatedU = append(gatedU, i)
+			if traced {
+				gatedU = append(gatedU, i)
+			}
 		case e[i] > opts.ELambda:
-			gatedE = append(gatedE, i)
+			if traced {
+				gatedE = append(gatedE, i)
+			}
 		default:
 			in.specify(d, i, probs[i] >= 0.5)
-			specIdx = append(specIdx, i)
+			specified++
+			if traced {
+				specIdx = append(specIdx, i)
+			}
 		}
 	}
-	if run.tr.Enabled() {
+	if traced {
 		run.tr.Emit(trace.Event{
 			Type: trace.DIPFound, Instance: in.id, Iter: in.iterations,
 			OracleQueries: run.orc.Queries(),
 			DIP: &trace.DIPInfo{
 				Index: dipIdx, X: keyOf(x), Y: fmtY(d.y),
-				Outputs: len(probs), Specified: len(specIdx), Candidates: len(cand),
+				Outputs: len(probs), Specified: specified, Candidates: len(cand),
 			},
 		})
 		run.tr.Emit(trace.Event{
@@ -711,7 +752,7 @@ func (run *attackRun) recordNewDIP(in *instance, x []bool) error {
 	}
 	if run.opts.Logf != nil {
 		run.logf("statsat: instance %d DIP %d: x=%s y=%s (%d/%d bits specified, %d candidate keys)",
-			in.id, len(in.dips), keyOf(x), fmtY(d.y), len(specIdx), len(probs), len(cand))
+			in.id, len(in.dips), keyOf(x), fmtY(d.y), specified, len(probs), len(cand))
 	}
 	return nil
 }
@@ -721,7 +762,8 @@ func (run *attackRun) recordNewDIP(in *instance, x []bool) error {
 // child registration are atomic so the parallel scheduler respects
 // N_inst exactly.
 func (run *attackRun) handleRepeat(in *instance, d *dip) error {
-	unspec := d.unspecified()
+	in.unspecBuf = d.unspecifiedInto(in.unspecBuf)
+	unspec := in.unspecBuf
 	if len(unspec) == 0 {
 		// Should be impossible: fully specified DIPs exclude their
 		// input from the miter. Defensive: treat as dead.
@@ -904,14 +946,19 @@ func EstimateGateError(locked *circuit.Circuit, orc oracle.Oracle, opts Estimate
 	}
 
 	best, bestFrac := 1e-4, -1.0
+	simU := make([]float64, locked.NumPOs())
+	var probsBuf []float64 // reused across the whole grid sweep
 	for eps := 1e-4; eps <= 0.25; eps *= opts.Step {
 		match, total := 0, 0
 		for j, x := range inputs {
 			// Average simulated uncertainty over the random keys.
-			simU := make([]float64, locked.NumPOs())
+			for i := range simU {
+				simU[i] = 0
+			}
 			for ki, k := range randKeys {
 				sim := oracle.NewProbabilistic(locked, k, eps, opts.Seed+int64(ki)*131+int64(j))
-				u := oracle.Uncertainties(oracle.SignalProbs(sim, x, opts.Ns))
+				probsBuf = oracle.SignalProbsInto(sim, x, opts.Ns, probsBuf)
+				u := oracle.UncertaintiesInto(probsBuf, probsBuf)
 				for i := range u {
 					simU[i] += u[i]
 				}

@@ -188,9 +188,14 @@ func TestAttackTruncationGuard(t *testing.T) {
 
 func TestDipHelpers(t *testing.T) {
 	d := &dip{y: []int8{-1, 0, 1, -1}}
-	u := d.unspecified()
+	u := d.unspecifiedInto(nil)
 	if len(u) != 2 || u[0] != 0 || u[1] != 3 {
 		t.Errorf("unspecified = %v", u)
+	}
+	// Buffer reuse keeps the contents correct.
+	u = d.unspecifiedInto(u)
+	if len(u) != 2 || u[0] != 0 || u[1] != 3 {
+		t.Errorf("unspecified (reused buf) = %v", u)
 	}
 	c := d.cloneFor()
 	c.y[0] = 1

@@ -21,15 +21,45 @@ import (
 // MaxEnumFanin bounds the exact flip-pattern enumeration per gate.
 const MaxEnumFanin = 16
 
+// Estimator carries the per-circuit scratch (deterministic wire
+// values and per-wire error probabilities) that WireErrorProbs needs,
+// so the per-DIP BER estimation loop — N_satis candidate keys per
+// distinguishing input — reuses two buffers instead of allocating
+// them for every key. An Estimator is bound to one circuit and is NOT
+// safe for concurrent use; give each goroutine its own (they are
+// cheap: two NumGates-sized slices).
+type Estimator struct {
+	c    *circuit.Circuit
+	vals []bool
+	p    []float64
+}
+
+// NewEstimator returns an estimator for c with pre-sized scratch.
+func NewEstimator(c *circuit.Circuit) *Estimator {
+	return &Estimator{
+		c:    c,
+		vals: make([]bool, c.NumGates()),
+		p:    make([]float64, c.NumGates()),
+	}
+}
+
 // WireErrorProbs returns, for every gate ID, the probability that the
 // wire's value differs from its deterministic value, for input x, key
 // k and per-gate error probability eps.
 func WireErrorProbs(c *circuit.Circuit, x, k []bool, eps float64) ([]float64, error) {
+	return NewEstimator(c).WireErrorProbs(x, k, eps)
+}
+
+// WireErrorProbs is the buffer-reusing form of the package-level
+// function: the returned slice is the estimator's scratch, valid only
+// until the next call on the same estimator. Copy it to retain it.
+func (est *Estimator) WireErrorProbs(x, k []bool, eps float64) ([]float64, error) {
+	c := est.c
 	if eps < 0 || eps > 1 {
 		return nil, fmt.Errorf("errprop: eps %v out of [0,1]", eps)
 	}
-	vals := c.EvalWires(x, k, nil)
-	p := make([]float64, c.NumGates())
+	vals := c.EvalWires(x, k, est.vals)
+	p := est.p[:c.NumGates()]
 	var faninVals [MaxEnumFanin]bool
 	var faninErrs [MaxEnumFanin]float64
 	var flipped [MaxEnumFanin]bool
@@ -81,15 +111,26 @@ func WireErrorProbs(c *circuit.Circuit, x, k []bool, eps float64) ([]float64, er
 // under gate error eps (the attacker's E vector of §IV-C for one
 // candidate key).
 func OutputBERs(c *circuit.Circuit, x, k []bool, eps float64) ([]float64, error) {
-	p, err := WireErrorProbs(c, x, k, eps)
+	return NewEstimator(c).OutputBERsInto(nil, x, k, eps)
+}
+
+// OutputBERsInto computes the per-output BER estimate into dst (which
+// backs the result when cap-sufficient; nil allocates).
+func (est *Estimator) OutputBERsInto(dst []float64, x, k []bool, eps float64) ([]float64, error) {
+	p, err := est.WireErrorProbs(x, k, eps)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, c.NumPOs())
-	for i, po := range c.POs {
-		out[i] = p[po]
+	c := est.c
+	if cap(dst) >= c.NumPOs() {
+		dst = dst[:c.NumPOs()]
+	} else {
+		dst = make([]float64, c.NumPOs())
 	}
-	return out, nil
+	for i, po := range c.POs {
+		dst[i] = p[po]
+	}
+	return dst, nil
 }
 
 // AverageOutputBERs averages OutputBERs over several candidate keys,
@@ -97,17 +138,26 @@ func OutputBERs(c *circuit.Circuit, x, k []bool, eps float64) ([]float64, error)
 // DIPs each yield a BER estimate; their mean is the E used for
 // thresholding. Returns an error if keys is empty.
 func AverageOutputBERs(c *circuit.Circuit, x []bool, keys [][]bool, eps float64) ([]float64, error) {
+	return NewEstimator(c).AverageOutputBERs(x, keys, eps)
+}
+
+// AverageOutputBERs is the buffer-reusing form: the per-key wire
+// probabilities live in the estimator's scratch, so only the returned
+// averaged vector is allocated (it is freshly allocated on every call
+// because callers retain it per DIP).
+func (est *Estimator) AverageOutputBERs(x []bool, keys [][]bool, eps float64) ([]float64, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("errprop: no candidate keys to average over")
 	}
+	c := est.c
 	acc := make([]float64, c.NumPOs())
 	for _, k := range keys {
-		e, err := OutputBERs(c, x, k, eps)
+		p, err := est.WireErrorProbs(x, k, eps)
 		if err != nil {
 			return nil, err
 		}
-		for i, v := range e {
-			acc[i] += v
+		for i, po := range c.POs {
+			acc[i] += p[po]
 		}
 	}
 	for i := range acc {

@@ -308,3 +308,34 @@ func BenchmarkOutputBERsScale8(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWireErrorProbs measures the package-level convenience path,
+// which pays a fresh Estimator (and its scratch) per call.
+func BenchmarkWireErrorProbs(b *testing.B) {
+	bm, _ := gen.ByName("c3540")
+	c := bm.BuildScaled(8)
+	rng := rand.New(rand.NewSource(1))
+	x := c.RandomInputs(rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := WireErrorProbs(c, x, nil, 0.0125); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireErrorProbsEstimator is the reusable-buffer path the
+// attack hot loop uses: one Estimator, zero per-call allocations.
+func BenchmarkWireErrorProbsEstimator(b *testing.B) {
+	bm, _ := gen.ByName("c3540")
+	c := bm.BuildScaled(8)
+	rng := rand.New(rand.NewSource(1))
+	x := c.RandomInputs(rng)
+	est := NewEstimator(c)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.WireErrorProbs(x, nil, 0.0125); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,65 +11,111 @@ import (
 // re-running them; a process-local memo keyed by profile and circuit
 // selection keeps `-exp all` from paying for the sweeps twice.
 // Experiment functions remain deterministic in (profile, circuit
-// list), so caching cannot change results.
+// list) — and in particular independent of Profile.Workers — so
+// caching cannot change results.
+//
+// The memo is singleflight-style: the whole check-compute-store is
+// guarded per key, so when two generators race on the same profile
+// (e.g. Fig4 and Fig5 jobs in the scheduler pool, or concurrent table
+// generation in tests) the workload is computed exactly once and the
+// loser blocks until the winner's rows are ready.
+type memo[T any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[T]
+}
+
+// memoEntry guards one key's compute with its own mutex (not a
+// sync.Once: the table generators prime the memo from *inside* a
+// cached computation via storeTableII, and a reentrant Once.Do would
+// deadlock — put uses TryLock to stay a no-op in that case).
+type memoEntry[T any] struct {
+	mu   sync.Mutex
+	done bool
+	rows T
+	err  error
+}
+
+func (c *memo[T]) entry(key string) *memoEntry[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = map[string]*memoEntry[T]{}
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &memoEntry[T]{}
+		c.m[key] = e
+	}
+	return e
+}
+
+// get returns the memoised rows for key, invoking compute at most once
+// per key process-wide; concurrent callers block until the winner's
+// rows are ready. Errors are memoised too: the computation is
+// deterministic in the key, so retrying cannot help.
+func (c *memo[T]) get(key string, compute func() (T, error)) (T, error) {
+	e := c.entry(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
+		e.rows, e.err = compute()
+		e.done = true
+	}
+	return e.rows, e.err
+}
+
+// put primes the memo with already-computed rows. It is best-effort:
+// when the key is already computed, primed, or mid-computation
+// (including by the calling goroutine itself — see memoEntry), it is
+// a no-op; results are deterministic, so the first value is as good
+// as any.
+func (c *memo[T]) put(key string, rows T) {
+	e := c.entry(key)
+	if !e.mu.TryLock() {
+		return
+	}
+	defer e.mu.Unlock()
+	if !e.done {
+		e.rows = rows
+		e.done = true
+	}
+}
+
 var (
-	cacheMu      sync.Mutex
-	tableIIMemo  = map[string][]TableIIRow{}
-	tableIIIMemo = map[string][]TableIIIRow{}
+	tableIIMemo  memo[[]TableIIRow]
+	tableIIIMemo memo[[]TableIIIRow]
 )
 
+// cacheKey folds every profile knob that can influence experiment
+// rows (Workers deliberately excluded: results are worker-count
+// invariant) plus the circuit selection.
 func cacheKey(p Profile, circuits []string) string {
-	return fmt.Sprintf("%s|scale=%d|ns=%d|eps=%g|pts=%d|ninst=%d|%s",
-		p.Name, p.Scale, p.Ns, p.EpsFactor, p.EpsPoints, p.MaxNInst,
+	return fmt.Sprintf("%s|seed=%d|scale=%d|ns=%d|nsatis=%d|neval=%d|evalns=%d|keys=%d/%d/%d|ber=%d/%d|eps=%g|pts=%d|ninst=%d|iter=%d|runs=%d|%s",
+		p.Name, p.Seed, p.Scale, p.Ns, p.NSatis, p.NEval, p.EvalNs,
+		p.SFLLKeyBits, p.SLLKeyBits, p.C880KeyBits,
+		p.BERInputs, p.BERSamples,
+		p.EpsFactor, p.EpsPoints, p.MaxNInst, p.MaxTotalIter, p.Runs,
 		strings.Join(circuits, ","))
 }
 
 func tableIICached(p Profile) ([]TableIIRow, error) {
-	key := cacheKey(p, tableIICircuits)
-	cacheMu.Lock()
-	rows, ok := tableIIMemo[key]
-	cacheMu.Unlock()
-	if ok {
-		return rows, nil
-	}
-	rows, err := TableII(p, io.Discard)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	tableIIMemo[key] = rows
-	cacheMu.Unlock()
-	return rows, nil
+	return tableIIMemo.get(cacheKey(p, tableIICircuits), func() ([]TableIIRow, error) {
+		return TableII(p, io.Discard)
+	})
 }
 
 func tableIIICached(p Profile) ([]TableIIIRow, error) {
-	key := cacheKey(p, tableIIICircuits)
-	cacheMu.Lock()
-	rows, ok := tableIIIMemo[key]
-	cacheMu.Unlock()
-	if ok {
-		return rows, nil
-	}
-	rows, err := TableIII(p, io.Discard)
-	if err != nil {
-		return nil, err
-	}
-	cacheMu.Lock()
-	tableIIIMemo[key] = rows
-	cacheMu.Unlock()
-	return rows, nil
+	return tableIIIMemo.get(cacheKey(p, tableIIICircuits), func() ([]TableIIIRow, error) {
+		return TableIII(p, io.Discard)
+	})
 }
 
 // storeTableII primes the cache (TableII calls it so an explicit
 // table2 run also feeds later fig4/fig5 calls).
 func storeTableII(p Profile, rows []TableIIRow) {
-	cacheMu.Lock()
-	tableIIMemo[cacheKey(p, tableIICircuits)] = rows
-	cacheMu.Unlock()
+	tableIIMemo.put(cacheKey(p, tableIICircuits), rows)
 }
 
 func storeTableIII(p Profile, rows []TableIIIRow) {
-	cacheMu.Lock()
-	tableIIIMemo[cacheKey(p, tableIIICircuits)] = rows
-	cacheMu.Unlock()
+	tableIIIMemo.put(cacheKey(p, tableIIICircuits), rows)
 }

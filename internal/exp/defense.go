@@ -38,42 +38,63 @@ func Defense(p Profile, w io.Writer) ([]DefenseRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Scheduler jobs share the deep circuit read-only; warm its lazy
+	// topo-order cache like BuildWorkload does for the RLL one.
+	deep.Circuit.MustTopoOrder()
 
 	fmt.Fprintf(w, "DEFENSE STUDY: shallow RLL vs depth-targeted RLL-deep under StatSAT (profile %s)\n", p.Name)
 	fmt.Fprintf(w, "%-10s %6s %9s %5s %9s %6s %5s %6s\n",
 		"Variant", "eps%", "FuncBER", "corr", "HD(K*)", "forks", "dead", "iters")
 	hr(w, 64)
 
-	var rows []DefenseRow
-	epsPts := p.epsList(paperEps["c880"])
-	for _, eps := range epsPts {
-		for _, v := range []struct {
-			name string
-			l    *lock.Locked
-		}{
-			{"RLL", wl.Locked},
-			{"RLL-deep", deep},
-		} {
-			vwl := Workload{Bench: wl.Bench, Orig: wl.Orig, Locked: v.l}
-			ber := metrics.MeasureBER(v.l.Circuit, v.l.Key, eps, p.BERInputs, p.BERSamples, p.Seed)
-			out, err := runDoubling(p, vwl, eps, p.Seed+int64(eps*1e5))
-			if err != nil {
-				return nil, err
-			}
-			row := DefenseRow{Variant: v.name, EpsPct: eps * 100, FuncBER: ber.Avg}
-			if out.Res != nil {
-				row.Forks = out.Res.Forks
-				row.Dead = out.Res.DeadInstances
-				if out.Res.Best != nil {
-					row.Correct = out.CorrectAny
-					row.HDBest = out.Res.Best.HD
-					row.Iters = out.Res.Best.Iterations
-				}
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(w, "%-10s %6.2f %9.4f %5v %9.4f %6d %5d %6d\n",
-				row.Variant, row.EpsPct, row.FuncBER, row.Correct, row.HDBest, row.Forks, row.Dead, row.Iters)
+	variants := []struct {
+		name string
+		l    *lock.Locked
+	}{
+		{"RLL", wl.Locked},
+		{"RLL-deep", deep},
+	}
+	type cell struct {
+		eps float64
+		vi  int
+	}
+	var cells []cell
+	for _, eps := range p.epsList(paperEps["c880"]) {
+		for vi := range variants {
+			cells = append(cells, cell{eps, vi})
 		}
+	}
+	rows := make([]DefenseRow, len(cells))
+	err = runOrdered(p.workers(), len(cells), func(i int) error {
+		c := cells[i]
+		v := variants[c.vi]
+		vwl := Workload{Bench: wl.Bench, Orig: wl.Orig, Locked: v.l}
+		ber := metrics.MeasureBER(v.l.Circuit, v.l.Key, c.eps, p.BERInputs, p.BERSamples,
+			deriveSeed(p.Seed, "defense-ber", v.name, c.eps))
+		out, err := runDoubling(p, vwl, c.eps,
+			fmt.Sprintf("defense/%s/eps%.4g", v.name, c.eps))
+		if err != nil {
+			return err
+		}
+		row := DefenseRow{Variant: v.name, EpsPct: c.eps * 100, FuncBER: ber.Avg}
+		if out.Res != nil {
+			row.Forks = out.Res.Forks
+			row.Dead = out.Res.DeadInstances
+			if out.Res.Best != nil {
+				row.Correct = out.CorrectAny
+				row.HDBest = out.Res.Best.HD
+				row.Iters = out.Res.Best.Iterations
+			}
+		}
+		rows[i] = row
+		return nil
+	}, func(i int) {
+		row := rows[i]
+		fmt.Fprintf(w, "%-10s %6.2f %9.4f %5v %9.4f %6d %5d %6d\n",
+			row.Variant, row.EpsPct, row.FuncBER, row.Correct, row.HDBest, row.Forks, row.Dead, row.Iters)
+	})
+	if err != nil {
+		return nil, err
 	}
 	fmt.Fprintln(w, "\nReading: if RLL-deep rows flip to corr=false (or need far more forks) at the")
 	fmt.Fprintln(w, "same FuncBER cost, depth-targeted key placement is a viable StatSAT defence.")

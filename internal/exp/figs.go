@@ -159,18 +159,23 @@ func Ablations(p Profile, w io.Writer) ([]AblationRow, error) {
 		{"no-duplication", func(_ *Profile, _ *float64, _ *float64, ni *int, _ *int) { *ni = 1 }},
 		{"single-key-BER", func(_ *Profile, _ *float64, _ *float64, _ *int, ns *int) { *ns = 1 }},
 	}
-	var rows []AblationRow
-	for _, v := range variants {
+	// One scheduler job per variant, all sharing the warmed workload.
+	rows := make([]AblationRow, len(variants))
+	err = runOrdered(p.workers(), len(variants), func(i int) error {
+		v := variants[i]
+		pp := p                      // each job mutates its own profile copy
 		uLambda, eLambda := 0.0, 0.0 // 0 selects the paper defaults
-		nInst, nSatis := p.MaxNInst, p.NSatis
-		v.mutate(&p, &uLambda, &eLambda, &nInst, &nSatis)
-		opts := p.attackOpts(eps, nInst, p.Seed)
+		nInst, nSatis := pp.MaxNInst, pp.NSatis
+		v.mutate(&pp, &uLambda, &eLambda, &nInst, &nSatis)
+		opts := pp.attackOpts(eps, nInst, deriveSeed(p.Seed, "ablation-attack", v.name))
 		opts.ULambda = uLambda
 		opts.ELambda = eLambda
 		opts.NSatis = nSatis
-		out, err := runAttack(p, wl, eps, opts, p.Seed+8887)
+		out, err := runAttack(pp, wl, eps, opts,
+			deriveSeed(p.Seed, "ablation-oracle", v.name),
+			fmt.Sprintf("ablation/%s", v.name))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := AblationRow{Variant: v.name}
 		if out.Res != nil {
@@ -183,9 +188,15 @@ func Ablations(p Profile, w io.Writer) ([]AblationRow, error) {
 				row.Correct = out.CorrectAny
 			}
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	}, func(i int) {
+		row := rows[i]
 		fmt.Fprintf(w, "%-16s %4d %9.4f %5v %5d %6d %9.2f\n",
 			row.Variant, row.NumKeys, row.HDBest, row.Correct, row.Dead, row.Forks, row.AttackSec)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

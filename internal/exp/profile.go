@@ -49,6 +49,12 @@ type Profile struct {
 	MaxTotalIter int
 	// Seed namespaces all randomness.
 	Seed int64
+	// Workers bounds the experiment scheduler's worker pool: every
+	// (circuit, technique, eps, trial) cell is an independent job with
+	// a seed derived from its coordinates, so results are byte-identical
+	// for any worker count. 0 means one worker per CPU
+	// (runtime.GOMAXPROCS); 1 forces the sequential path.
+	Workers int
 	// TraceDir, when non-empty, records one JSON-lines trace file per
 	// attack run under this directory (schema: docs/OBSERVABILITY.md).
 	// Trace files ride alongside the CSV exports; tracing failures are

@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// This file is the experiment scheduler. Every table, figure, sweep
+// and defense study decomposes into independent jobs — one per
+// (circuit, technique, eps, trial) cell — whose randomness comes from
+// deriveSeed, a pure function of the profile seed and the job's
+// coordinates. Because no job's result depends on when (or on which
+// worker) it runs, runOrdered can fan jobs out across a bounded pool
+// and still emit rows in job-index order: the output byte stream is
+// identical to the sequential harness for any worker count. See
+// docs/PERFORMANCE.md for the contract.
+
+// workers resolves the profile's worker count: Profile.Workers when
+// positive, else one worker per available CPU. Workers=1 forces the
+// strictly sequential path (useful for debugging and bisection).
+func (p Profile) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// deriveSeed maps a run's coordinates to a stable, well-mixed 63-bit
+// seed: seed = FNV-1a(base || coords...). Unlike a "next counter
+// value" scheme, the seed of a run does not depend on how many runs
+// happened before it or on scheduling order, so results are
+// reproducible for any worker count — and adding an experiment never
+// perturbs the seeds of the others.
+func deriveSeed(base int64, coords ...interface{}) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", base)
+	for _, c := range coords {
+		fmt.Fprintf(h, "|%v", c)
+	}
+	return int64(h.Sum64() &^ (1 << 63)) // keep it non-negative
+}
+
+// runOrdered executes jobs 0..n-1 on up to `workers` concurrent
+// goroutines and calls emit(i) exactly once per completed job, in
+// strictly increasing index order (ordered aggregation). Workers pull
+// the next index from a shared queue, so long jobs never block short
+// ones behind a static split. emit runs under the scheduler lock: it
+// may write to shared output streams without further synchronisation,
+// and must not call back into the scheduler.
+//
+// The first job error stops the scheduler: no new jobs start, running
+// jobs finish, emit is not called for any job at or after the first
+// failed index, and the error is returned. With workers <= 1 (or a
+// single job) everything runs inline on the caller's goroutine in
+// index order — the sequential path is the same code minus the pool.
+func runOrdered(workers, n int, run func(i int) error, emit func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+			if emit != nil {
+				emit(i)
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		mu       sync.Mutex
+		next     int // next job index to hand out
+		emitted  int // jobs emitted so far (== length of the done prefix)
+		firstErr error
+		failedAt = n // index of the earliest failed job
+		done     = make([]bool, n)
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				err := run(i)
+
+				mu.Lock()
+				done[i] = true
+				if err != nil {
+					if firstErr == nil || i < failedAt {
+						firstErr = err
+						failedAt = i
+					}
+				}
+				if emit != nil {
+					// Emit the completed prefix, stopping at the first
+					// failure so partial output never precedes the error.
+					for emitted < n && done[emitted] && emitted < failedAt {
+						emit(emitted)
+						emitted++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

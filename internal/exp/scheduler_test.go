@@ -1,0 +1,318 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	p := Smoke
+	p.Workers = 3
+	if got := p.workers(); got != 3 {
+		t.Errorf("workers() = %d, want 3", got)
+	}
+	p.Workers = 0
+	if got := p.workers(); got < 1 {
+		t.Errorf("workers() = %d, want >= 1 for Workers=0", got)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := deriveSeed(42, "table2", "c3540", 0.0125, 2)
+	b := deriveSeed(42, "table2", "c3540", 0.0125, 2)
+	if a != b {
+		t.Fatalf("deriveSeed not stable: %d vs %d", a, b)
+	}
+	if a < 0 {
+		t.Errorf("deriveSeed returned negative seed %d", a)
+	}
+	// Any coordinate change must move the seed.
+	variants := []int64{
+		deriveSeed(43, "table2", "c3540", 0.0125, 2),
+		deriveSeed(42, "table3", "c3540", 0.0125, 2),
+		deriveSeed(42, "table2", "c7552", 0.0125, 2),
+		deriveSeed(42, "table2", "c3540", 0.015, 2),
+		deriveSeed(42, "table2", "c3540", 0.0125, 4),
+	}
+	for i, v := range variants {
+		if v == a {
+			t.Errorf("variant %d collided with base seed %d", i, a)
+		}
+	}
+}
+
+func TestRunOrderedMatchesSequential(t *testing.T) {
+	const n = 37
+	for _, workers := range []int{1, 2, 8, 64} {
+		results := make([]int, n)
+		var order []int
+		err := runOrdered(workers, n, func(i int) error {
+			results[i] = i * i
+			return nil
+		}, func(i int) {
+			order = append(order, i)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(order) != n {
+			t.Fatalf("workers=%d: emitted %d jobs, want %d", workers, len(order), n)
+		}
+		for i := 0; i < n; i++ {
+			if order[i] != i {
+				t.Fatalf("workers=%d: emit order %v not increasing at %d", workers, order[:i+1], i)
+			}
+			if results[i] != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d", workers, i, results[i])
+			}
+		}
+	}
+}
+
+func TestRunOrderedFailingJob(t *testing.T) {
+	boom := errors.New("job 17 exploded")
+	for _, workers := range []int{1, 8} {
+		var order []int
+		err := runOrdered(workers, 64, func(i int) error {
+			if i == 17 {
+				return boom
+			}
+			if i == 40 {
+				return errors.New("later failure, must not win")
+			}
+			return nil
+		}, func(i int) {
+			order = append(order, i)
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want the earliest failure", workers, err)
+		}
+		for _, i := range order {
+			if i >= 17 {
+				t.Fatalf("workers=%d: emitted job %d at/after the failed index", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunOrderedEmitNil(t *testing.T) {
+	var ran int64
+	if err := runOrdered(8, 100, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 100 {
+		t.Fatalf("ran %d jobs, want 100", ran)
+	}
+}
+
+// TestRunOrderedStress shakes the pool under the race detector: many
+// tiny jobs, shared result slice, emit-side aggregation.
+func TestRunOrderedStress(t *testing.T) {
+	const n = 500
+	results := make([]int, n)
+	sum := 0
+	if err := runOrdered(16, n, func(i int) error {
+		results[i] = i
+		return nil
+	}, func(i int) {
+		sum += results[i]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := n * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestMemoSingleflight(t *testing.T) {
+	var m memo[int]
+	var computes int64
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.get("k", func() (int, error) {
+				atomic.AddInt64(&computes, 1)
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("get = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	// put after done is a no-op.
+	m.put("k", 99)
+	if v, _ := m.get("k", func() (int, error) { return -1, nil }); v != 7 {
+		t.Fatalf("put overwrote a computed entry: got %d", v)
+	}
+}
+
+// TestMemoReentrantPut is the deadlock regression test: the table
+// generators prime the memo from *inside* a cached computation
+// (TableII calls storeTableII), so put on a mid-computation key must
+// be a silent no-op, not a self-deadlock.
+func TestMemoReentrantPut(t *testing.T) {
+	var m memo[int]
+	v, err := m.get("k", func() (int, error) {
+		m.put("k", 99) // same key, same goroutine, mid-compute
+		return 7, nil
+	})
+	if err != nil || v != 7 {
+		t.Fatalf("reentrant get = %d, %v; want 7, nil", v, err)
+	}
+}
+
+func TestMemoMemoisesErrors(t *testing.T) {
+	var m memo[int]
+	boom := errors.New("boom")
+	var computes int
+	for i := 0; i < 2; i++ {
+		if _, err := m.get("k", func() (int, error) {
+			computes++
+			return 0, boom
+		}); !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("error not memoised: %d computes", computes)
+	}
+}
+
+// zeroCSV serialises rows with WriteCSV after the caller zeroed the
+// wall-clock fields (the only legitimately nondeterministic columns).
+func zeroCSV(t *testing.T, rows interface{}) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// collectSuite runs every generator at the given worker count and
+// returns comparable output per experiment: raw table text where no
+// wall-clock column exists, CSV with timing fields zeroed elsewhere.
+func collectSuite(t *testing.T, workers int) map[string]string {
+	t.Helper()
+	p := Smoke
+	p.Workers = workers
+	out := map[string]string{}
+	var buf bytes.Buffer
+
+	buf.Reset()
+	TableI(p, &buf)
+	out["table1/text"] = buf.String()
+
+	buf.Reset()
+	r2, err := TableII(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r2 {
+		r2[i].AttackSeconds, r2[i].EvalPerKeySecs, r2[i].StdSeconds = 0, 0, 0
+	}
+	out["table2/csv"] = zeroCSV(t, r2)
+
+	buf.Reset()
+	r3, err := TableIII(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r3 {
+		r3[i].TotalSeconds = 0
+	}
+	out["table3/csv"] = zeroCSV(t, r3)
+
+	buf.Reset()
+	r4, err := TableIV(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["table4/text"] = buf.String()
+	out["table4/csv"] = zeroCSV(t, r4)
+
+	buf.Reset()
+	r5, err := TableV(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["table5/text"] = buf.String()
+	out["table5/csv"] = zeroCSV(t, r5)
+
+	buf.Reset()
+	ra, err := Ablations(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra {
+		ra[i].AttackSec = 0
+	}
+	out["ablations/csv"] = zeroCSV(t, ra)
+
+	buf.Reset()
+	rd, err := Defense(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["defense/text"] = buf.String()
+	out["defense/csv"] = zeroCSV(t, rd)
+
+	buf.Reset()
+	rs, err := SweepNs(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		rs[i].AttackSecs = 0
+	}
+	out["sweep/csv"] = zeroCSV(t, rs)
+
+	return out
+}
+
+// TestParallelOutputByteIdentical is the tentpole's acceptance test:
+// every experiment must produce byte-identical results for any worker
+// count. Tables without wall-clock columns are compared as raw text
+// (headers, padding, row order and all); the rest as CSV with only
+// the measured-seconds fields zeroed.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	// Trim circuit lists so two full suite runs stay test-sized.
+	oldII, oldIII, oldIV, oldV := tableIICircuits, tableIIICircuits, tableIVCircuits, tableVWorkloads
+	tableIICircuits = []string{"c3540", "ex1010"}
+	tableIIICircuits = []string{"c3540"}
+	tableIVCircuits = []string{"c3540"}
+	tableVWorkloads = tableVWorkloads[:2]
+	defer func() {
+		tableIICircuits, tableIIICircuits, tableIVCircuits, tableVWorkloads = oldII, oldIII, oldIV, oldV
+	}()
+
+	seq := collectSuite(t, 1)
+	par := collectSuite(t, 8)
+	if len(seq) != len(par) {
+		t.Fatalf("suite key mismatch: %d vs %d", len(seq), len(par))
+	}
+	for k, want := range seq {
+		got, ok := par[k]
+		if !ok {
+			t.Errorf("missing %s in parallel run", k)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s differs between workers=1 and workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				k, want, got)
+		}
+	}
+}

@@ -40,14 +40,20 @@ func SweepNs(p Profile, w io.Writer) ([]SweepRow, error) {
 	fmt.Fprintf(w, "%6s %5s %9s %10s %10s %9s\n", "Ns", "corr", "HD(K*)", "HDfloor", "queries", "T_atk(s)")
 	hr(w, 56)
 
-	var rows []SweepRow
+	var nsPts []int
 	for ns := 32; ns <= p.Ns; ns *= 2 {
-		opts := p.attackOpts(eps, p.MaxNInst/2+1, p.Seed+int64(ns))
+		nsPts = append(nsPts, ns)
+	}
+	rows := make([]SweepRow, len(nsPts))
+	err = runOrdered(p.workers(), len(nsPts), func(i int) error {
+		ns := nsPts[i]
+		opts := p.attackOpts(eps, p.MaxNInst/2+1, deriveSeed(p.Seed, "sweep-attack", ns))
 		opts.Ns = ns
 		opts.EvalNs = ns
-		out, err := runAttack(p, wl, eps, opts, p.Seed+int64(ns)*331)
+		out, err := runAttack(p, wl, eps, opts,
+			deriveSeed(p.Seed, "sweep-oracle", ns), fmt.Sprintf("sweep/ns%d", ns))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := SweepRow{Bench: wl.Orig.Name, EpsPct: eps * 100, Ns: ns}
 		if out.Res != nil && out.Res.Best != nil {
@@ -57,12 +63,20 @@ func SweepNs(p Profile, w io.Writer) ([]SweepRow, error) {
 			row.AttackSecs = out.Res.AttackDuration.Seconds()
 		}
 		// Analytic floor for this Ns (fresh oracle, modest estimate).
-		orc := oracle.NewProbabilistic(wl.Locked.Circuit, wl.Locked.Key, eps, p.Seed+int64(ns)+5)
-		rngInputs := metrics.RandomInputSet(wl.Locked.Circuit, 10, newSeededRand(p.Seed+int64(ns)))
+		orc := oracle.NewProbabilistic(wl.Locked.Circuit, wl.Locked.Key, eps,
+			deriveSeed(p.Seed, "sweep-floor-oracle", ns))
+		rngInputs := metrics.RandomInputSet(wl.Locked.Circuit, 10,
+			newSeededRand(deriveSeed(p.Seed, "sweep-floor-inputs", ns)))
 		row.HDFloor = metrics.SamplingHDFloor(orc, rngInputs, ns, 2048)
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	}, func(i int) {
+		row := rows[i]
 		fmt.Fprintf(w, "%6d %5v %9.4f %10.4f %10d %9.2f\n",
 			row.Ns, row.Correct, row.HDBest, row.HDFloor, row.OracleQueries, row.AttackSecs)
+	})
+	if err != nil {
+		return nil, err
 	}
 	fmt.Fprintln(w, "\nReading: HD(K*) of a correct key tracks the sampling floor ~ 1/sqrt(Ns);")
 	fmt.Fprintln(w, "the paper's remark that HD(K*) is pure sampling error is quantitative.")

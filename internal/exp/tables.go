@@ -20,17 +20,21 @@ type TableIRow struct {
 }
 
 // TableI regenerates the benchmark inventory at the profile's scale
-// (at scale 1 the numbers equal the published ones).
+// (at scale 1 the numbers equal the published ones). Workload builds
+// fan out across the scheduler pool; rows print in Table I order.
 func TableI(p Profile, w io.Writer) []TableIRow {
 	fmt.Fprintf(w, "TABLE I: Benchmark circuits and their source (profile %s, scale %d)\n", p.Name, p.Scale)
 	fmt.Fprintf(w, "%-10s %-8s %8s %8s %8s\n", "Benchmark", "Source", "Inputs", "Gates", "Outputs")
 	hr(w, 46)
-	var rows []TableIRow
-	for _, bm := range benchOrder {
-		b, _ := ProfileBench(p, bm)
-		rows = append(rows, b)
+	rows := make([]TableIRow, len(benchOrder))
+	runOrdered(p.workers(), len(benchOrder), func(i int) error {
+		b, _ := ProfileBench(p, benchOrder[i])
+		rows[i] = b
+		return nil
+	}, func(i int) {
+		b := rows[i]
 		fmt.Fprintf(w, "%-10s %-8s %8d %8d %8d\n", b.Name, b.Source, b.Inputs, b.Gates, b.Outputs)
-	}
+	})
 	return rows
 }
 
@@ -74,55 +78,88 @@ var tableIICircuits = []string{"c3540", "c7552", "seq", "b14", "ex1010", "b15"}
 
 // TableII runs the headline experiment: for each circuit and eps_g,
 // double N_inst until the correct key is recovered; report measured
-// oracle BERs, the number of keys returned, and HD(K*).
+// oracle BERs, the number of keys returned, and HD(K*). Every
+// (circuit, eps) cell is an independent scheduler job with
+// coordinate-derived seeds; rows are emitted in table order, so the
+// output is byte-identical for any Profile.Workers.
 func TableII(p Profile, w io.Writer) ([]TableIIRow, error) {
 	fmt.Fprintf(w, "TABLE II: N_inst required to find the correct key vs eps_g (profile %s)\n", p.Name)
 	fmt.Fprintf(w, "%-12s %-10s %6s %4s %9s %9s %6s %4s %9s %5s %7s %8s\n",
 		"Bench", "Lock", "eps%", "", "AvgBER", "MaxBER", "Ninst", "|K|", "HD(K*)", "corr", "iters", "T_atk(s)")
 	hr(w, 106)
-	var rows []TableIIRow
-	for _, name := range tableIICircuits {
-		wl, err := BuildWorkload(p, name)
+	nw := p.workers()
+
+	// Stage 1: per-circuit workloads and deterministic SAT baselines.
+	wls := make([]Workload, len(tableIICircuits))
+	dets := make([]*attack.Result, len(tableIICircuits))
+	if err := runOrdered(nw, len(tableIICircuits), func(i int) error {
+		wl, err := BuildWorkload(p, tableIICircuits[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		det, err := stdAttackBaseline(p, wl)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for i, eps := range p.epsList(paperEps[name]) {
-			ber := metrics.MeasureBER(wl.Locked.Circuit, wl.Locked.Key, eps,
-				p.BERInputs, p.BERSamples, p.Seed+int64(i))
-			out, err := runDoubling(p, wl, eps, p.Seed+int64(i)*101)
-			if err != nil {
-				return nil, err
-			}
-			row := TableIIRow{
-				Bench:         wl.Orig.Name,
-				Lock:          wl.LockName(),
-				EpsPct:        eps * 100,
-				Label:         epsLabel(i),
-				AvgBER:        ber.Avg,
-				MaxBER:        ber.Max,
-				NInst:         out.NInst,
-				StdIterations: det.Iterations,
-				StdSeconds:    det.Duration.Seconds(),
-			}
-			if out.Res != nil {
-				row.NumKeys = len(out.Res.Keys)
-				row.AttackSeconds = out.Res.AttackDuration.Seconds()
-				row.EvalPerKeySecs = out.Res.EvalPerKey.Seconds()
-				if out.Res.Best != nil {
-					row.HDBest = out.Res.Best.HD
-					row.Correct = out.CorrectAny
-					row.Iterations = bestIterations(out)
-				}
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(w, "%-12s %-10s %6.2f (%s) %9.4f %9.4f %6d %4d %9.4f %5v %7d %8.2f\n",
-				row.Bench, row.Lock, row.EpsPct, row.Label, row.AvgBER, row.MaxBER,
-				row.NInst, row.NumKeys, row.HDBest, row.Correct, row.Iterations, row.AttackSeconds)
+		wls[i], dets[i] = wl, det
+		return nil
+	}, nil); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: one job per (circuit, eps) cell.
+	type cell struct {
+		ci, ei int
+		eps    float64
+	}
+	var cells []cell
+	for ci, name := range tableIICircuits {
+		for ei, eps := range p.epsList(paperEps[name]) {
+			cells = append(cells, cell{ci, ei, eps})
 		}
+	}
+	rows := make([]TableIIRow, len(cells))
+	err := runOrdered(nw, len(cells), func(i int) error {
+		c := cells[i]
+		wl, det := wls[c.ci], dets[c.ci]
+		ber := metrics.MeasureBER(wl.Locked.Circuit, wl.Locked.Key, c.eps,
+			p.BERInputs, p.BERSamples, deriveSeed(p.Seed, "table2-ber", wl.Bench.Name, c.eps))
+		out, err := runDoubling(p, wl, c.eps,
+			fmt.Sprintf("table2/%s/eps%s", wl.Bench.Name, epsLabel(c.ei)))
+		if err != nil {
+			return err
+		}
+		row := TableIIRow{
+			Bench:         wl.Orig.Name,
+			Lock:          wl.LockName(),
+			EpsPct:        c.eps * 100,
+			Label:         epsLabel(c.ei),
+			AvgBER:        ber.Avg,
+			MaxBER:        ber.Max,
+			NInst:         out.NInst,
+			StdIterations: det.Iterations,
+			StdSeconds:    det.Duration.Seconds(),
+		}
+		if out.Res != nil {
+			row.NumKeys = len(out.Res.Keys)
+			row.AttackSeconds = out.Res.AttackDuration.Seconds()
+			row.EvalPerKeySecs = out.Res.EvalPerKey.Seconds()
+			if out.Res.Best != nil {
+				row.HDBest = out.Res.Best.HD
+				row.Correct = out.CorrectAny
+				row.Iterations = bestIterations(out)
+			}
+		}
+		rows[i] = row
+		return nil
+	}, func(i int) {
+		row := rows[i]
+		fmt.Fprintf(w, "%-12s %-10s %6.2f (%s) %9.4f %9.4f %6d %4d %9.4f %5v %7d %8.2f\n",
+			row.Bench, row.Lock, row.EpsPct, row.Label, row.AvgBER, row.MaxBER,
+			row.NInst, row.NumKeys, row.HDBest, row.Correct, row.Iterations, row.AttackSeconds)
+	})
+	if err != nil {
+		return nil, err
 	}
 	storeTableII(p, rows)
 	return rows, nil
@@ -163,48 +200,88 @@ type TableIIIRow struct {
 // point B of each circuit's sweep.
 var tableIIICircuits = []string{"c3540", "c7552", "seq", "b14"}
 
+// nInstLadder lists the N_inst sweep points 1, 2, 4, ..., cap.
+func nInstLadder(cap int) []int {
+	var out []int
+	for n := 1; n <= cap; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
 // TableIII sweeps N_inst at fixed eps_g, reporting HD(K*) (Table III)
-// and FM(K*) vs total time (Fig. 6 uses the same rows).
+// and FM(K*) vs total time (Fig. 6 uses the same rows). Each
+// (circuit, N_inst) point is an independent scheduler job.
 func TableIII(p Profile, w io.Writer) ([]TableIIIRow, error) {
 	fmt.Fprintf(w, "TABLE III: HD(K*) vs N_inst at fixed eps_g (profile %s; * marks the correct key)\n", p.Name)
 	fmt.Fprintf(w, "%-12s %6s %6s %4s %9s %9s %10s\n", "Bench", "eps%", "Ninst", "|K|", "HD(K*)", "FM(K*)", "T_total(s)")
 	hr(w, 64)
-	var rows []TableIIIRow
-	for _, name := range tableIIICircuits {
-		wl, err := BuildWorkload(p, name)
+	nw := p.workers()
+
+	wls := make([]Workload, len(tableIIICircuits))
+	if err := runOrdered(nw, len(tableIIICircuits), func(i int) error {
+		wl, err := BuildWorkload(p, tableIIICircuits[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		epsPts := p.epsList(paperEps[name])
+		wls[i] = wl
+		return nil
+	}, nil); err != nil {
+		return nil, err
+	}
+
+	ladder := nInstLadder(p.MaxNInst)
+	type cell struct {
+		ci    int
+		nInst int
+	}
+	var cells []cell
+	for ci := range tableIIICircuits {
+		for _, n := range ladder {
+			cells = append(cells, cell{ci, n})
+		}
+	}
+	rows := make([]TableIIIRow, len(cells))
+	err := runOrdered(nw, len(cells), func(i int) error {
+		c := cells[i]
+		wl := wls[c.ci]
+		epsPts := p.epsList(paperEps[tableIIICircuits[c.ci]])
 		eps := epsPts[min(1, len(epsPts)-1)] // point B
-		for nInst := 1; nInst <= p.MaxNInst; nInst *= 2 {
-			opts := p.attackOpts(eps, nInst, p.Seed+int64(nInst))
-			out, err := runAttack(p, wl, eps, opts, p.Seed+int64(nInst)*2003)
-			if err != nil {
-				return nil, err
-			}
-			row := TableIIIRow{Bench: wl.Orig.Name, EpsPct: eps * 100, NInst: nInst}
-			if out.Res != nil && out.Res.Best != nil {
-				row.NumKeys = len(out.Res.Keys)
-				row.HDBest = out.Res.Best.HD
-				row.FMBest = out.Res.Best.FM
-				row.Correct = out.CorrectAny
-				row.TotalSeconds = out.Res.AttackDuration.Seconds() +
-					float64(len(out.Res.Keys))*out.Res.EvalPerKey.Seconds()
-			}
-			rows = append(rows, row)
-			mark := " "
-			if row.Correct {
-				mark = "*"
-			}
-			if row.NumKeys == 0 {
-				fmt.Fprintf(w, "%-12s %6.2f %6d    -         -         -          -\n",
-					row.Bench, row.EpsPct, row.NInst)
-				continue
-			}
-			fmt.Fprintf(w, "%-12s %6.2f %6d %4d %8.4f%s %9.4f %10.2f\n",
-				row.Bench, row.EpsPct, row.NInst, row.NumKeys, row.HDBest, mark, row.FMBest, row.TotalSeconds)
+		opts := p.attackOpts(eps, c.nInst,
+			deriveSeed(p.Seed, "table3-attack", wl.Bench.Name, wl.LockName(), eps, c.nInst))
+		out, err := runAttack(p, wl, eps, opts,
+			deriveSeed(p.Seed, "table3-oracle", wl.Bench.Name, wl.LockName(), eps, c.nInst),
+			fmt.Sprintf("table3/%s/n%d", wl.Bench.Name, c.nInst))
+		if err != nil {
+			return err
 		}
+		row := TableIIIRow{Bench: wl.Orig.Name, EpsPct: eps * 100, NInst: c.nInst}
+		if out.Res != nil && out.Res.Best != nil {
+			row.NumKeys = len(out.Res.Keys)
+			row.HDBest = out.Res.Best.HD
+			row.FMBest = out.Res.Best.FM
+			row.Correct = out.CorrectAny
+			row.TotalSeconds = out.Res.AttackDuration.Seconds() +
+				float64(len(out.Res.Keys))*out.Res.EvalPerKey.Seconds()
+		}
+		rows[i] = row
+		return nil
+	}, func(i int) {
+		row := rows[i]
+		if row.NumKeys == 0 {
+			fmt.Fprintf(w, "%-12s %6.2f %6d    -         -         -          -\n",
+				row.Bench, row.EpsPct, row.NInst)
+			return
+		}
+		mark := " "
+		if row.Correct {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%-12s %6.2f %6d %4d %8.4f%s %9.4f %10.2f\n",
+			row.Bench, row.EpsPct, row.NInst, row.NumKeys, row.HDBest, mark, row.FMBest, row.TotalSeconds)
+	})
+	if err != nil {
+		return nil, err
 	}
 	storeTableIII(p, rows)
 	return rows, nil
@@ -225,53 +302,86 @@ var tableIVCircuits = []string{"c3540", "c7552", "b14"}
 
 // TableIV relaxes the eps_g-knowledge assumption: the attacker
 // estimates eps'_g from uncertainty matching (§V-E) and attacks with
-// it (with E_lambda lowered, since the estimate undershoots).
+// it (with E_lambda lowered, since the estimate undershoots). One
+// scheduler job per (circuit, eps) cell; the estimation and its
+// doubling search stay inside the cell.
 func TableIV(p Profile, w io.Writer) ([]TableIVRow, error) {
 	fmt.Fprintf(w, "TABLE IV: attacker-estimated eps'_g and resulting HD(K*) (profile %s)\n", p.Name)
 	fmt.Fprintf(w, "%-12s %8s %8s %9s %5s\n", "Bench", "eps%", "eps'%", "HD(K*)", "corr")
 	hr(w, 48)
-	var rows []TableIVRow
-	for _, name := range tableIVCircuits {
-		wl, err := BuildWorkload(p, name)
+	nw := p.workers()
+
+	wls := make([]Workload, len(tableIVCircuits))
+	if err := runOrdered(nw, len(tableIVCircuits), func(i int) error {
+		wl, err := BuildWorkload(p, tableIVCircuits[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for i, eps := range p.epsList(paperEps[name]) {
-			orc := oracle.NewProbabilistic(wl.Locked.Circuit, wl.Locked.Key, eps, p.Seed+int64(i)*31)
-			est := core.EstimateGateError(wl.Locked.Circuit, orc, core.EstimateOptions{
-				NProbe: max(5, p.BERInputs/4),
-				Ns:     p.Ns,
-				NKeys:  4,
-				Seed:   p.Seed + int64(i),
-			})
-			// Attack with the estimate; lower E_lambda as the paper
-			// does because eps' < eps deflates the BER estimates.
-			var out RunOutcome
-			for nInst := 1; nInst <= p.MaxNInst; nInst *= 2 {
-				opts := p.attackOpts(est, nInst, p.Seed+int64(nInst)*7)
-				opts.ELambda = 0.15
-				out, err = runAttack(p, wl, eps, opts, p.Seed+int64(nInst)*4001+int64(i))
-				if err != nil {
-					return nil, err
-				}
-				if out.CorrectAny {
-					break
-				}
-			}
-			row := TableIVRow{Bench: wl.Orig.Name, EpsPct: eps * 100, EpsEstPct: est * 100}
-			if out.Res != nil && out.Res.Best != nil {
-				row.HDBest = out.Res.Best.HD
-				row.Correct = out.CorrectAny
-				row.KeysFound = len(out.Res.Keys)
-			}
-			rows = append(rows, row)
-			mark := " "
-			if row.Correct {
-				mark = "*"
-			}
-			fmt.Fprintf(w, "%-12s %8.2f %8.3f %8.4f%s %5v\n",
-				row.Bench, row.EpsPct, row.EpsEstPct, row.HDBest, mark, row.Correct)
+		wls[i] = wl
+		return nil
+	}, nil); err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		ci  int
+		eps float64
+	}
+	var cells []cell
+	for ci, name := range tableIVCircuits {
+		for _, eps := range p.epsList(paperEps[name]) {
+			cells = append(cells, cell{ci, eps})
 		}
+	}
+	rows := make([]TableIVRow, len(cells))
+	err := runOrdered(nw, len(cells), func(i int) error {
+		c := cells[i]
+		wl := wls[c.ci]
+		orc := oracle.NewProbabilistic(wl.Locked.Circuit, wl.Locked.Key, c.eps,
+			deriveSeed(p.Seed, "table4-est-oracle", wl.Bench.Name, c.eps))
+		est := core.EstimateGateError(wl.Locked.Circuit, orc, core.EstimateOptions{
+			NProbe: max(5, p.BERInputs/4),
+			Ns:     p.Ns,
+			NKeys:  4,
+			Seed:   deriveSeed(p.Seed, "table4-est", wl.Bench.Name, c.eps),
+		})
+		// Attack with the estimate; lower E_lambda as the paper
+		// does because eps' < eps deflates the BER estimates.
+		var out RunOutcome
+		for _, nInst := range nInstLadder(p.MaxNInst) {
+			opts := p.attackOpts(est, nInst,
+				deriveSeed(p.Seed, "table4-attack", wl.Bench.Name, wl.LockName(), c.eps, nInst))
+			opts.ELambda = 0.15
+			var err error
+			out, err = runAttack(p, wl, c.eps, opts,
+				deriveSeed(p.Seed, "table4-oracle", wl.Bench.Name, wl.LockName(), c.eps, nInst),
+				fmt.Sprintf("table4/%s/eps%.4g_n%d", wl.Bench.Name, c.eps, nInst))
+			if err != nil {
+				return err
+			}
+			if out.CorrectAny {
+				break
+			}
+		}
+		row := TableIVRow{Bench: wl.Orig.Name, EpsPct: c.eps * 100, EpsEstPct: est * 100}
+		if out.Res != nil && out.Res.Best != nil {
+			row.HDBest = out.Res.Best.HD
+			row.Correct = out.CorrectAny
+			row.KeysFound = len(out.Res.Keys)
+		}
+		rows[i] = row
+		return nil
+	}, func(i int) {
+		row := rows[i]
+		mark := " "
+		if row.Correct {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%-12s %8.2f %8.3f %8.4f%s %5v\n",
+			row.Bench, row.EpsPct, row.EpsEstPct, row.HDBest, mark, row.Correct)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -302,60 +412,106 @@ var tableVWorkloads = []struct {
 }
 
 // TableV compares PSAT's success rate over repeated runs with whether
-// StatSAT recovers the correct key.
+// StatSAT recovers the correct key. The job fan-out is trial-level:
+// every PSAT repetition and every StatSAT doubling search is its own
+// scheduler job (the paper's 20 PSAT runs per cell dominate the
+// cost), and a cell's row is emitted once its last job lands.
 func TableV(p Profile, w io.Writer) ([]TableVRow, error) {
 	fmt.Fprintf(w, "TABLE V: runs (out of %d) in which PSAT found the correct key vs StatSAT (profile %s)\n", p.Runs, p.Name)
 	fmt.Fprintf(w, "%-12s %6s %12s %10s\n", "Circuit", "eps%", "PSAT-succ", "StatSAT?")
 	hr(w, 44)
-	var rows []TableVRow
-	for _, tv := range tableVWorkloads {
-		wl, err := BuildWorkload(p, tv.name)
+	nw := p.workers()
+
+	// Distinct circuits, then cells referencing them.
+	wls := make([]Workload, len(tableVWorkloads))
+	if err := runOrdered(nw, len(tableVWorkloads), func(i int) error {
+		wl, err := BuildWorkload(p, tableVWorkloads[i].name)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		wls[i] = wl
+		return nil
+	}, nil); err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		wi  int
+		eps float64
+	}
+	var cells []cell
+	for wi, tv := range tableVWorkloads {
 		epsPts := tv.epsPct
 		if p.EpsPoints > 0 && p.EpsPoints < len(epsPts) {
 			epsPts = epsPts[:p.EpsPoints]
 		}
-		for i, pct := range epsPts {
-			eps := pct / 100 * p.EpsFactor
-			succ := 0
-			for r := 0; r < p.Runs; r++ {
-				orc := oracle.NewProbabilistic(wl.Locked.Circuit, wl.Locked.Key, eps, p.Seed+int64(r)*97+int64(i))
-				res, err := attack.PSAT(wl.Locked.Circuit, orc, attack.PSATOptions{
-					Ns:      p.Ns,
-					MaxIter: p.MaxTotalIter,
-					Seed:    p.Seed + int64(r),
-				})
-				if err != nil || res.Failed || res.Key == nil {
-					continue
-				}
-				eq, err := metrics.KeysEquivalent(wl.Locked.Circuit, res.Key, wl.Locked.Key)
-				if err != nil {
-					return nil, err
-				}
-				if eq {
-					succ++
-				}
-			}
-			out, err := runDoubling(p, wl, eps, p.Seed+int64(i)*313)
-			if err != nil {
-				return nil, err
-			}
-			row := TableVRow{
-				Bench:        wl.Orig.Name,
-				EpsPct:       eps * 100,
-				Runs:         p.Runs,
-				PSATSuccess:  succ,
-				StatSATFound: out.CorrectAny,
-			}
-			rows = append(rows, row)
-			statsatStr := "No"
-			if row.StatSATFound {
-				statsatStr = "Yes"
-			}
-			fmt.Fprintf(w, "%-12s %6.2f %8d/%-3d %10s\n", row.Bench, row.EpsPct, succ, p.Runs, statsatStr)
+		for _, pct := range epsPts {
+			cells = append(cells, cell{wi, pct / 100 * p.EpsFactor})
 		}
+	}
+
+	// Job layout: p.Runs PSAT trials then one StatSAT search per cell.
+	perCell := p.Runs + 1
+	psatOK := make([]bool, len(cells)*p.Runs)
+	statOut := make([]RunOutcome, len(cells))
+	rows := make([]TableVRow, 0, len(cells))
+	err := runOrdered(nw, len(cells)*perCell, func(i int) error {
+		ci, r := i/perCell, i%perCell
+		c := cells[ci]
+		wl := wls[c.wi]
+		if r == p.Runs {
+			out, err := runDoubling(p, wl, c.eps,
+				fmt.Sprintf("table5/%s/eps%.4g", wl.Bench.Name, c.eps))
+			if err != nil {
+				return err
+			}
+			statOut[ci] = out
+			return nil
+		}
+		orc := oracle.NewProbabilistic(wl.Locked.Circuit, wl.Locked.Key, c.eps,
+			deriveSeed(p.Seed, "table5-psat-oracle", wl.Bench.Name, c.eps, r))
+		res, err := attack.PSAT(wl.Locked.Circuit, orc, attack.PSATOptions{
+			Ns:      p.Ns,
+			MaxIter: p.MaxTotalIter,
+			Seed:    deriveSeed(p.Seed, "table5-psat", wl.Bench.Name, c.eps, r),
+		})
+		if err != nil || res.Failed || res.Key == nil {
+			return nil // a failed PSAT run is data, not an error
+		}
+		eq, err := metrics.KeysEquivalent(wl.Locked.Circuit, res.Key, wl.Locked.Key)
+		if err != nil {
+			return err
+		}
+		psatOK[ci*p.Runs+r] = eq
+		return nil
+	}, func(i int) {
+		ci, r := i/perCell, i%perCell
+		if r != perCell-1 {
+			return // row completes with the cell's last job
+		}
+		c := cells[ci]
+		succ := 0
+		for _, ok := range psatOK[ci*p.Runs : (ci+1)*p.Runs] {
+			if ok {
+				succ++
+			}
+		}
+		row := TableVRow{
+			Bench:        wls[c.wi].Orig.Name,
+			EpsPct:       c.eps * 100,
+			Runs:         p.Runs,
+			PSATSuccess:  succ,
+			StatSATFound: statOut[ci].CorrectAny,
+		}
+		rows = append(rows, row)
+		statsatStr := "No"
+		if row.StatSATFound {
+			statsatStr = "Yes"
+		}
+		fmt.Fprintf(w, "%-12s %6.2f %8d/%-3d %10s\n", row.Bench, row.EpsPct, succ, p.Runs, statsatStr)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -5,22 +5,30 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync/atomic"
+	"strings"
 
 	"statsat/internal/core"
 	"statsat/internal/trace"
 )
 
-// traceSeq numbers trace files process-wide so repeated runs of the
-// same workload (doubling search, Table V repetitions) never collide.
-var traceSeq atomic.Int64
+// traceFileName turns a run tag (its unique coordinate string, e.g.
+// "table2/c3540/epsA_n2_retry") into a flat file name. Tags are
+// unique by construction, so names are collision-free, deterministic,
+// and independent of scheduling order or worker count — unlike a
+// process-wide counter, which would number files by completion order.
+func traceFileName(tag string) string {
+	r := strings.NewReplacer("/", "_", " ", "_", "%", "pct")
+	return r.Replace(tag) + ".jsonl"
+}
 
 // attachTrace wires a tracer into opts when the profile asks for one:
-// a JSON-lines file per attack run under TraceDir, and/or a
-// human-readable stream on stderr under Verbose. The returned closer
-// flushes and closes the file; it is always safe to call. Tracing
-// failures warn on stderr but never fail the experiment.
-func (p Profile) attachTrace(opts *core.Options, w Workload, eps float64) func() {
+// a JSON-lines file per attack run under TraceDir (named after the
+// run's tag), and/or a human-readable stream on stderr under Verbose.
+// Each run writes its own file, so concurrent scheduler workers never
+// interleave events. The returned closer flushes and closes the file;
+// it is always safe to call. Tracing failures warn on stderr but
+// never fail the experiment.
+func (p Profile) attachTrace(opts *core.Options, tag string) func() {
 	noop := func() {}
 	var sinks []trace.Tracer
 	if p.Verbose {
@@ -31,9 +39,7 @@ func (p Profile) attachTrace(opts *core.Options, w Workload, eps float64) func()
 		if err := os.MkdirAll(p.TraceDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "exp: trace dir: %v\n", err)
 		} else {
-			name := fmt.Sprintf("%04d_%s_eps%.4g_n%d.jsonl",
-				traceSeq.Add(1), w.Bench.Name, eps, opts.NInst)
-			f, err := os.Create(filepath.Join(p.TraceDir, name))
+			f, err := os.Create(filepath.Join(p.TraceDir, traceFileName(tag)))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "exp: trace file: %v\n", err)
 			} else {

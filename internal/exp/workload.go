@@ -66,6 +66,11 @@ func BuildWorkload(p Profile, name string) (Workload, error) {
 	if err != nil {
 		return Workload{}, fmt.Errorf("exp: locking %s: %w", name, err)
 	}
+	// Warm the topological-order caches now: attack runs on different
+	// scheduler workers share the circuit read-only, and the lazily
+	// built cache is the one field evaluation would otherwise write.
+	orig.MustTopoOrder()
+	l.Circuit.MustTopoOrder()
 	return Workload{Bench: bm, Orig: orig, Locked: l}, nil
 }
 
@@ -94,10 +99,12 @@ type RunOutcome struct {
 
 // runAttack performs one StatSAT run and checks the keys against the
 // ground truth. When the profile enables tracing, the run's events are
-// recorded to a fresh JSON-lines file under p.TraceDir.
-func runAttack(p Profile, w Workload, eps float64, opts core.Options, oracleSeed int64) (RunOutcome, error) {
+// recorded to a fresh JSON-lines file under p.TraceDir named after
+// tag, the run's unique coordinate string (so concurrent runs never
+// share a file and names are stable across worker counts).
+func runAttack(p Profile, w Workload, eps float64, opts core.Options, oracleSeed int64, tag string) (RunOutcome, error) {
 	orc := oracle.NewProbabilistic(w.Locked.Circuit, w.Locked.Key, eps, oracleSeed)
-	closeTrace := p.attachTrace(&opts, w, eps)
+	closeTrace := p.attachTrace(&opts, tag)
 	defer closeTrace()
 	res, err := core.Attack(w.Locked.Circuit, orc, opts)
 	if err == core.ErrNoInstances {
@@ -126,12 +133,17 @@ func runAttack(p Profile, w Workload, eps float64, opts core.Options, oracleSeed
 // paper's Table II protocol) until the correct key is found or the
 // profile cap is hit; it returns the successful outcome (or the last
 // attempt). Following §V(A), a run that fails to produce *any* key is
-// retried once with lowered U_lambda / E_lambda thresholds.
-func runDoubling(p Profile, w Workload, eps float64, seed int64) (RunOutcome, error) {
+// retried once with lowered U_lambda / E_lambda thresholds. All
+// randomness is derived from the run's coordinates (tag, technique,
+// eps, N_inst), never from execution order.
+func runDoubling(p Profile, w Workload, eps float64, tag string) (RunOutcome, error) {
 	var last RunOutcome
 	for nInst := 1; nInst <= p.MaxNInst; nInst *= 2 {
+		runTag := fmt.Sprintf("%s_n%d", tag, nInst)
+		seed := deriveSeed(p.Seed, "attack", w.Bench.Name, w.LockName(), eps, tag, nInst)
 		opts := p.attackOpts(eps, nInst, seed)
-		out, err := runAttack(p, w, eps, opts, seed+int64(nInst)*1009)
+		oseed := deriveSeed(p.Seed, "oracle", w.Bench.Name, w.LockName(), eps, tag, nInst)
+		out, err := runAttack(p, w, eps, opts, oseed, runTag)
 		if err != nil {
 			return RunOutcome{}, err
 		}
@@ -140,7 +152,8 @@ func runDoubling(p Profile, w Workload, eps float64, seed int64) (RunOutcome, er
 			// with lower values of one/both."
 			opts.ULambda = 0.15
 			opts.ELambda = 0.20
-			out, err = runAttack(p, w, eps, opts, seed+int64(nInst)*1013)
+			oseed = deriveSeed(p.Seed, "oracle-retry", w.Bench.Name, w.LockName(), eps, tag, nInst)
+			out, err = runAttack(p, w, eps, opts, oseed, runTag+"_retry")
 			if err != nil {
 				return RunOutcome{}, err
 			}

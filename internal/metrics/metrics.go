@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"statsat/internal/circuit"
@@ -68,27 +69,35 @@ type BERStats struct {
 // MeasureBER samples the probabilistic oracle ns times on each of
 // nInputs random vectors and reports the average and maximum
 // per-(input, output) bit error ratio relative to the deterministic
-// reference behaviour.
+// reference behaviour. Sampling is bit-parallel (circuit.BatchLanes
+// samples per pass), so ns is rounded up to a whole number of passes
+// — never fewer samples than requested.
 func MeasureBER(c *circuit.Circuit, key []bool, eps float64, nInputs, ns int, seed int64) BERStats {
 	rng := rand.New(rand.NewSource(seed))
 	det := oracle.NewDeterministic(c, key)
 	prob := oracle.NewProbabilistic(c, key, eps, seed+1)
+	passes := (ns + circuit.BatchLanes - 1) / circuit.BatchLanes
+	total := passes * circuit.BatchLanes
 	var stats BERStats
 	count := 0
+	wrong := make([]int, c.NumPOs())
 	for in := 0; in < nInputs; in++ {
 		x := c.RandomInputs(rng)
 		ref := det.Query(x)
-		wrong := make([]int, len(ref))
-		for s := 0; s < ns; s++ {
-			y := prob.Query(x)
-			for i := range y {
-				if y[i] != ref[i] {
-					wrong[i]++
+		for i := range wrong {
+			wrong[i] = 0
+		}
+		for p := 0; p < passes; p++ {
+			words := prob.QueryBatch(x)
+			for i, w := range words {
+				if ref[i] {
+					w = ^w // mismatching lanes
 				}
+				wrong[i] += bits.OnesCount64(w)
 			}
 		}
 		for i := range wrong {
-			ber := float64(wrong[i]) / float64(ns)
+			ber := float64(wrong[i]) / float64(total)
 			stats.Avg += ber
 			if ber > stats.Max {
 				stats.Max = ber
@@ -139,8 +148,9 @@ func SamplingHDFloor(o oracle.Oracle, inputs [][]bool, ns, refNs int) float64 {
 	const sqrt2OverPi = 0.7978845608028654 // sqrt(2/pi)
 	total := 0.0
 	count := 0
+	var probs []float64
 	for _, x := range inputs {
-		probs := oracle.SignalProbs(o, x, refNs)
+		probs = oracle.SignalProbsInto(o, x, refNs, probs)
 		for _, p := range probs {
 			sd := math.Sqrt(2 * p * (1 - p) / float64(ns))
 			total += sd * sqrt2OverPi

@@ -78,6 +78,7 @@ type Probabilistic struct {
 	rng          *rand.Rand
 	scratch      []bool
 	wscratch     []uint64
+	outBuf       []uint64
 	queries      int64
 	batchQueries int64
 }
@@ -85,6 +86,11 @@ type Probabilistic struct {
 // BatchQuerier is implemented by oracles that can evaluate
 // circuit.BatchLanes independent samples per call. SignalProbs uses it
 // when available; each call counts as BatchLanes queries.
+//
+// The returned slice is only valid until the next QueryBatch call on
+// the same oracle: implementations may (and Probabilistic does) reuse
+// one output buffer across calls to keep the sampling loop
+// allocation-free. Callers that retain the words must copy them.
 type BatchQuerier interface {
 	QueryBatch(x []bool) []uint64
 }
@@ -126,14 +132,19 @@ func (o *Probabilistic) Query(x []bool) []bool {
 
 // QueryBatch implements BatchQuerier: circuit.BatchLanes independent
 // noisy evaluations in one bit-parallel pass (one word per output,
-// one sample per bit lane).
+// one sample per bit lane). The returned slice is reused across calls
+// (see BatchQuerier); copy it to retain the words.
 func (o *Probabilistic) QueryBatch(x []bool) []uint64 {
 	o.queries += circuit.BatchLanes
 	o.batchQueries += circuit.BatchLanes
 	if o.wscratch == nil {
 		o.wscratch = make([]uint64, o.c.NumGates())
 	}
-	return o.c.EvalNoisyBatch(x, o.key, o.eps, o.rng, o.wscratch)
+	if o.outBuf == nil {
+		o.outBuf = make([]uint64, o.c.NumPOs())
+	}
+	o.outBuf = o.c.EvalNoisyBatchInto(o.outBuf, x, o.key, o.eps, o.rng, o.wscratch)
+	return o.outBuf
 }
 
 // NumInputs implements Oracle.
@@ -161,52 +172,75 @@ func (o *Probabilistic) Eps() float64 { return o.eps }
 // (the sample count is then rounded up to a whole number of passes —
 // never fewer samples than requested).
 func SignalProbs(o Oracle, x []bool, ns int) []float64 {
+	return SignalProbsInto(o, x, ns, nil)
+}
+
+// SignalProbsInto is SignalProbs with a caller-provided result buffer:
+// when dst has capacity for NumOutputs values it backs the result, so
+// repeated probability queries (BER sweeps, eps'_g estimation, HD
+// floors) run without per-call allocation. One-counts accumulate
+// directly into dst (exact in float64 for any realistic ns), so no
+// intermediate counter slice is needed either.
+func SignalProbsInto(o Oracle, x []bool, ns int, dst []float64) []float64 {
 	if ns <= 0 {
 		panic("oracle: SignalProbs needs ns >= 1")
 	}
-	counts := make([]int, o.NumOutputs())
+	if cap(dst) >= o.NumOutputs() {
+		dst = dst[:o.NumOutputs()]
+	} else {
+		dst = make([]float64, o.NumOutputs())
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	total := ns
 	if bq, ok := o.(BatchQuerier); ok {
 		passes := (ns + circuit.BatchLanes - 1) / circuit.BatchLanes
-		total := passes * circuit.BatchLanes
+		total = passes * circuit.BatchLanes
 		for p := 0; p < passes; p++ {
 			words := bq.QueryBatch(x)
 			for j, w := range words {
-				counts[j] += bits.OnesCount64(w)
+				dst[j] += float64(bits.OnesCount64(w))
 			}
 		}
-		probs := make([]float64, len(counts))
-		for j, c := range counts {
-			probs[j] = float64(c) / float64(total)
-		}
-		return probs
-	}
-	for i := 0; i < ns; i++ {
-		y := o.Query(x)
-		for j, b := range y {
-			if b {
-				counts[j]++
+	} else {
+		for i := 0; i < ns; i++ {
+			y := o.Query(x)
+			for j, b := range y {
+				if b {
+					dst[j]++
+				}
 			}
 		}
 	}
-	probs := make([]float64, len(counts))
-	for j, c := range counts {
-		probs[j] = float64(c) / float64(ns)
+	for j := range dst {
+		dst[j] /= float64(total)
 	}
-	return probs
+	return dst
 }
 
 // Uncertainties converts signal probabilities to the paper's
 // uncertainty measure U_i = min(P_i, 1-P_i) (eq. 2).
 func Uncertainties(probs []float64) []float64 {
-	u := make([]float64, len(probs))
+	return UncertaintiesInto(probs, nil)
+}
+
+// UncertaintiesInto is Uncertainties with a caller-provided result
+// buffer (aliasing probs is allowed: the transform is element-wise).
+func UncertaintiesInto(probs, dst []float64) []float64 {
+	if cap(dst) >= len(probs) {
+		dst = dst[:len(probs)]
+	} else {
+		dst = make([]float64, len(probs))
+	}
 	for i, p := range probs {
 		if p <= 0.5 {
-			u[i] = p
+			dst[i] = p
 		} else {
-			u[i] = 1 - p
+			dst[i] = 1 - p
 		}
 	}
-	return u
+	return dst
 }
 
 // PatternCounts queries the oracle ns times and tallies whole output

@@ -344,3 +344,23 @@ func BenchmarkSignalProbs500(b *testing.B) {
 		SignalProbs(o, x, 500)
 	}
 }
+
+// BenchmarkSignalProbs500Into is the scratch-reuse path SignalProbs
+// delegates to; the allocs/op delta against BenchmarkSignalProbs500
+// is exactly the per-call result slice.
+func BenchmarkSignalProbs500Into(b *testing.B) {
+	bm, _ := gen.ByName("c3540")
+	orig := bm.BuildScaled(16)
+	rng := rand.New(rand.NewSource(1))
+	l, err := lock.RLL(orig, 16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := NewProbabilistic(l.Circuit, l.Key, 0.0125, 3)
+	x := orig.RandomInputs(rng)
+	var dst []float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = SignalProbsInto(o, x, 500, dst)
+	}
+}
