@@ -1,15 +1,31 @@
-# Tier-1 verification: vet, build everything, run all tests with the
-# race detector (trace emission from parallel attack instances must
-# stay race-free — see docs/OBSERVABILITY.md).
-.PHONY: verify build test vet race bench
+# Tier-1 verification: vet, build everything, run the project linter,
+# check formatting, then run all tests with the race detector (trace
+# emission from parallel attack instances must stay race-free — see
+# docs/OBSERVABILITY.md). statlint sits between vet and race so the
+# repo's determinism / buffer-aliasing / trace-gating invariants are
+# machine-checked on every verify — see docs/LINTING.md.
+.PHONY: verify build test vet race bench statlint fmt fmtcheck
 
-verify: vet build race
+verify: vet build statlint fmtcheck race
 
 vet:
 	go vet ./...
 
 build:
 	go build ./...
+
+# statlint: the stdlib-only project linter (globalrand, walltime,
+# bufretain, tracegate, floateq). Nonzero exit on any finding.
+statlint:
+	go run ./cmd/statlint ./...
+
+# fmt rewrites; fmtcheck only reports (and fails verify on drift).
+fmt:
+	gofmt -l -w .
+
+fmtcheck:
+	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
 
 test:
 	go test ./...
@@ -21,6 +37,7 @@ race:
 # (see bench_test.go). BENCH_baseline.json records a reference run;
 # benchdiff warns (without failing) when allocs/op regress >20% —
 # allocation counts are deterministic, so that is signal, not noise.
+# Pass -fail to benchdiff for a hard gate.
 bench:
 	go test -run='^$$' -bench=. -benchtime=1x -benchmem . | tee bench.out
 	go run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out

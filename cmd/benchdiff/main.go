@@ -1,9 +1,10 @@
 // benchdiff compares a `go test -bench` run against a recorded
-// baseline (BENCH_baseline.json) and warns — loudly, but without
-// failing — when allocs/op regress beyond a threshold. Wall-clock
-// numbers are reported for context only: single-shot -benchtime=1x
-// timings carry 10-20% noise, but allocation counts are deterministic
-// and a sustained jump means a scratch-reuse contract got dropped.
+// baseline (BENCH_baseline.json) and warns — loudly, but by default
+// without failing — when allocs/op regress beyond a threshold.
+// Wall-clock numbers are reported for context only: single-shot
+// -benchtime=1x timings carry 10-20% noise, but allocation counts are
+// deterministic and a sustained jump means a scratch-reuse contract
+// got dropped.
 //
 // Usage:
 //
@@ -11,8 +12,9 @@
 //	go run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
 //
 // With no file argument, benchdiff reads the benchmark output from
-// stdin. The exit code is always 0: the diff is a review aid, not a
-// gate (use the printed WARNING lines in CI logs).
+// stdin. In the default warn mode the exit code is always 0: the diff
+// is a review aid, and CI greps the printed WARNING lines. Pass -fail
+// to turn an allocs/op regression into exit code 1 (strict mode).
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -78,20 +81,120 @@ func parseBench(r io.Reader) (map[string]result, error) {
 	return out, sc.Err()
 }
 
+// rowState classifies one benchmark's fate in the diff.
+type rowState int
+
+const (
+	rowOK      rowState = iota // present in both, within threshold
+	rowWarn                    // allocs/op regressed beyond threshold
+	rowMissing                 // in the baseline, absent from this run
+	rowNew                     // in this run, absent from the baseline
+)
+
+// diffRow is one benchmark's comparison against the baseline.
+type diffRow struct {
+	name        string
+	baseAllocs  float64
+	curAllocs   float64
+	deltaAllocs float64 // percent
+	deltaNs     float64 // percent; noisy, context only
+	state       rowState
+}
+
+// diffReport is the full comparison, baseline order first, then new
+// benchmarks sorted by name.
+type diffReport struct {
+	rows     []diffRow
+	warnings int
+}
+
+// diffBenchmarks compares the current results against the baseline.
+// A positive allocs/op delta beyond threshold (percent) marks the row
+// rowWarn; improvements and within-threshold changes are rowOK.
+// Baseline entries missing from cur become rowMissing (never a
+// warning: partial runs are a deliberate local workflow), and current
+// results without a baseline record become rowNew.
+func diffBenchmarks(base baselineFile, cur map[string]result, threshold float64) diffReport {
+	var rep diffReport
+	for _, b := range base.Benchmarks {
+		c, ok := cur[b.Name]
+		if !ok || !c.hasAllocs {
+			rep.rows = append(rep.rows, diffRow{name: b.Name, baseAllocs: b.AllocsPerOp, state: rowMissing})
+			continue
+		}
+		row := diffRow{
+			name:        b.Name,
+			baseAllocs:  b.AllocsPerOp,
+			curAllocs:   c.allocsPerOp,
+			deltaAllocs: pctDelta(b.AllocsPerOp, c.allocsPerOp),
+			deltaNs:     pctDelta(b.NsPerOp, c.nsPerOp),
+		}
+		if row.deltaAllocs > threshold {
+			row.state = rowWarn
+			rep.warnings++
+		}
+		rep.rows = append(rep.rows, row)
+	}
+	known := map[string]bool{}
+	for _, b := range base.Benchmarks {
+		known[b.Name] = true
+	}
+	var extra []diffRow
+	for name, c := range cur {
+		if !known[name] && c.hasAllocs {
+			extra = append(extra, diffRow{name: name, curAllocs: c.allocsPerOp, state: rowNew})
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].name < extra[j].name })
+	rep.rows = append(rep.rows, extra...)
+	return rep
+}
+
+// write renders the report in the stable text format CI logs grep.
+func (rep diffReport) write(w io.Writer, baselinePath, recorded string, threshold float64) {
+	fmt.Fprintf(w, "benchdiff vs %s (recorded %s); allocs/op warn threshold %+.0f%%\n",
+		baselinePath, recorded, threshold)
+	fmt.Fprintf(w, "%-28s %14s %14s %8s   %s\n", "benchmark", "base allocs", "now allocs", "Δ%", "time Δ% (noisy)")
+	for _, r := range rep.rows {
+		switch r.state {
+		case rowMissing:
+			fmt.Fprintf(w, "%-28s %14.0f %14s\n", r.name, r.baseAllocs, "(not run)")
+		case rowNew:
+			fmt.Fprintf(w, "%-28s %14s %14.0f    (new; no baseline)\n", r.name, "-", r.curAllocs)
+		default:
+			warn := ""
+			if r.state == rowWarn {
+				warn = "  <-- WARNING: allocs/op regressed"
+			}
+			fmt.Fprintf(w, "%-28s %14.0f %14.0f %+7.1f%%   %+7.1f%%%s\n",
+				r.name, r.baseAllocs, r.curAllocs, r.deltaAllocs, r.deltaNs, warn)
+		}
+	}
+	if rep.warnings > 0 {
+		fmt.Fprintf(w, "\n*** WARNING: %d benchmark(s) regressed allocs/op by more than %.0f%% ***\n", rep.warnings, threshold)
+		fmt.Fprintln(w, "*** Allocation counts are deterministic — this is a real regression, not noise.")
+		fmt.Fprintln(w, "*** Check the scratch-reuse contracts in docs/PERFORMANCE.md before shipping,")
+		fmt.Fprintln(w, "*** or re-record the baseline if the extra allocations are intended.")
+	} else {
+		fmt.Fprintln(w, "\nallocs/op within threshold for all recorded benchmarks.")
+	}
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON to diff against")
 	threshold := flag.Float64("threshold", 20, "allocs/op regression percentage that triggers a warning")
+	failOnWarn := flag.Bool("fail", false, "exit 1 when any benchmark regresses allocs/op (strict mode)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	var base baselineFile
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: parse %s: %v\n", *baselinePath, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	in := io.Reader(os.Stdin)
@@ -99,7 +202,7 @@ func main() {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		defer f.Close()
 		in = f
@@ -107,41 +210,13 @@ func main() {
 	cur, err := parseBench(in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: read bench output: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
-	fmt.Printf("benchdiff vs %s (recorded %s); allocs/op warn threshold %+.0f%%\n",
-		*baselinePath, base.Recorded, *threshold)
-	fmt.Printf("%-28s %14s %14s %8s   %s\n", "benchmark", "base allocs", "now allocs", "Δ%", "time Δ% (noisy)")
-	warnings := 0
-	for _, b := range base.Benchmarks {
-		c, ok := cur[b.Name]
-		if !ok || !c.hasAllocs {
-			fmt.Printf("%-28s %14.0f %14s\n", b.Name, b.AllocsPerOp, "(not run)")
-			continue
-		}
-		dAlloc := pctDelta(b.AllocsPerOp, c.allocsPerOp)
-		dNs := pctDelta(b.NsPerOp, c.nsPerOp)
-		warn := ""
-		if dAlloc > *threshold {
-			warn = "  <-- WARNING: allocs/op regressed"
-			warnings++
-		}
-		fmt.Printf("%-28s %14.0f %14.0f %+7.1f%%   %+7.1f%%%s\n",
-			b.Name, b.AllocsPerOp, c.allocsPerOp, dAlloc, dNs, warn)
-	}
-	for name, c := range cur {
-		if !known(base, name) && c.hasAllocs {
-			fmt.Printf("%-28s %14s %14.0f    (new; no baseline)\n", name, "-", c.allocsPerOp)
-		}
-	}
-	if warnings > 0 {
-		fmt.Printf("\n*** WARNING: %d benchmark(s) regressed allocs/op by more than %.0f%% ***\n", warnings, *threshold)
-		fmt.Println("*** Allocation counts are deterministic — this is a real regression, not noise.")
-		fmt.Println("*** Check the scratch-reuse contracts in docs/PERFORMANCE.md before shipping,")
-		fmt.Println("*** or re-record the baseline if the extra allocations are intended.")
-	} else {
-		fmt.Println("\nallocs/op within threshold for all recorded benchmarks.")
+	rep := diffBenchmarks(base, cur, *threshold)
+	rep.write(os.Stdout, *baselinePath, base.Recorded, *threshold)
+	if *failOnWarn && rep.warnings > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -150,13 +225,4 @@ func pctDelta(base, cur float64) float64 {
 		return 0
 	}
 	return (cur - base) / base * 100
-}
-
-func known(base baselineFile, name string) bool {
-	for _, b := range base.Benchmarks {
-		if b.Name == name {
-			return true
-		}
-	}
-	return false
 }

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseline(entries ...[3]interface{}) baselineFile {
+	var b baselineFile
+	b.Recorded = "2026-01-01"
+	for _, e := range entries {
+		b.Benchmarks = append(b.Benchmarks, struct {
+			Name        string  `json:"name"`
+			NsPerOp     float64 `json:"ns_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		}{e[0].(string), e[1].(float64), e[2].(float64)})
+	}
+	return b
+}
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+BenchmarkTableII_Parallel-8   	       1	 123456789 ns/op	  500000 B/op	    1200 allocs/op
+BenchmarkSignalProbs   	     100	   1000000 ns/op	     320 B/op	       2 allocs/op
+BenchmarkNoAllocs-16   	      50	   2000000 ns/op
+PASS
+`
+	res, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -GOMAXPROCS suffix must be stripped.
+	r, ok := res["BenchmarkTableII_Parallel"]
+	if !ok || !r.hasAllocs || r.allocsPerOp != 1200 || r.nsPerOp != 123456789 {
+		t.Errorf("BenchmarkTableII_Parallel = %+v, ok=%v", r, ok)
+	}
+	// Un-suffixed names parse too.
+	if r := res["BenchmarkSignalProbs"]; !r.hasAllocs || r.allocsPerOp != 2 {
+		t.Errorf("BenchmarkSignalProbs = %+v", r)
+	}
+	// ns-only lines are kept but marked alloc-less.
+	if r := res["BenchmarkNoAllocs"]; r.hasAllocs || r.nsPerOp != 2000000 {
+		t.Errorf("BenchmarkNoAllocs = %+v", r)
+	}
+}
+
+func TestDiffRegression(t *testing.T) {
+	base := baseline([3]interface{}{"BenchmarkHot", 1000.0, 100.0})
+	cur := map[string]result{"BenchmarkHot": {nsPerOp: 1100, allocsPerOp: 150, hasAllocs: true}}
+	rep := diffBenchmarks(base, cur, 20)
+	if rep.warnings != 1 {
+		t.Fatalf("warnings = %d, want 1", rep.warnings)
+	}
+	if rep.rows[0].state != rowWarn || rep.rows[0].deltaAllocs != 50 {
+		t.Errorf("row = %+v, want rowWarn with +50%%", rep.rows[0])
+	}
+	var sb strings.Builder
+	rep.write(&sb, "BENCH_baseline.json", base.Recorded, 20)
+	if !strings.Contains(sb.String(), "WARNING: 1 benchmark(s) regressed") {
+		t.Errorf("report missing warning banner:\n%s", sb.String())
+	}
+}
+
+func TestDiffImprovementAndWithinThreshold(t *testing.T) {
+	base := baseline(
+		[3]interface{}{"BenchmarkBetter", 1000.0, 100.0},
+		[3]interface{}{"BenchmarkSame", 1000.0, 100.0},
+	)
+	cur := map[string]result{
+		"BenchmarkBetter": {nsPerOp: 900, allocsPerOp: 40, hasAllocs: true},   // -60%: improvement
+		"BenchmarkSame":   {nsPerOp: 1000, allocsPerOp: 110, hasAllocs: true}, // +10%: inside threshold
+	}
+	rep := diffBenchmarks(base, cur, 20)
+	if rep.warnings != 0 {
+		t.Fatalf("warnings = %d, want 0 (improvements must not warn)", rep.warnings)
+	}
+	for _, r := range rep.rows {
+		if r.state != rowOK {
+			t.Errorf("row %s state = %v, want rowOK", r.name, r.state)
+		}
+	}
+	var sb strings.Builder
+	rep.write(&sb, "b.json", base.Recorded, 20)
+	if !strings.Contains(sb.String(), "within threshold for all recorded") {
+		t.Errorf("report missing all-clear line:\n%s", sb.String())
+	}
+}
+
+func TestDiffMissingAndNewBenchmarks(t *testing.T) {
+	base := baseline([3]interface{}{"BenchmarkGone", 1000.0, 100.0})
+	cur := map[string]result{
+		"BenchmarkFresh":  {nsPerOp: 500, allocsPerOp: 7, hasAllocs: true},
+		"BenchmarkNsOnly": {nsPerOp: 500}, // no -benchmem data: ignored entirely
+	}
+	rep := diffBenchmarks(base, cur, 20)
+	if rep.warnings != 0 {
+		t.Fatalf("warnings = %d, want 0 (a missing benchmark is not a regression)", rep.warnings)
+	}
+	if len(rep.rows) != 2 {
+		t.Fatalf("rows = %+v, want missing + new", rep.rows)
+	}
+	if rep.rows[0].name != "BenchmarkGone" || rep.rows[0].state != rowMissing {
+		t.Errorf("row 0 = %+v, want BenchmarkGone missing", rep.rows[0])
+	}
+	if rep.rows[1].name != "BenchmarkFresh" || rep.rows[1].state != rowNew {
+		t.Errorf("row 1 = %+v, want BenchmarkFresh new", rep.rows[1])
+	}
+	var sb strings.Builder
+	rep.write(&sb, "b.json", base.Recorded, 20)
+	if !strings.Contains(sb.String(), "(not run)") || !strings.Contains(sb.String(), "(new; no baseline)") {
+		t.Errorf("report missing the missing/new markers:\n%s", sb.String())
+	}
+}
+
+func TestDiffThresholdBoundary(t *testing.T) {
+	base := baseline([3]interface{}{"BenchmarkEdge", 1000.0, 100.0})
+	// Exactly at the threshold: not a warning (strictly-greater rule).
+	cur := map[string]result{"BenchmarkEdge": {nsPerOp: 1000, allocsPerOp: 120, hasAllocs: true}}
+	if rep := diffBenchmarks(base, cur, 20); rep.warnings != 0 {
+		t.Errorf("exactly-at-threshold warned: %+v", rep.rows[0])
+	}
+	cur["BenchmarkEdge"] = result{nsPerOp: 1000, allocsPerOp: 121, hasAllocs: true}
+	if rep := diffBenchmarks(base, cur, 20); rep.warnings != 1 {
+		t.Errorf("past-threshold did not warn: %+v", rep.rows[0])
+	}
+}
+
+func TestDiffZeroAllocBaseline(t *testing.T) {
+	// A zero-alloc baseline cannot express a percentage; pctDelta
+	// defines it as 0 so it never warns spuriously.
+	base := baseline([3]interface{}{"BenchmarkZero", 1000.0, 0.0})
+	cur := map[string]result{"BenchmarkZero": {nsPerOp: 1000, allocsPerOp: 3, hasAllocs: true}}
+	if rep := diffBenchmarks(base, cur, 20); rep.warnings != 0 {
+		t.Errorf("zero-alloc baseline warned: %+v", rep.rows[0])
+	}
+}

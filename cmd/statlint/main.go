@@ -1,0 +1,84 @@
+// statlint is the repo's project-specific static-analysis gate: it
+// machine-checks the determinism, buffer-aliasing and trace-gating
+// conventions that the experiment harness's byte-identical-output
+// guarantee and the hot-path allocation budgets rest on. It is built
+// entirely on the standard library (go/parser + go/types with a
+// module-aware source importer) so the stdlib-only rule applies to the
+// linter itself.
+//
+// Usage:
+//
+//	go run ./cmd/statlint ./...          # the make verify invocation
+//	go run ./cmd/statlint -list          # catalogue of checks
+//	go run ./cmd/statlint internal/core  # one package
+//
+// Findings print as `file:line:col: [check] message`; the exit code is
+// 1 if there is any finding, 2 on a usage or load error, 0 when
+// clean. Per-site suppressions use `//lint:ignore <check> <reason>` on
+// the offending line or the line above it — see docs/LINTING.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"statsat/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("statlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the available checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: statlint [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	checks := lint.DefaultChecks()
+	if *list {
+		for _, c := range checks {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name(), c.Doc())
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "statlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "statlint: %v\n", err)
+		return 2
+	}
+
+	findings := lint.RunChecks(pkgs, checks)
+	for _, f := range findings {
+		// Print module-relative paths: stable across machines, and
+		// clickable from the repo root where make verify runs.
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			f.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "statlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

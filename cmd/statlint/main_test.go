@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestBadFixtureExitsNonzero: the driver must exit 1 with a correctly
+// formatted, correctly attributed finding for each check's bad
+// fixture.
+func TestBadFixtureExitsNonzero(t *testing.T) {
+	findingLine := regexp.MustCompile(`(?m)^\S*fixture\.go:\d+:\d+: \[\w+\] .+$`)
+	for _, check := range []string{"globalrand", "walltime", "bufretain", "tracegate", "floateq"} {
+		t.Run(check, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run([]string{"../../internal/lint/testdata/" + check}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "["+check+"] ") {
+				t.Errorf("output has no [%s] finding:\n%s", check, stdout.String())
+			}
+			if !findingLine.MatchString(stdout.String()) {
+				t.Errorf("output does not match file:line:col: [check] message format:\n%s", stdout.String())
+			}
+		})
+	}
+}
+
+// TestCleanFixtureExitsZero: no findings, no output, exit 0.
+func TestCleanFixtureExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"../../internal/lint/testdata/clean"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestListCatalogue: -list names every shipped check.
+func TestListCatalogue(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, check := range []string{"globalrand", "walltime", "bufretain", "tracegate", "floateq"} {
+		if !strings.Contains(stdout.String(), check) {
+			t.Errorf("-list output missing %s:\n%s", check, stdout.String())
+		}
+	}
+}
+
+// TestBadPatternExitsTwo: load/usage errors are distinct from
+// findings.
+func TestBadPatternExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, stderr.String())
+	}
+}

@@ -363,22 +363,24 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 		run.orc = wrapOracle(orc)
 	}
 	run.tr = trace.NewEmitter(opts.Tracer)
-	run.tr.Emit(trace.Event{
-		Type:     trace.AttackStart,
-		Attack:   "statsat",
-		Instance: -1,
-		Circuit: &trace.CircuitInfo{
-			Name: locked.Name,
-			PIs:  locked.NumPIs(),
-			POs:  locked.NumPOs(),
-			Keys: locked.NumKeys(),
-		},
-		Opts: &trace.OptionsInfo{
-			Ns: opts.Ns, NSatis: opts.NSatis, NEval: opts.NEval, EvalNs: opts.EvalNs,
-			NInst: opts.NInst, ULambda: opts.ULambda, ELambda: opts.ELambda,
-			EpsG: opts.EpsG, MaxIter: opts.MaxTotalIter, Parallel: opts.Parallel,
-		},
-	})
+	if run.tr.Enabled() {
+		run.tr.Emit(trace.Event{
+			Type:     trace.AttackStart,
+			Attack:   "statsat",
+			Instance: -1,
+			Circuit: &trace.CircuitInfo{
+				Name: locked.Name,
+				PIs:  locked.NumPIs(),
+				POs:  locked.NumPOs(),
+				Keys: locked.NumKeys(),
+			},
+			Opts: &trace.OptionsInfo{
+				Ns: opts.Ns, NSatis: opts.NSatis, NEval: opts.NEval, EvalNs: opts.EvalNs,
+				NInst: opts.NInst, ULambda: opts.ULambda, ELambda: opts.ELambda,
+				EpsG: opts.EpsG, MaxIter: opts.MaxTotalIter, Parallel: opts.Parallel,
+			},
+		})
+	}
 	startQ := run.orc.Queries()
 	start := time.Now()
 
@@ -438,48 +440,54 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 			})
 		}
 	}
-	run.tr.Emit(trace.Event{
-		Type:     trace.AttackEnd,
-		Instance: -1,
-		Totals: &trace.TotalsInfo{
-			Keys:             len(keys),
-			Iterations:       run.res.TotalIterations,
-			InstancesCreated: run.res.InstancesCreated,
-			PeakLive:         run.res.Instances,
-			Forks:            run.res.Forks,
-			ForceProceeds:    run.res.ForceProceeds,
-			DeadInstances:    run.res.DeadInstances,
-			OracleQueries:    run.res.OracleQueries,
-			Truncated:        run.res.Truncated,
-			DurationNs:       run.res.AttackDuration.Nanoseconds(),
-		},
-	})
+	if run.tr.Enabled() {
+		run.tr.Emit(trace.Event{
+			Type:     trace.AttackEnd,
+			Instance: -1,
+			Totals: &trace.TotalsInfo{
+				Keys:             len(keys),
+				Iterations:       run.res.TotalIterations,
+				InstancesCreated: run.res.InstancesCreated,
+				PeakLive:         run.res.Instances,
+				Forks:            run.res.Forks,
+				ForceProceeds:    run.res.ForceProceeds,
+				DeadInstances:    run.res.DeadInstances,
+				OracleQueries:    run.res.OracleQueries,
+				Truncated:        run.res.Truncated,
+				DurationNs:       run.res.AttackDuration.Nanoseconds(),
+			},
+		})
+	}
 	if len(keys) == 0 {
 		return run.res, ErrNoInstances
 	}
 
 	// Evaluation phase (eq. 7 / eq. 8).
-	run.tr.Emit(trace.Event{
-		Type:     trace.EvalStart,
-		Instance: -1,
-		Eval:     &trace.EvalInfo{Keys: len(keys), NEval: opts.NEval, EvalNs: opts.EvalNs},
-	})
+	if run.tr.Enabled() {
+		run.tr.Emit(trace.Event{
+			Type:     trace.EvalStart,
+			Instance: -1,
+			Eval:     &trace.EvalInfo{Keys: len(keys), NEval: opts.NEval, EvalNs: opts.EvalNs},
+		})
+	}
 	evalStart := time.Now()
 	startEvalQ := run.orc.Queries()
 	run.evaluateKeys(keys)
 	run.res.EvalDuration = time.Since(evalStart)
 	run.res.EvalQueries = run.orc.Queries() - startEvalQ
 	run.res.EvalPerKey = run.res.EvalDuration / time.Duration(len(keys))
-	run.tr.Emit(trace.Event{
-		Type:     trace.EvalEnd,
-		Instance: -1,
-		Score:    &trace.ScoreInfo{FM: run.res.Best.FM, HD: run.res.Best.HD},
-		Eval: &trace.EvalInfo{
-			Keys:          len(keys),
-			DurationNs:    run.res.EvalDuration.Nanoseconds(),
-			OracleQueries: run.res.EvalQueries,
-		},
-	})
+	if run.tr.Enabled() {
+		run.tr.Emit(trace.Event{
+			Type:     trace.EvalEnd,
+			Instance: -1,
+			Score:    &trace.ScoreInfo{FM: run.res.Best.FM, HD: run.res.Best.HD},
+			Eval: &trace.EvalInfo{
+				Keys:          len(keys),
+				DurationNs:    run.res.EvalDuration.Nanoseconds(),
+				OracleQueries: run.res.EvalQueries,
+			},
+		})
+	}
 	return run.res, nil
 }
 
@@ -538,7 +546,7 @@ func (run *attackRun) setState(in *instance, st instState) {
 		}
 	}
 	run.mu.Unlock()
-	if changed && st == dead {
+	if changed && st == dead && run.tr.Enabled() {
 		run.tr.Emit(trace.Event{
 			Type: trace.InstanceDead, Instance: in.id,
 			Key: &trace.KeyInfo{Iterations: in.iterations, DIPs: len(in.dips)},
@@ -643,10 +651,12 @@ func (run *attackRun) finish(in *instance) {
 	if in.ks.S.Solve() == sat.Sat {
 		in.key = in.ks.Key()
 		run.setState(in, finished)
-		run.tr.Emit(trace.Event{
-			Type: trace.KeyAccepted, Instance: in.id,
-			Key: &trace.KeyInfo{Key: keyOf(in.key), Iterations: in.iterations, DIPs: len(in.dips)},
-		})
+		if run.tr.Enabled() {
+			run.tr.Emit(trace.Event{
+				Type: trace.KeyAccepted, Instance: in.id,
+				Key: &trace.KeyInfo{Key: keyOf(in.key), Iterations: in.iterations, DIPs: len(in.dips)},
+			})
+		}
 		run.logf("statsat: instance %d finished after %d iterations", in.id, in.iterations)
 		return
 	}
@@ -797,10 +807,12 @@ func (run *attackRun) handleRepeat(in *instance, d *dip) error {
 		in.specify(d, j, v)
 		childDip := child.dips[in.dipIndex(d)]
 		child.specify(childDip, j, !v)
-		run.tr.Emit(trace.Event{
-			Type: trace.Fork, Instance: in.id, Iter: in.iterations,
-			Fork: &trace.ForkInfo{Child: child.id, Bit: j, U: d.u[j], E: d.e[j], Value: v},
-		})
+		if run.tr.Enabled() {
+			run.tr.Emit(trace.Event{
+				Type: trace.Fork, Instance: in.id, Iter: in.iterations,
+				Fork: &trace.ForkInfo{Child: child.id, Bit: j, U: d.u[j], E: d.e[j], Value: v},
+			})
+		}
 		run.logf("statsat: instance %d forked -> %d on bit %d (U=%.3f E=%.3f)",
 			in.id, child.id, j, d.u[j], d.e[j])
 		if run.spawn != nil {
@@ -812,10 +824,12 @@ func (run *attackRun) handleRepeat(in *instance, d *dip) error {
 	j := argminAt(d.e, unspec)
 	v := d.probs[j] >= 0.5
 	in.specify(d, j, v)
-	run.tr.Emit(trace.Event{
-		Type: trace.ForceProceed, Instance: in.id, Iter: in.iterations,
-		Fork: &trace.ForkInfo{Bit: j, U: d.u[j], E: d.e[j], Value: v},
-	})
+	if run.tr.Enabled() {
+		run.tr.Emit(trace.Event{
+			Type: trace.ForceProceed, Instance: in.id, Iter: in.iterations,
+			Fork: &trace.ForkInfo{Bit: j, U: d.u[j], E: d.e[j], Value: v},
+		})
+	}
 	run.logf("statsat: instance %d force-proceeds on bit %d (E=%.3f)", in.id, j, d.e[j])
 	return nil
 }
@@ -865,11 +879,13 @@ func (run *attackRun) evaluateKeys(keys []KeyReport) {
 			keyProbs := metrics.SignalProbMatrix(sim, inputs, opts.EvalNs)
 			keys[i].FM = metrics.FM(oracleProbs, keyProbs)
 			keys[i].HD = metrics.HD(oracleProbs, keyProbs)
-			run.tr.Emit(trace.Event{
-				Type: trace.KeyScored, Instance: keys[i].Instance,
-				Key:   &trace.KeyInfo{Key: keyOf(keys[i].Key)},
-				Score: &trace.ScoreInfo{FM: keys[i].FM, HD: keys[i].HD},
-			})
+			if run.tr.Enabled() {
+				run.tr.Emit(trace.Event{
+					Type: trace.KeyScored, Instance: keys[i].Instance,
+					Key:   &trace.KeyInfo{Key: keyOf(keys[i].Key)},
+					Score: &trace.ScoreInfo{FM: keys[i].FM, HD: keys[i].HD},
+				})
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -93,6 +93,7 @@ func (est *Estimator) WireErrorProbs(x, k []bool, eps float64) ([]float64, error
 					flipped[i] = faninVals[i]
 				}
 			}
+			//lint:ignore floateq exact-zero short-circuit: prob is a product that is 0.0 only when a factor is exactly 0, and the branch is a pure skip-work optimisation
 			if prob == 0 {
 				continue
 			}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BufRetain enforces the BatchQuerier buffer-validity contract from
+// the PR 2 allocation diet: the slices returned (or filled) by
+// SignalProbsInto, UncertaintiesInto and EvalNoisyBatchInto alias the
+// callee's reusable scratch and are invalid after the next call on the
+// same receiver. Retaining such a slice — storing it into a struct
+// field, a package-level variable, a map/slice reachable from one, a
+// composite literal, or appending it into a retained destination —
+// produces silently stale probability vectors, exactly the
+// quiet-corruption failure mode that wrecks SAT-attack conclusions
+// without crashing. Local-variable reuse (buf = SignalProbsInto(...,
+// buf)) is the intended idiom and stays legal.
+type BufRetain struct{}
+
+func (BufRetain) Name() string { return "bufretain" }
+
+func (BufRetain) Doc() string {
+	return "flags storing a SignalProbsInto/UncertaintiesInto/EvalNoisyBatchInto result " +
+		"into a struct field, global, composite literal or retained append target " +
+		"without copying; these buffers are invalid after the next call"
+}
+
+func (BufRetain) Applies(string) bool { return true }
+
+// bufReturningFuncs name the functions/methods whose results alias
+// reusable internal buffers. Matching is by name across the module so
+// interface methods (BatchQuerier implementations) are covered too.
+var bufReturningFuncs = map[string]bool{
+	"SignalProbsInto":    true,
+	"UncertaintiesInto":  true,
+	"EvalNoisyBatchInto": true,
+}
+
+func (c BufRetain) Run(p *Package) []Finding {
+	var out []Finding
+	report := func(call *ast.CallExpr, fname, target string) {
+		out = append(out, Finding{
+			Pos:   p.Fset.Position(call.Pos()),
+			Check: c.Name(),
+			Message: "result of " + fname + " aliases a reusable internal buffer (invalid " +
+				"after the next call); copy it before storing into " + target,
+		})
+	}
+
+	walkStack(p, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		f := funcObj(p.Info, call)
+		if f == nil || !bufReturningFuncs[f.Name()] {
+			return
+		}
+		fname := f.Name()
+
+		// Walk outward from the call through value-preserving wrappers
+		// (parens, append chains) to the construct that consumes it.
+		val := ast.Node(call)
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch parent := stack[i].(type) {
+			case *ast.ParenExpr:
+				val = parent
+				continue
+			case *ast.CallExpr:
+				// The alias flows through append in two shapes: as the
+				// first argument (append may return the same backing
+				// array) and as a non-spread element of a
+				// slice-of-slices (the slice header itself is stored).
+				// append(dst, buf...) however COPIES the elements —
+				// that is the sanctioned copy idiom — so the spread
+				// position is safe. Any other call consumes the value
+				// behind an API boundary we don't second-guess.
+				if id, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok && id.Name == "append" {
+					if _, builtin := p.Info.Uses[id].(*types.Builtin); builtin {
+						spread := parent.Ellipsis.IsValid() && len(parent.Args) > 0 &&
+							sameExpr(parent.Args[len(parent.Args)-1], val)
+						if !spread {
+							val = parent
+							continue
+						}
+					}
+				}
+				return
+			case *ast.KeyValueExpr:
+				if _, ok := stack[i-1].(*ast.CompositeLit); ok {
+					report(call, fname, "a composite literal")
+				}
+				return
+			case *ast.CompositeLit:
+				report(call, fname, "a composite literal")
+				return
+			case *ast.AssignStmt:
+				if tgt, retained := assignTarget(p, parent, val); retained {
+					report(call, fname, tgt)
+				}
+				return
+			case *ast.ValueSpec:
+				// var g = SignalProbsInto(...): retained iff the spec
+				// declares package-level variables.
+				for _, name := range parent.Names {
+					if obj := p.Info.Defs[name]; obj != nil && obj.Parent() == p.Types.Scope() {
+						report(call, fname, "package-level var "+name.Name)
+						return
+					}
+				}
+				return
+			default:
+				return
+			}
+		}
+	})
+	return out
+}
+
+// sameExpr reports whether a is val modulo parentheses.
+func sameExpr(a ast.Expr, val ast.Node) bool {
+	return a == val || ast.Unparen(a) == val
+}
+
+// assignTarget finds which LHS of assign receives val and reports
+// whether that destination outlives the statement (struct field,
+// package-level var, or element of either).
+func assignTarget(p *Package, assign *ast.AssignStmt, val ast.Node) (string, bool) {
+	idx := -1
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) == val || rhs == val {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || idx >= len(assign.Lhs) {
+		return "", false
+	}
+	return retainedDest(p, assign.Lhs[idx])
+}
+
+// retainedDest reports whether storing into expr retains the value
+// beyond the enclosing statement's scope: a struct field, a
+// package-level variable, or an index into either.
+func retainedDest(p *Package, expr ast.Expr) (string, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return "struct field " + e.Sel.Name, true
+		}
+		// Qualified package-level var (pkg.V).
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return "package-level var " + e.Sel.Name, true
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[e].(*types.Var); ok && v.Parent() == p.Types.Scope() {
+			return "package-level var " + e.Name, true
+		}
+	case *ast.IndexExpr:
+		return retainedDest(p, e.X)
+	case *ast.StarExpr:
+		return retainedDest(p, e.X)
+	}
+	return "", false
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq forbids == and != between floating-point operands in the
+// statistics packages (internal/metrics, internal/errprop). Those
+// packages compute the probability estimates and error bounds the
+// attack's gating decisions rest on; an exact float comparison there
+// is almost always a latent bug that surfaces as a silently wrong
+// match/mismatch count rather than a crash. Compare with a tolerance
+// (math.Abs(a-b) <= tol) or restructure onto integers; genuinely
+// exact sentinel comparisons get a //lint:ignore with the reason.
+type FloatEq struct{}
+
+func (FloatEq) Name() string { return "floateq" }
+
+func (FloatEq) Doc() string {
+	return "forbids ==/!= on float operands in internal/metrics and internal/errprop; " +
+		"compare with an explicit tolerance or an exact integer representation"
+}
+
+func (FloatEq) Applies(pkgPath string) bool {
+	return inScope(pkgPath, "statsat/internal/metrics", "statsat/internal/errprop")
+}
+
+func (c FloatEq) Run(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p, bin.X) && !isFloat(p, bin.Y) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(bin.OpPos),
+				Check: c.Name(),
+				Message: "exact float comparison (" + bin.Op.String() + "); use a tolerance " +
+					"(math.Abs(a-b) <= tol) or an exact integer representation",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

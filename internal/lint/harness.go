@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// wantRx extracts the backquoted expectation patterns of a
+// `// want `rx` `rx“ comment.
+var wantRx = regexp.MustCompile("`([^`]+)`")
+
+// expectation is one `// want` annotation in a fixture file.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// FixtureMismatches loads the fixture package rooted at dir, runs the
+// default checks through the full pipeline (scoping + suppression
+// included, exactly as the driver would), and compares the findings
+// against the fixtures' `// want `regex“ comments. Every want must be
+// matched by a finding on its own line, and every finding must be
+// covered by a want; each discrepancy is returned as a human-readable
+// mismatch. An empty slice means the fixture behaves as annotated.
+func FixtureMismatches(dir string) ([]string, error) {
+	pkgs, err := Load(dir, []string{"."})
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("lint: fixture %s: want exactly 1 package, got %d", dir, len(pkgs))
+	}
+	p := pkgs[0]
+
+	var wants []*expectation
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				ms := wantRx.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment (patterns must be backquoted)", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: rx})
+				}
+			}
+		}
+	}
+
+	findings := RunChecks(pkgs, DefaultChecks())
+	var mismatches []string
+	for _, f := range findings {
+		text := fmt.Sprintf("[%s] %s", f.Check, f.Message)
+		covered := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.pattern.MatchString(text) {
+				w.matched = true
+				covered = true
+			}
+		}
+		if !covered {
+			mismatches = append(mismatches, fmt.Sprintf("unexpected finding at %s:%d: %s", f.Pos.Filename, f.Pos.Line, text))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			mismatches = append(mismatches, fmt.Sprintf("missing finding at %s:%d: no match for `%s`", w.file, w.line, w.pattern))
+		}
+	}
+	sort.Strings(mismatches)
+	return mismatches, nil
+}
+
+// DirectiveLine returns the 1-based line of the first comment in the
+// fixture package at dir whose text equals exactly `//` + text, or 0
+// if absent. Tests use it to locate expected [lint] directive findings
+// without hardcoding line numbers.
+func DirectiveLine(dir, text string) (string, int, error) {
+	pkgs, err := Load(dir, []string{"."})
+	if err != nil {
+		return "", 0, err
+	}
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == text {
+						pos := p.Fset.Position(c.Pos())
+						return pos.Filename, pos.Line, nil
+					}
+				}
+			}
+		}
+	}
+	return "", 0, nil
+}

@@ -1,0 +1,66 @@
+// Package fixture exercises the bufretain check. The local querier
+// mimics the BatchQuerier contract: the *Into methods return aliases
+// of an internal scratch buffer that the next call overwrites.
+package fixture
+
+type querier struct {
+	scratch []float64
+	out     []uint64
+}
+
+func (q *querier) SignalProbsInto(dst []float64) []float64 {
+	if cap(q.scratch) == 0 {
+		q.scratch = make([]float64, 8)
+	}
+	return q.scratch
+}
+
+func (q *querier) EvalNoisyBatchInto(out []uint64) []uint64 {
+	return q.out
+}
+
+func UncertaintiesInto(probs, dst []float64) []float64 {
+	return probs
+}
+
+type holder struct {
+	buf        []float64
+	history    [][]float64
+	batchAlias []uint64
+}
+
+var globalBuf []float64
+
+func badFieldStore(h *holder, q *querier) {
+	h.buf = q.SignalProbsInto(nil) // want `\[bufretain\] result of SignalProbsInto .* struct field buf`
+}
+
+func badGlobalStore(q *querier) {
+	globalBuf = UncertaintiesInto(q.SignalProbsInto(nil), nil) // want `\[bufretain\] result of UncertaintiesInto .* package-level var globalBuf`
+}
+
+func badAppendElement(h *holder, q *querier) {
+	h.history = append(h.history, q.SignalProbsInto(nil)) // want `\[bufretain\] result of SignalProbsInto .* struct field history`
+}
+
+func badAppendFirstArg(h *holder, q *querier) {
+	h.batchAlias = append(q.EvalNoisyBatchInto(nil), 0) // want `\[bufretain\] result of EvalNoisyBatchInto .* struct field batchAlias`
+}
+
+func badCompositeLit(q *querier) holder {
+	return holder{buf: q.SignalProbsInto(nil)} // want `\[bufretain\] result of SignalProbsInto .* composite literal`
+}
+
+func goodLocalReuse(q *querier) float64 {
+	var buf []float64
+	buf = q.SignalProbsInto(buf)
+	sum := 0.0
+	for _, v := range buf {
+		sum += v
+	}
+	return sum
+}
+
+func goodExplicitCopy(h *holder, q *querier) {
+	h.buf = append(h.buf[:0], q.SignalProbsInto(nil)...)
+}

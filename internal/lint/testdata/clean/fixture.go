@@ -1,0 +1,23 @@
+// Package fixture is deliberately violation-free: the driver test
+// asserts that statlint exits 0 on it.
+package fixture
+
+import "math/rand"
+
+// Mean averages xs; pure arithmetic, no clocks, no global randomness.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Jitter draws from an explicitly seeded generator.
+func Jitter(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises the floateq check: exact ==/!= between
+// float operands is forbidden in the statistics packages.
+package fixture
+
+import "math"
+
+func badEq(a, b float64) bool {
+	return a == b // want `\[floateq\] exact float comparison \(==\)`
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want `\[floateq\] exact float comparison \(!=\)`
+}
+
+func badLiteral(p float64) bool {
+	return p == 0.5 // want `\[floateq\] exact float comparison \(==\)`
+}
+
+func goodTolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+func goodOrdering(a, b float64) bool {
+	return a <= b
+}
+
+func goodInts(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,26 @@
+// Package fixture exercises the //lint:ignore directive machinery:
+// same-line and line-above suppression, the malformed-directive
+// finding, and the unused-directive finding. TestSuppression in
+// internal/lint asserts the exact expected finding set for this file.
+package fixture
+
+import "math/rand"
+
+func suppressedSameLine(n int) int {
+	return rand.Intn(n) //lint:ignore globalrand fixture: demonstrates a sanctioned same-line suppression
+}
+
+func suppressedLineAbove(n int) int {
+	//lint:ignore globalrand fixture: demonstrates a line-above suppression
+	return rand.Intn(n)
+}
+
+func malformedDirective(n int) int {
+	//lint:ignore globalrand
+	return rand.Intn(n)
+}
+
+func unusedDirective(a, b int) bool {
+	//lint:ignore walltime fixture: nothing on the next line triggers walltime
+	return a == b
+}

@@ -1,0 +1,86 @@
+// Package fixture exercises the tracegate check. The local
+// traceEmitter mimics internal/trace: Emit is nil-safe, which is
+// exactly why the compiler cannot see that the event payload is built
+// (and allocated) even when tracing is off.
+package fixture
+
+type event struct {
+	kind    string
+	count   int
+	payload *payload
+	items   []int
+}
+
+type payload struct {
+	bits []int
+}
+
+type traceEmitter struct {
+	on bool
+}
+
+func (e *traceEmitter) Enabled() bool {
+	return e != nil && e.on
+}
+
+func (e *traceEmitter) Emit(ev event) {}
+
+func snapshot() *payload {
+	return &payload{bits: make([]int, 4)}
+}
+
+func badBoxedPayload(e *traceEmitter) {
+	e.Emit(event{kind: "x", payload: &payload{}}) // want `\[tracegate\] Emit builds an allocating payload`
+}
+
+func badSliceLiteral(e *traceEmitter, n int) {
+	e.Emit(event{kind: "y", items: []int{n}}) // want `\[tracegate\] Emit builds an allocating payload`
+}
+
+func badSnapshotCall(e *traceEmitter) {
+	e.Emit(event{kind: "z", payload: snapshot()}) // want `\[tracegate\] Emit builds an allocating payload`
+}
+
+func badMake(e *traceEmitter, n int) {
+	e.Emit(event{kind: "m", items: make([]int, n)}) // want `\[tracegate\] Emit builds an allocating payload`
+}
+
+func goodGuarded(e *traceEmitter) {
+	if e.Enabled() {
+		e.Emit(event{kind: "x", payload: snapshot()})
+	}
+}
+
+func goodEarlyReturn(e *traceEmitter, n int) {
+	if !e.Enabled() {
+		return
+	}
+	e.Emit(event{kind: "x", items: make([]int, n)})
+}
+
+func goodDerivedBool(e *traceEmitter) {
+	traced := e.Enabled()
+	if traced {
+		e.Emit(event{kind: "x", payload: snapshot()})
+	}
+}
+
+func goodNilGuard(e *traceEmitter) {
+	if e != nil {
+		e.Emit(event{kind: "x", payload: snapshot()})
+	}
+}
+
+func goodConjunction(e *traceEmitter, hot bool) {
+	if hot && e.Enabled() {
+		e.Emit(event{kind: "x", payload: snapshot()})
+	}
+}
+
+func goodCheapEnvelope(e *traceEmitter, n int) {
+	e.Emit(event{kind: "cheap", count: n})
+}
+
+func goodConversion(e *traceEmitter, n int64) {
+	e.Emit(event{kind: "conv", count: int(n)})
+}

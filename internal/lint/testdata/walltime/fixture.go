@@ -1,0 +1,25 @@
+// Package fixture exercises the walltime check: wall-clock reads are
+// forbidden outside the sanctioned timing packages.
+package fixture
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now() // want `\[walltime\] wall-clock read \(time\.Now\)`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `\[walltime\] wall-clock read \(time\.Since\)`
+}
+
+func badUntil(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `\[walltime\] wall-clock read \(time\.Until\)`
+}
+
+func goodArithmetic(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0)
+}
+
+func goodConstants() time.Duration {
+	return 3 * time.Millisecond
+}

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TraceGate enforces the zero-allocation-when-untraced contract in the
+// internal/core hot paths: an Emit call whose event carries an
+// allocating payload (a snapshot call, a built slice, a boxed struct)
+// must be dominated by a tracer-enabled guard — `if tr.Enabled()`,
+// `if tracer != nil`, a negated early return, or a boolean derived
+// from one — so that disabling tracing really does remove the
+// per-iteration allocations the PR 2 benchmarks count on. Emit itself
+// is nil-safe, which is precisely why the compiler cannot catch this:
+// the event struct and its payloads are built (and allocated) before
+// the no-op call.
+type TraceGate struct{}
+
+func (TraceGate) Name() string { return "tracegate" }
+
+func (TraceGate) Doc() string {
+	return "flags Emit calls in internal/core that build allocating trace payloads " +
+		"without a dominating tracer-enabled guard; diagnostic allocations must " +
+		"vanish when tracing is off"
+}
+
+func (TraceGate) Applies(pkgPath string) bool {
+	return inScope(pkgPath, "statsat/internal/core")
+}
+
+func (c TraceGate) Run(p *Package) []Finding {
+	var out []Finding
+	walkStack(p, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		f := funcObj(p.Info, call)
+		if f == nil || f.Name() != "Emit" {
+			return
+		}
+		if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() == nil {
+			return // only method-shaped emitters
+		}
+		alloc := allocatingArg(p, call)
+		if alloc == "" {
+			return
+		}
+		if guarded(p, call, stack) {
+			return
+		}
+		out = append(out, Finding{
+			Pos:   p.Fset.Position(call.Pos()),
+			Check: c.Name(),
+			Message: "Emit builds an allocating payload (" + alloc + ") without a dominating " +
+				"tracer-enabled guard; wrap in `if tr.Enabled() { ... }` so the allocation " +
+				"disappears when tracing is off",
+		})
+	})
+	return out
+}
+
+// allocatingArg returns a short description of the first allocating
+// expression found inside the call's arguments, or "" if every
+// argument is allocation-free (identifiers, selectors, basic literals,
+// conversions, len/cap). Function calls are assumed allocating: the
+// payload builders (snapshots, key copies) all are, and the check
+// cannot prove otherwise for the rest.
+func allocatingArg(p *Package, emit *ast.CallExpr) string {
+	var found string
+	for _, arg := range emit.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != "" {
+				return false
+			}
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				fun := ast.Unparen(e.Fun)
+				// Type conversions don't allocate payloads.
+				if tv, ok := p.Info.Types[fun]; ok && tv.IsType() {
+					return true
+				}
+				if id, ok := fun.(*ast.Ident); ok {
+					if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+						switch b.Name() {
+						case "len", "cap", "min", "max":
+							return true
+						default: // make, append, new, ...
+							found = "call to " + b.Name()
+							return false
+						}
+					}
+				}
+				if f := funcObj(p.Info, e); f != nil {
+					found = "call to " + f.Name()
+				} else {
+					found = "function call"
+				}
+				return false
+			case *ast.CompositeLit:
+				// The event envelope itself is a by-value struct; only
+				// reference-typed literals (slices, maps) and literals
+				// nested under & allocate.
+				switch p.Info.Types[e].Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					found = "slice/map literal"
+					return false
+				}
+				return true
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					found = "&-composite payload"
+					return false
+				}
+				return true
+			}
+			return true
+		})
+		if found != "" {
+			return found
+		}
+	}
+	return ""
+}
+
+// guarded reports whether the emit call is dominated by a
+// tracer-enabled condition: an enclosing `if <enabled>` (taken
+// branch), or an earlier `if <!enabled> { return }` in an enclosing
+// block.
+func guarded(p *Package, call *ast.CallExpr, stack []ast.Node) bool {
+	child := ast.Node(call)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.IfStmt:
+			// Guarded only when we sit in the body of the if, not in
+			// its condition/else, and the condition implies enabled.
+			if parent.Body == child && enabledCond(p, parent.Cond, stack[:i], false) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// An earlier negated guard with an unconditional escape
+			// (`if !tr.Enabled() { return }`) dominates the rest of
+			// the block.
+			for _, stmt := range parent.List {
+				if stmt == child {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || ifs.Else != nil || len(ifs.Body.List) == 0 {
+					continue
+				}
+				switch ifs.Body.List[len(ifs.Body.List)-1].(type) {
+				case *ast.ReturnStmt, *ast.BranchStmt:
+				default:
+					continue
+				}
+				if enabledCond(p, ifs.Cond, stack[:i+1], true) {
+					return true
+				}
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// enabledCond reports whether cond implies the tracer is enabled
+// (negate=false) or disabled (negate=true). Recognised shapes:
+// x.Enabled(), x != nil / x == nil on a tracer-ish value, !<cond>,
+// <cond> && y / y && <cond> (resp. || for negated), and a plain bool
+// variable whose visible defining assignment wraps one of the above
+// (the `traced := tr.Enabled(); if traced { ... }` idiom).
+func enabledCond(p *Package, cond ast.Expr, scope []ast.Node, negate bool) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		if negate {
+			return false
+		}
+		f := funcObj(p.Info, e)
+		return f != nil && f.Name() == "Enabled"
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return enabledCond(p, e.X, scope, !negate)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.NEQ, token.EQL:
+			want := token.NEQ
+			if negate {
+				want = token.EQL
+			}
+			if e.Op != want {
+				return false
+			}
+			x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+			if isNil(p, y) {
+				return tracerish(p, x)
+			}
+			if isNil(p, x) {
+				return tracerish(p, y)
+			}
+		case token.LAND:
+			if !negate {
+				return enabledCond(p, e.X, scope, false) || enabledCond(p, e.Y, scope, false)
+			}
+		case token.LOR:
+			if negate {
+				return enabledCond(p, e.X, scope, true) || enabledCond(p, e.Y, scope, true)
+			}
+		}
+	case *ast.Ident:
+		// A bool variable: scan the enclosing function for its
+		// defining `name := <expr>` and recurse into the RHS.
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			return false
+		}
+		var fn ast.Node
+		for _, n := range scope {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				fn = n
+			}
+		}
+		if fn == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(fn, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || found {
+				return !found
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || p.Info.Defs[id] != obj && p.Info.Uses[id] != obj {
+					continue
+				}
+				if i < len(assign.Rhs) && enabledCond(p, assign.Rhs[i], scope, negate) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(p *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := p.Info.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+// tracerish reports whether e's type looks like a tracer handle: the
+// trace.Tracer interface, a *trace.Emitter, or any named type whose
+// name mentions Tracer/Emitter.
+func tracerish(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		name := strings.ToLower(named.Obj().Name())
+		return strings.Contains(name, "tracer") || strings.Contains(name, "emitter")
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime forbids reading the wall clock (time.Now, time.Since,
+// time.Until) outside the sanctioned timing sites. Experiment
+// generators must be byte-identical at any worker count, so wall-clock
+// reads may exist only where timing is the *product*: the trace
+// emitter's monotonic stamps (internal/trace) and the attack engines'
+// Result duration fields (internal/attack, internal/core) — both of
+// which the harness zeroes before output comparison. Anywhere else a
+// clock read is nondeterminism waiting to leak into generated
+// artifacts.
+type WallTime struct{}
+
+func (WallTime) Name() string { return "walltime" }
+
+func (WallTime) Doc() string {
+	return "forbids time.Now/time.Since/time.Until outside internal/trace, " +
+		"internal/attack and internal/core, the sanctioned timing sites whose " +
+		"readings are zeroed before deterministic output comparison"
+}
+
+// wallTimeAllowed are the packages whose clock reads are part of the
+// documented timing contract.
+var wallTimeAllowed = map[string]bool{
+	"statsat/internal/trace":  true,
+	"statsat/internal/attack": true,
+	"statsat/internal/core":   true,
+}
+
+func (WallTime) Applies(pkgPath string) bool {
+	return !wallTimeAllowed[pkgPath]
+}
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func (c WallTime) Run(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			f, ok := p.Info.Uses[id].(*types.Func)
+			if !ok || f.Pkg() == nil || f.Pkg().Path() != "time" || !wallClockFuncs[f.Name()] {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(id.Pos()),
+				Check: c.Name(),
+				Message: "wall-clock read (time." + f.Name() + ") outside the sanctioned timing " +
+					"sites (internal/trace, internal/attack, internal/core); generator output " +
+					"must be byte-identical across runs and worker counts",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -143,6 +143,7 @@ func (o *Probabilistic) QueryBatch(x []bool) []uint64 {
 	if o.outBuf == nil {
 		o.outBuf = make([]uint64, o.c.NumPOs())
 	}
+	//lint:ignore bufretain o.outBuf IS the reusable scratch the contract is about: the oracle owns it and hands out aliases; callers, not the owner, must copy
 	o.outBuf = o.c.EvalNoisyBatchInto(o.outBuf, x, o.key, o.eps, o.rng, o.wscratch)
 	return o.outBuf
 }
