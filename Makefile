@@ -15,7 +15,8 @@ build:
 	go build ./...
 
 # statlint: the stdlib-only project linter (globalrand, walltime,
-# bufretain, tracegate, floateq). Nonzero exit on any finding.
+# bufretain, tracegate, floateq, ctxflow). Nonzero exit on any
+# finding.
 statlint:
 	go run ./cmd/statlint ./...
 
@@ -34,10 +35,14 @@ race:
 	go test -race ./...
 
 # Smoke-profile benchmarks: one pass over every table/figure generator
-# (see bench_test.go). BENCH_baseline.json records a reference run;
-# benchdiff warns (without failing) when allocs/op regress >20% —
-# allocation counts are deterministic, so that is signal, not noise.
-# Pass -fail to benchdiff for a hard gate.
+# (see bench_test.go). benchdiff compares against the newest recorded
+# baseline (the version-sorted last of BENCH_*.json, so landing a new
+# BENCH_prN.json automatically makes it the reference) and warns
+# (without failing) when allocs/op regress >20% — allocation counts
+# are deterministic, so that is signal, not noise. Pass -fail to
+# benchdiff for a hard gate.
+BENCH_BASELINE = $(shell ls BENCH_*.json | sort -V | tail -1)
+
 bench:
 	go test -run='^$$' -bench=. -benchtime=1x -benchmem . | tee bench.out
-	go run ./cmd/benchdiff -baseline BENCH_baseline.json bench.out
+	go run ./cmd/benchdiff -baseline $(BENCH_BASELINE) bench.out

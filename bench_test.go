@@ -7,6 +7,7 @@
 package statsat_test
 
 import (
+	"context"
 	"io"
 	"os"
 	"testing"
@@ -35,13 +36,13 @@ var smokeSeq = func() exp.Profile {
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		exp.TableI(smokeSeq, benchWriter(i))
+		exp.TableI(context.Background(), smokeSeq, benchWriter(i))
 	}
 }
 
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TableII(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.TableII(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +50,7 @@ func BenchmarkTableII(b *testing.B) {
 
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TableIII(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.TableIII(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +58,7 @@ func BenchmarkTableIII(b *testing.B) {
 
 func BenchmarkTableIV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TableIV(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.TableIV(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +66,7 @@ func BenchmarkTableIV(b *testing.B) {
 
 func BenchmarkTableV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TableV(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.TableV(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -79,7 +80,7 @@ func BenchmarkTableII_Parallel(b *testing.B) {
 	p := exp.Smoke
 	p.Workers = 0
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.TableII(p, io.Discard); err != nil {
+		if _, err := exp.TableII(context.Background(), p, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +88,7 @@ func BenchmarkTableII_Parallel(b *testing.B) {
 
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig4(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.Fig4(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,7 +96,7 @@ func BenchmarkFig4(b *testing.B) {
 
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig5(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.Fig5(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -103,7 +104,7 @@ func BenchmarkFig5(b *testing.B) {
 
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Fig6(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.Fig6(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -111,7 +112,7 @@ func BenchmarkFig6(b *testing.B) {
 
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Ablations(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.Ablations(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -119,7 +120,7 @@ func BenchmarkAblations(b *testing.B) {
 
 func BenchmarkDefense(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Defense(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.Defense(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +128,7 @@ func BenchmarkDefense(b *testing.B) {
 
 func BenchmarkSweepNs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.SweepNs(smokeSeq, benchWriter(i)); err != nil {
+		if _, err := exp.SweepNs(context.Background(), smokeSeq, benchWriter(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,14 +19,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 )
 
 type baselineFile struct {
@@ -185,6 +188,10 @@ func main() {
 	threshold := flag.Float64("threshold", 20, "allocs/op regression percentage that triggers a warning")
 	failOnWarn := flag.Bool("fail", false, "exit 1 when any benchmark regresses allocs/op (strict mode)")
 	flag.Parse()
+	// Ctrl-C / SIGTERM (e.g. while blocked reading stdin from a piped
+	// bench run) aborts before the report is written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -213,6 +220,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: interrupted")
+		os.Exit(2)
+	}
 	rep := diffBenchmarks(base, cur, *threshold)
 	rep.write(os.Stdout, *baselinePath, base.Recorded, *threshold)
 	if *failOnWarn && rep.warnings > 0 {

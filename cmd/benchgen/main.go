@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"statsat/internal/circuit"
 	"statsat/internal/gen"
@@ -48,9 +51,17 @@ func main() {
 		return
 	}
 
+	// Ctrl-C / SIGTERM during generation aborts before the netlist is
+	// written, so -out never receives a truncated artifact.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	c, err := build(*benchmark, *scale, *random, *name, *inputs, *gates, *outputs, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "benchgen: interrupted")
 		os.Exit(1)
 	}
 	if *out != "" {

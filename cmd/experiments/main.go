@@ -11,17 +11,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"reflect"
 	"strings"
+	"syscall"
 	"time"
 
 	"statsat/internal/exp"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole tool so the non-zero exit paths can still
+// flush partial output first — os.Exit in main would skip defers.
+func run() int {
 	var (
 		profile  = flag.String("profile", "quick", "profile: paper | quick | smoke")
 		expID    = flag.String("exp", "all", "experiment id(s), comma-separated: table1..table5, fig4..fig6, ablations, defense, all")
@@ -34,8 +44,14 @@ func main() {
 	p, ok := exp.ProfileByName(*profile)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "experiments: unknown profile %q\n", *profile)
-		os.Exit(1)
+		return 1
 	}
+	// Ctrl-C / SIGTERM stops the scheduler: no new cells start, cells
+	// already completed stay flushed (table rows stream in order; the
+	// partial row prefix is still written as CSV below), and the tool
+	// exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	p.TraceDir = *traceDir
 	p.Verbose = *verbose
 	p.Workers = *workers
@@ -51,43 +67,56 @@ func main() {
 		var rows interface{}
 		switch strings.TrimSpace(id) {
 		case "table1":
-			rows = exp.TableI(p, os.Stdout)
+			rows = exp.TableI(ctx, p, os.Stdout)
 		case "table2":
-			rows, err = exp.TableII(p, os.Stdout)
+			rows, err = exp.TableII(ctx, p, os.Stdout)
 		case "table3":
-			rows, err = exp.TableIII(p, os.Stdout)
+			rows, err = exp.TableIII(ctx, p, os.Stdout)
 		case "table4":
-			rows, err = exp.TableIV(p, os.Stdout)
+			rows, err = exp.TableIV(ctx, p, os.Stdout)
 		case "table5":
-			rows, err = exp.TableV(p, os.Stdout)
+			rows, err = exp.TableV(ctx, p, os.Stdout)
 		case "fig4":
-			rows, err = exp.Fig4(p, os.Stdout)
+			rows, err = exp.Fig4(ctx, p, os.Stdout)
 		case "fig5":
-			rows, err = exp.Fig5(p, os.Stdout)
+			rows, err = exp.Fig5(ctx, p, os.Stdout)
 		case "fig6":
-			rows, err = exp.Fig6(p, os.Stdout)
+			rows, err = exp.Fig6(ctx, p, os.Stdout)
 		case "ablations":
-			rows, err = exp.Ablations(p, os.Stdout)
+			rows, err = exp.Ablations(ctx, p, os.Stdout)
 		case "defense":
-			rows, err = exp.Defense(p, os.Stdout)
+			rows, err = exp.Defense(ctx, p, os.Stdout)
 		case "sweep":
-			rows, err = exp.SweepNs(p, os.Stdout)
+			rows, err = exp.SweepNs(ctx, p, os.Stdout)
 		default:
 			err = fmt.Errorf("unknown experiment %q", id)
 		}
+		if *csvDir != "" && hasRows(rows) {
+			// On cancellation, generators return the completed prefix of
+			// rows: flush it as partial CSV before exiting non-zero.
+			if cerr := writeCSV(*csvDir, strings.TrimSpace(id), p.Name, rows); cerr != nil {
+				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", id, cerr)
+				return 1
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		if *csvDir != "" && rows != nil {
-			if err := writeCSV(*csvDir, strings.TrimSpace(id), p.Name, rows); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", id, err)
-				os.Exit(1)
-			}
+			return 1
 		}
 		//lint:ignore walltime completion banner is presentation-only; determinism tests compare generator output, not banners
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// hasRows reports whether rows is a non-empty slice (typed nil slices
+// arrive as non-nil interfaces, so a plain nil check is not enough).
+func hasRows(rows interface{}) bool {
+	if rows == nil {
+		return false
+	}
+	v := reflect.ValueOf(rows)
+	return v.Kind() == reflect.Slice && v.Len() > 0
 }
 
 func writeCSV(dir, id, profile string, rows interface{}) error {

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"statsat/internal/circuit"
 	"statsat/internal/gen"
@@ -37,6 +40,10 @@ func main() {
 		simplify  = flag.Bool("simplify", false, "run the clean-up/resynthesis pass on the locked netlist")
 	)
 	flag.Parse()
+	// Ctrl-C / SIGTERM during locking/simplification aborts before the
+	// netlist or key file is written, so neither artifact is truncated.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	forced, err := netio.ParseFormat(*format)
 	if err != nil {
 		fatal(err)
@@ -75,6 +82,9 @@ func main() {
 		locked.Circuit = s
 	}
 
+	if ctx.Err() != nil {
+		fatal(fmt.Errorf("interrupted"))
+	}
 	if *out != "" {
 		if err := netio.WriteFile(*out, locked.Circuit, forced); err != nil {
 			fatal(err)

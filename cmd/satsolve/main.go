@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"statsat/internal/sat"
 )
@@ -24,6 +27,10 @@ func main() {
 		budget = flag.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
 	)
 	flag.Parse()
+	// Ctrl-C / SIGTERM interrupts the search; the solver then reports
+	// UNKNOWN and the tool exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var r io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -39,7 +46,7 @@ func main() {
 		fatal(err)
 	}
 	s.ConflictBudget = *budget
-	res := s.Solve()
+	res := s.SolveCtx(ctx)
 	switch res {
 	case sat.Sat:
 		fmt.Println("s SATISFIABLE")
@@ -67,6 +74,10 @@ func main() {
 	}
 	if res == sat.Sat {
 		os.Exit(10)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "satsolve: interrupted")
+		os.Exit(1)
 	}
 }
 

@@ -19,20 +19,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"statsat/internal/lint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Ctrl-C / SIGTERM aborts between the (slow) load and the checks,
+	// exiting with the usage/load-error code rather than mid-report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("statlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the available checks and exit")
@@ -67,6 +74,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if ctx.Err() != nil {
+		fmt.Fprintln(stderr, "statlint: interrupted")
+		return 2
+	}
 	findings := lint.RunChecks(pkgs, checks)
 	for _, f := range findings {
 		// Print module-relative paths: stable across machines, and

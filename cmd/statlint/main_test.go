@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"regexp"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func TestBadFixtureExitsNonzero(t *testing.T) {
 	for _, check := range []string{"globalrand", "walltime", "bufretain", "tracegate", "floateq"} {
 		t.Run(check, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
-			code := run([]string{"../../internal/lint/testdata/" + check}, &stdout, &stderr)
+			code := run(context.Background(), []string{"../../internal/lint/testdata/" + check}, &stdout, &stderr)
 			if code != 1 {
 				t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
 			}
@@ -32,7 +33,7 @@ func TestBadFixtureExitsNonzero(t *testing.T) {
 // TestCleanFixtureExitsZero: no findings, no output, exit 0.
 func TestCleanFixtureExitsZero(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	code := run([]string{"../../internal/lint/testdata/clean"}, &stdout, &stderr)
+	code := run(context.Background(), []string{"../../internal/lint/testdata/clean"}, &stdout, &stderr)
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
 	}
@@ -44,7 +45,7 @@ func TestCleanFixtureExitsZero(t *testing.T) {
 // TestListCatalogue: -list names every shipped check.
 func TestListCatalogue(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
 	for _, check := range []string{"globalrand", "walltime", "bufretain", "tracegate", "floateq"} {
@@ -58,7 +59,7 @@ func TestListCatalogue(t *testing.T) {
 // findings.
 func TestBadPatternExitsTwo(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit code = %d, want 2; stderr: %s", code, stderr.String())
 	}
 }

@@ -11,10 +11,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"statsat/internal/attack"
 	"statsat/internal/core"
@@ -25,6 +29,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole tool so deferred cleanup (trace flushing) still
+// happens on the non-zero exit paths — os.Exit in main would skip it.
+func run() int {
 	var (
 		in       = flag.String("in", "", "locked netlist, .bench or structural .v (keyinput* inputs)")
 		format   = flag.String("format", "", "force netlist format: bench | verilog (default: by extension)")
@@ -47,19 +57,23 @@ func main() {
 	)
 	flag.Parse()
 	if *in == "" {
-		fatal(fmt.Errorf("need -in <locked netlist>"))
+		return fail(fmt.Errorf("need -in <locked netlist>"))
 	}
+	// Ctrl-C / SIGTERM cancels the attack at the next iteration
+	// boundary; the attack then returns its best-effort partial result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	forced, err := netio.ParseFormat(*format)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	locked, err := netio.ReadFile(*in, forced)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	key, err := loadKey(*keyStr, *keyFile, locked.NumKeys())
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	var orc oracle.Oracle
@@ -71,28 +85,37 @@ func main() {
 
 	tracer, closeTrace, err := openTrace(*traceOut, *verbose)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer closeTrace()
 
+	interrupted := false
 	switch *mode {
 	case "sat":
-		res, err := attack.StandardSATOpt(locked, orc, attack.SATOptions{MaxIter: *maxIter, Tracer: tracer})
+		res, err := attack.StandardSATOpt(ctx, locked, orc, attack.SATOptions{MaxIter: *maxIter, Tracer: tracer})
 		if err != nil {
-			fatal(err)
+			if !errors.Is(err, attack.ErrInterrupted) {
+				return fail(err)
+			}
+			interrupted = true
+			fmt.Fprintln(os.Stderr, "statsat: interrupted — results below are best-effort")
 		}
 		reportBaseline("standard SAT", res, locked, key)
 	case "psat":
-		res, err := attack.PSAT(locked, orc, attack.PSATOptions{Ns: *ns, MaxIter: *maxIter, Seed: *seed, Tracer: tracer})
+		res, err := attack.PSAT(ctx, locked, orc, attack.PSATOptions{Ns: *ns, MaxIter: *maxIter, Seed: *seed, Tracer: tracer})
 		if err != nil {
-			fatal(err)
+			if !errors.Is(err, attack.ErrInterrupted) {
+				return fail(err)
+			}
+			interrupted = true
+			fmt.Fprintln(os.Stderr, "statsat: interrupted — results below are best-effort")
 		}
 		reportBaseline("PSAT", res, locked, key)
 	case "statsat":
 		guess := *epsG
 		if *eps > 0 && guess < 0 {
 			fmt.Fprintln(os.Stderr, "estimating gate error probability (§V-E)...")
-			guess = core.EstimateGateError(locked, orc, core.EstimateOptions{Seed: *seed})
+			guess = core.EstimateGateError(ctx, locked, orc, core.EstimateOptions{Seed: *seed})
 			fmt.Fprintf(os.Stderr, "estimated eps' = %.4f%% (true value hidden from attacker)\n", guess*100)
 		}
 		if guess < 0 {
@@ -109,9 +132,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			}
 		}
-		res, err := core.Attack(locked, orc, opts)
+		res, err := core.Attack(ctx, locked, orc, opts)
 		if err != nil {
-			fatal(err)
+			if !errors.Is(err, core.ErrInterrupted) {
+				return fail(err)
+			}
+			interrupted = true
+			fmt.Fprintln(os.Stderr, "statsat: interrupted — results below are best-effort")
 		}
 		fmt.Printf("StatSAT: %d key(s), %d instance(s) peak, %d forks, %d force-proceeds, %d dead\n",
 			len(res.Keys), res.Instances, res.Forks, res.ForceProceeds, res.DeadInstances)
@@ -129,7 +156,7 @@ func main() {
 		for i, k := range res.Keys {
 			eq, err := metrics.KeysEquivalent(locked, k.Key, key)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			marker := ""
 			if eq {
@@ -139,8 +166,12 @@ func main() {
 				i, k.FM, k.HD, k.Iterations, formatKey(k.Key), marker)
 		}
 	default:
-		fatal(fmt.Errorf("unknown attack %q (want statsat, psat or sat)", *mode))
+		return fail(fmt.Errorf("unknown attack %q (want statsat, psat or sat)", *mode))
 	}
+	if interrupted {
+		return 1
+	}
+	return 0
 }
 
 // openTrace assembles the requested trace sinks: a JSON-lines file for
@@ -220,7 +251,7 @@ func formatKey(key []bool) string {
 	return string(b)
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "statsat:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,15 +1,19 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"time"
 
 	"statsat/internal/circuit"
-	"statsat/internal/cnf"
+	"statsat/internal/engine"
 	"statsat/internal/oracle"
 	"statsat/internal/sat"
+	"statsat/internal/trace"
 )
+
+// AppSAT has no tracer knob: the paper uses it only as a baseline
+// data point, so its adapter runs the engine untraced.
 
 // AppSATOptions configures the AppSAT baseline (Shamsi et al.,
 // HOST'17): the approximate SAT attack the paper's footnote 2 rules
@@ -63,105 +67,96 @@ type AppSATResult struct {
 // probabilistic oracle it inherits the classic attack's failure mode —
 // noisy responses recorded as hard constraints drive the formula
 // UNSAT — which is exactly why the paper develops StatSAT instead.
-func AppSAT(locked *circuit.Circuit, orc oracle.Oracle, opts AppSATOptions) (*AppSATResult, error) {
+func AppSAT(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts AppSATOptions) (*AppSATResult, error) {
 	opts.setDefaults()
 	if locked.NumPIs() != orc.NumInputs() || locked.NumPOs() != orc.NumOutputs() {
 		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch")
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	start := time.Now()
-	startQ := orc.Queries()
-	m, err := cnf.NewMiter(locked)
-	if err != nil {
+	eng := &engine.Engine{Locked: locked, Orc: orc, Tr: trace.NewEmitter(nil)}
+	res := &AppSATResult{}
+	st := &appSATStrategy{
+		eng: eng, res: res, opts: opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		scratch: make([]bool, locked.NumGates()),
+	}
+	cfg := engine.Config{Name: "appsat", MaxIter: opts.MaxIter}
+	r, err := finishRun(&res.Result, eng.Run(ctx, cfg, st, &res.Result))
+	if r == nil {
 		return nil, err
 	}
-	ks := cnf.NewKeySolver(locked)
-	res := &AppSATResult{}
-	scratch := make([]bool, locked.NumGates())
+	return res, err
+}
 
-	finish := func(failed bool, key []bool) *AppSATResult {
-		res.Failed = failed
-		res.Key = key
-		res.Duration = time.Since(start)
-		res.OracleQueries = orc.Queries() - startQ
-		return res
+// appSATStrategy interleaves classic DIP recording with random-query
+// reconciliation rounds (the AppSAT augmentation).
+type appSATStrategy struct {
+	eng     *engine.Engine
+	res     *AppSATResult
+	opts    AppSATOptions
+	rng     *rand.Rand
+	scratch []bool
+}
+
+func (s *appSATStrategy) Converged(ctx context.Context, inst *engine.Instance) error {
+	return engine.DefaultConverged(ctx, inst, &s.res.Result)
+}
+
+func (s *appSATStrategy) Respond(ctx context.Context, inst *engine.Instance, x []bool) (string, bool, error) {
+	y := s.eng.Orc.Query(x)
+	if err := engine.InstallDIP(inst, x, y); err != nil {
+		return "", false, err
+	}
+	if inst.Iterations%s.opts.QueryInterval != 0 {
+		return "dip", false, nil
 	}
 
-	addConstraint := func(x, y []bool) error {
-		outA, outB, err := m.AddDIPCopies(x)
-		if err != nil {
-			return err
+	// Reconciliation round.
+	s.res.Rounds++
+	switch inst.KS.S.SolveCtx(ctx) {
+	case sat.Sat:
+	case sat.Unknown:
+		if err := ctx.Err(); err != nil {
+			return "", false, &engine.InterruptedError{Cause: err, Instance: inst.ID, Iterations: inst.Iterations}
 		}
-		for i := range y {
-			cnf.Equal(m.S, outA[i], y[i])
-			cnf.Equal(m.S, outB[i], y[i])
-		}
-		outs, err := ks.AddDIPCopy(x)
-		if err != nil {
-			return err
-		}
-		for i := range y {
-			cnf.Equal(ks.S, outs[i], y[i])
-		}
-		return nil
+		fallthrough
+	default:
+		s.res.Failed = true
+		s.res.Key = nil
+		return "dead", true, nil
 	}
-
-	for res.Iterations = 0; res.Iterations < opts.MaxIter; res.Iterations++ {
-		status := m.S.Solve()
-		if status == sat.Unknown {
-			return nil, fmt.Errorf("attack: miter solve exceeded budget at iteration %d", res.Iterations)
-		}
-		if status == sat.Unsat {
-			if ks.S.Solve() != sat.Sat {
-				return finish(true, nil), nil
-			}
-			return finish(false, ks.Key()), nil
-		}
-		x := m.Input()
-		y := orc.Query(x)
-		if err := addConstraint(x, y); err != nil {
-			return nil, err
-		}
-
-		// Reconciliation round (the AppSAT augmentation).
-		if (res.Iterations+1)%opts.QueryInterval != 0 {
-			continue
-		}
-		res.Rounds++
-		if ks.S.Solve() != sat.Sat {
-			return finish(true, nil), nil
-		}
-		key := ks.Key()
-		mismatches := 0
-		var badX, badY [][]bool
-		for q := 0; q < opts.RandomQueries; q++ {
-			rx := locked.RandomInputs(rng)
-			ry := orc.Query(rx)
-			got := locked.Eval(rx, key, scratch)
-			same := true
-			for i := range ry {
-				if got[i] != ry[i] {
-					same = false
-					break
-				}
-			}
-			if !same {
-				mismatches++
-				badX = append(badX, rx)
-				badY = append(badY, ry)
+	key := inst.KS.Key()
+	locked := s.eng.Locked
+	mismatches := 0
+	var badX, badY [][]bool
+	for q := 0; q < s.opts.RandomQueries; q++ {
+		rx := locked.RandomInputs(s.rng)
+		ry := s.eng.Orc.Query(rx)
+		got := locked.Eval(rx, key, s.scratch)
+		same := true
+		for i := range ry {
+			if got[i] != ry[i] {
+				same = false
+				break
 			}
 		}
-		res.FinalErrorRate = float64(mismatches) / float64(opts.RandomQueries)
-		if res.FinalErrorRate <= opts.ErrorThreshold {
-			res.EarlyExit = true
-			return finish(false, key), nil
-		}
-		// Feed the failing patterns back as constraints.
-		for i := range badX {
-			if err := addConstraint(badX[i], badY[i]); err != nil {
-				return nil, err
-			}
+		if !same {
+			mismatches++
+			badX = append(badX, rx)
+			badY = append(badY, ry)
 		}
 	}
-	return nil, ErrIterationLimit
+	s.res.FinalErrorRate = float64(mismatches) / float64(s.opts.RandomQueries)
+	if s.res.FinalErrorRate <= s.opts.ErrorThreshold {
+		s.res.EarlyExit = true
+		s.res.Failed = false
+		s.res.Key = key
+		return "accept", true, nil
+	}
+	// Feed the failing patterns back as constraints.
+	for i := range badX {
+		if err := engine.InstallDIP(inst, badX[i], badY[i]); err != nil {
+			return "", false, err
+		}
+	}
+	return "dip", false, nil
 }

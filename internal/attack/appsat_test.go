@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestAppSATDeterministicRecoversKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewDeterministic(l.Circuit, l.Key)
-	res, err := AppSAT(l.Circuit, orc, AppSATOptions{Seed: 2})
+	res, err := AppSAT(context.Background(), l.Circuit, orc, AppSATOptions{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestAppSATEarlyExitOnSFLL(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewDeterministic(l.Circuit, l.Key)
-	res, err := AppSAT(l.Circuit, orc, AppSATOptions{
+	res, err := AppSAT(context.Background(), l.Circuit, orc, AppSATOptions{
 		QueryInterval:  5,
 		RandomQueries:  30,
 		ErrorThreshold: 0.05,
@@ -105,7 +106,7 @@ func TestAppSATFailsOnNoisyOracle(t *testing.T) {
 			t.Fatal(err)
 		}
 		orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.05, seed+500)
-		res, err := AppSAT(l.Circuit, orc, AppSATOptions{
+		res, err := AppSAT(context.Background(), l.Circuit, orc, AppSATOptions{
 			QueryInterval: 6, RandomQueries: 20, MaxIter: 400, Seed: seed,
 		})
 		if err != nil || res.Failed || res.Key == nil {
@@ -138,7 +139,7 @@ func TestAppSATInterfaceMismatch(t *testing.T) {
 	l, _ := lock.RLL(gen.C17(), 3, rng)
 	other := gen.Random("o", 4, 20, 3, 2)
 	orc := oracle.NewDeterministic(other, nil)
-	if _, err := AppSAT(l.Circuit, orc, AppSATOptions{}); err == nil {
+	if _, err := AppSAT(context.Background(), l.Circuit, orc, AppSATOptions{}); err == nil {
 		t.Error("want interface mismatch error")
 	}
 }

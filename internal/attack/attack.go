@@ -8,42 +8,41 @@
 //     to a single whole output pattern — the dominant one if one
 //     exists, otherwise one sampled by frequency (§III).
 //
-// StatSAT itself lives in internal/core.
+// Both are thin adapters over the shared loop in internal/engine: they
+// contribute only a Strategy (how to answer a distinguishing input)
+// and let the engine own iteration, tracing and cancellation. StatSAT
+// itself lives in internal/core.
 package attack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
-	"time"
 
 	"statsat/internal/circuit"
-	"statsat/internal/cnf"
+	"statsat/internal/engine"
 	"statsat/internal/oracle"
-	"statsat/internal/sat"
 	"statsat/internal/trace"
 )
 
 // ErrIterationLimit is returned when an attack exceeds its iteration
-// budget without converging.
-var ErrIterationLimit = errors.New("attack: iteration limit exceeded")
+// budget without converging. It is the engine's sentinel, re-exported
+// so existing callers keep comparing against attack.ErrIterationLimit.
+var ErrIterationLimit = engine.ErrIterationLimit
+
+// ErrInterrupted matches any attack stopped by context cancellation or
+// deadline expiry (errors.Is). Interrupted attacks return it together
+// with a non-nil best-effort Result.
+var ErrInterrupted = engine.ErrInterrupted
 
 // Result reports the outcome of a baseline attack.
-type Result struct {
-	// Key is the recovered key, nil if the attack failed (PSAT's CNF
-	// can become unsatisfiable when a wrong pattern is recorded).
-	Key []bool
-	// Iterations is the number of distinguishing inputs processed.
-	Iterations int
-	// Duration is the wall-clock attack time (T_attack).
-	Duration time.Duration
-	// OracleQueries counts total chip queries.
-	OracleQueries int64
-	// Failed is set when the formula became UNSAT before a key was
-	// produced (inconsistent DIPs — the §III failure mode).
-	Failed bool
-}
+type Result = engine.Result
+
+// InterruptedError carries the cancellation cause and the progress
+// made; see engine.InterruptedError.
+type InterruptedError = engine.InterruptedError
 
 // SATOptions configures StandardSATOpt.
 type SATOptions struct {
@@ -56,12 +55,14 @@ type SATOptions struct {
 
 // StandardSAT runs the classic SAT attack against a (deterministic)
 // oracle. maxIter bounds the number of DIP iterations (0 = 1<<20).
-func StandardSAT(locked *circuit.Circuit, orc oracle.Oracle, maxIter int) (*Result, error) {
-	return StandardSATOpt(locked, orc, SATOptions{MaxIter: maxIter})
+func StandardSAT(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, maxIter int) (*Result, error) {
+	return StandardSATOpt(ctx, locked, orc, SATOptions{MaxIter: maxIter})
 }
 
-// StandardSATOpt is StandardSAT with the full option set.
-func StandardSATOpt(locked *circuit.Circuit, orc oracle.Oracle, opts SATOptions) (*Result, error) {
+// StandardSATOpt is StandardSAT with the full option set. On context
+// cancellation it returns the best-effort partial result alongside an
+// error matching ErrInterrupted.
+func StandardSATOpt(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts SATOptions) (*Result, error) {
 	maxIter := opts.MaxIter
 	if maxIter <= 0 {
 		maxIter = 1 << 20
@@ -70,64 +71,57 @@ func StandardSATOpt(locked *circuit.Circuit, orc oracle.Oracle, opts SATOptions)
 		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch (%d/%d in, %d/%d out)",
 			locked.NumPIs(), orc.NumInputs(), locked.NumPOs(), orc.NumOutputs())
 	}
-	tr := trace.NewEmitter(opts.Tracer)
-	emitStart(tr, "sat", locked, &trace.OptionsInfo{MaxIter: maxIter})
-	start := time.Now()
-	startQ := orc.Queries()
-	m, err := cnf.NewMiter(locked)
-	if err != nil {
-		return nil, err
-	}
-	ks := cnf.NewKeySolver(locked)
+	eng := &engine.Engine{Locked: locked, Orc: orc, Tr: trace.NewEmitter(opts.Tracer)}
 	res := &Result{}
-	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
-		emitIterStart(tr, res.Iterations+1, m.S, orc, startQ)
-		status := m.S.Solve()
-		if status == sat.Unknown {
-			return nil, fmt.Errorf("attack: miter solve exceeded budget at iteration %d", res.Iterations)
-		}
-		if status == sat.Unsat {
-			// Converged: any key satisfying the DIPs is correct.
-			if ks.S.Solve() == sat.Sat {
-				res.Key = ks.Key()
-			} else {
-				res.Failed = true
-			}
-			res.Duration = time.Since(start)
-			res.OracleQueries = orc.Queries() - startQ
-			emitConverged(tr, m.S, orc, startQ, res)
-			return res, nil
-		}
-		x := m.Input()
-		y := orc.Query(x)
-		if err := installDIP(m, ks, x, y); err != nil {
-			return nil, err
-		}
-		emitDIP(tr, res.Iterations, keyString(x), keyString(y), orc, startQ)
-		emitIterEnd(tr, res.Iterations+1, "dip", m.S, orc, startQ)
-	}
-	return nil, ErrIterationLimit
+	st := &satStrategy{eng: eng, res: res}
+	cfg := engine.Config{Name: "sat", MaxIter: maxIter, Opts: &trace.OptionsInfo{MaxIter: maxIter}}
+	return finishRun(res, eng.Run(ctx, cfg, st, res))
 }
 
-// installDIP adds one fully specified distinguishing I/O pair to the
-// miter and key solvers.
-func installDIP(m *cnf.Miter, ks *cnf.KeySolver, x, y []bool) error {
-	outA, outB, err := m.AddDIPCopies(x)
-	if err != nil {
-		return err
+// finishRun maps an engine.Run error to the baseline return contract:
+// interrupted runs keep their best-effort result, every other error
+// discards it.
+func finishRun(res *Result, err error) (*Result, error) {
+	if err == nil {
+		return res, nil
 	}
-	for i := range y {
-		cnf.Equal(m.S, outA[i], y[i])
-		cnf.Equal(m.S, outB[i], y[i])
+	if errors.Is(err, ErrInterrupted) {
+		return res, err
 	}
-	outs, err := ks.AddDIPCopy(x)
-	if err != nil {
-		return err
+	return nil, err
+}
+
+// satStrategy answers each DIP with a single deterministic oracle
+// query and records the full I/O pair.
+type satStrategy struct {
+	eng *engine.Engine
+	res *Result
+}
+
+//lint:ignore ctxflow Strategy interface compliance: the engine checks ctx in Step right before Respond, and the single deterministic oracle query cannot block
+func (s *satStrategy) Respond(ctx context.Context, inst *engine.Instance, x []bool) (string, bool, error) {
+	y := s.eng.Orc.Query(x)
+	if err := engine.InstallDIP(inst, x, y); err != nil {
+		return "", false, err
 	}
-	for i := range y {
-		cnf.Equal(ks.S, outs[i], y[i])
+	emitFullDIP(s.eng, inst, x, y)
+	return "dip", false, nil
+}
+
+func (s *satStrategy) Converged(ctx context.Context, inst *engine.Instance) error {
+	return engine.DefaultConverged(ctx, inst, s.res)
+}
+
+// emitFullDIP records a fully specified distinguishing I/O pair
+// (baselines specify every output bit).
+func emitFullDIP(eng *engine.Engine, inst *engine.Instance, x, y []bool) {
+	if !eng.Tr.Enabled() {
+		return
 	}
-	return nil
+	eng.EmitDIP(inst, inst.Iterations, &trace.DIPInfo{
+		Index: inst.Iterations - 1, X: engine.BitString(x), Y: engine.BitString(y),
+		Outputs: len(y), Specified: len(y),
+	})
 }
 
 // PSATOptions configures the PSAT baseline.
@@ -167,153 +161,53 @@ func (o *PSATOptions) setDefaults() {
 // bits are always specified — the design decision StatSAT criticises —
 // so a single mis-committed pattern can drive the formula UNSAT
 // (Failed=true) or eliminate the correct key silently.
-func PSAT(locked *circuit.Circuit, orc oracle.Oracle, opts PSATOptions) (*Result, error) {
+func PSAT(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts PSATOptions) (*Result, error) {
 	opts.setDefaults()
 	if locked.NumPIs() != orc.NumInputs() || locked.NumPOs() != orc.NumOutputs() {
 		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch")
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	tr := trace.NewEmitter(opts.Tracer)
-	emitStart(tr, "psat", locked, &trace.OptionsInfo{Ns: opts.Ns, MaxIter: opts.MaxIter})
-	start := time.Now()
-	startQ := orc.Queries()
-	m, err := cnf.NewMiter(locked)
-	if err != nil {
-		return nil, err
-	}
-	ks := cnf.NewKeySolver(locked)
+	eng := &engine.Engine{Locked: locked, Orc: orc, Tr: trace.NewEmitter(opts.Tracer)}
 	res := &Result{}
-	for res.Iterations = 0; res.Iterations < opts.MaxIter; res.Iterations++ {
-		emitIterStart(tr, res.Iterations+1, m.S, orc, startQ)
-		status := m.S.Solve()
-		if status == sat.Unknown {
-			return nil, fmt.Errorf("attack: miter solve exceeded budget at iteration %d", res.Iterations)
-		}
-		if status == sat.Unsat {
-			if ks.S.Solve() == sat.Sat {
-				res.Key = ks.Key()
-			} else {
-				res.Failed = true
-			}
-			res.Duration = time.Since(start)
-			res.OracleQueries = orc.Queries() - startQ
-			emitConverged(tr, m.S, orc, startQ, res)
-			return res, nil
-		}
-		x := m.Input()
-		y := choosePattern(orc, x, opts.Ns, opts.DominanceThreshold, rng)
-		if err := installDIP(m, ks, x, y); err != nil {
-			return nil, err
-		}
-		emitDIP(tr, res.Iterations, keyString(x), keyString(y), orc, startQ)
-		emitIterEnd(tr, res.Iterations+1, "dip", m.S, orc, startQ)
-		// A wrong committed pattern may have made the formulas UNSAT
-		// already; the next Solve detects it.
+	st := &psatStrategy{
+		eng: eng, res: res, opts: opts,
+		rng: rand.New(rand.NewSource(opts.Seed)),
 	}
-	return nil, ErrIterationLimit
+	cfg := engine.Config{
+		Name: "psat", MaxIter: opts.MaxIter,
+		Opts: &trace.OptionsInfo{Ns: opts.Ns, MaxIter: opts.MaxIter},
+	}
+	return finishRun(res, eng.Run(ctx, cfg, st, res))
+	// A wrong committed pattern may make the formulas UNSAT; the next
+	// Step detects it as convergence with Failed set.
 }
 
-// keyString renders a bit vector as a '0'/'1' string for trace events.
-func keyString(bits []bool) string {
-	b := make([]byte, len(bits))
-	for i, v := range bits {
-		if v {
-			b[i] = '1'
-		} else {
-			b[i] = '0'
-		}
-	}
-	return string(b)
+// psatStrategy answers each DIP with Ns oracle samples collapsed to a
+// single committed pattern.
+type psatStrategy struct {
+	eng  *engine.Engine
+	res  *Result
+	opts PSATOptions
+	rng  *rand.Rand
 }
 
-// The emit helpers below keep the baselines on the same event schema
-// as StatSAT (docs/OBSERVABILITY.md); baselines run a single SAT
-// instance, so every instance-scoped event carries instance 0.
-
-func emitStart(tr *trace.Emitter, name string, locked *circuit.Circuit, opts *trace.OptionsInfo) {
-	tr.Emit(trace.Event{
-		Type: trace.AttackStart, Attack: name, Instance: -1,
-		Circuit: &trace.CircuitInfo{
-			Name: locked.Name, PIs: locked.NumPIs(), POs: locked.NumPOs(), Keys: locked.NumKeys(),
-		},
-		Opts: opts,
-	})
+func (s *psatStrategy) Respond(ctx context.Context, inst *engine.Instance, x []bool) (string, bool, error) {
+	y := choosePattern(ctx, s.eng.Orc, x, s.opts.Ns, s.opts.DominanceThreshold, s.rng)
+	if err := engine.InstallDIP(inst, x, y); err != nil {
+		return "", false, err
+	}
+	emitFullDIP(s.eng, inst, x, y)
+	return "dip", false, nil
 }
 
-func emitIterStart(tr *trace.Emitter, iter int, s *sat.Solver, orc oracle.Oracle, startQ int64) {
-	if !tr.Enabled() {
-		return
-	}
-	tr.Emit(trace.Event{
-		Type: trace.IterStart, Instance: 0, Iter: iter,
-		Solver: trace.SolverSnapshot(s), OracleQueries: orc.Queries() - startQ,
-	})
-}
-
-func emitIterEnd(tr *trace.Emitter, iter int, status string, s *sat.Solver, orc oracle.Oracle, startQ int64) {
-	if !tr.Enabled() {
-		return
-	}
-	tr.Emit(trace.Event{
-		Type: trace.IterEnd, Instance: 0, Iter: iter, Status: status,
-		Solver: trace.SolverSnapshot(s), OracleQueries: orc.Queries() - startQ,
-	})
-}
-
-func emitDIP(tr *trace.Emitter, index int, x, y string, orc oracle.Oracle, startQ int64) {
-	if !tr.Enabled() {
-		return
-	}
-	tr.Emit(trace.Event{
-		Type: trace.DIPFound, Instance: 0, Iter: index + 1,
-		OracleQueries: orc.Queries() - startQ,
-		DIP: &trace.DIPInfo{
-			Index: index, X: x, Y: y, Outputs: len(y), Specified: len(y),
-		},
-	})
-}
-
-// emitConverged closes a baseline trace: the final iteration_end
-// ("unsat"), then key_accepted or instance_dead, then attack_end.
-func emitConverged(tr *trace.Emitter, s *sat.Solver, orc oracle.Oracle, startQ int64, res *Result) {
-	if !tr.Enabled() {
-		return
-	}
-	emitIterEnd(tr, res.Iterations+1, "unsat", s, orc, startQ)
-	if res.Key != nil {
-		tr.Emit(trace.Event{
-			Type: trace.KeyAccepted, Instance: 0,
-			Key: &trace.KeyInfo{Key: keyString(res.Key), Iterations: res.Iterations, DIPs: res.Iterations},
-		})
-	} else {
-		tr.Emit(trace.Event{
-			Type: trace.InstanceDead, Instance: 0,
-			Key: &trace.KeyInfo{Iterations: res.Iterations, DIPs: res.Iterations},
-		})
-	}
-	keys := 0
-	if res.Key != nil {
-		keys = 1
-	}
-	dead := 0
-	if res.Failed {
-		dead = 1
-	}
-	tr.Emit(trace.Event{
-		Type: trace.AttackEnd, Instance: -1,
-		Totals: &trace.TotalsInfo{
-			Keys: keys, Iterations: res.Iterations, InstancesCreated: 1, PeakLive: 1,
-			DeadInstances: dead, OracleQueries: res.OracleQueries,
-			DurationNs: res.Duration.Nanoseconds(),
-		},
-	})
+func (s *psatStrategy) Converged(ctx context.Context, inst *engine.Instance) error {
+	return engine.DefaultConverged(ctx, inst, s.res)
 }
 
 // choosePattern implements [15]'s pattern selection: dominant pattern
 // if its frequency exceeds the threshold, else frequency-weighted
 // sampling.
-func choosePattern(orc oracle.Oracle, x []bool, ns int, threshold float64, rng *rand.Rand) []bool {
-	counts := oracle.PatternCounts(orc, x, ns)
+func choosePattern(ctx context.Context, orc oracle.Oracle, x []bool, ns int, threshold float64, rng *rand.Rand) []bool {
+	counts := oracle.PatternCounts(ctx, orc, x, ns)
 	// Deterministic iteration order for reproducibility.
 	pats := make([]string, 0, len(counts))
 	for p := range counts {

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestStandardSATRecoversRLLKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewDeterministic(l.Circuit, l.Key)
-	res, err := StandardSAT(l.Circuit, orc, 0)
+	res, err := StandardSAT(context.Background(), l.Circuit, orc, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestStandardSATRecoversSLLKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewDeterministic(l.Circuit, l.Key)
-	res, err := StandardSAT(l.Circuit, orc, 0)
+	res, err := StandardSAT(context.Background(), l.Circuit, orc, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestStandardSATRecoversSFLLKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewDeterministic(l.Circuit, l.Key)
-	res, err := StandardSAT(l.Circuit, orc, 0)
+	res, err := StandardSAT(context.Background(), l.Circuit, orc, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestStandardSATIterationLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewDeterministic(l.Circuit, l.Key)
-	if _, err := StandardSAT(l.Circuit, orc, 2); err != ErrIterationLimit {
+	if _, err := StandardSAT(context.Background(), l.Circuit, orc, 2); err != ErrIterationLimit {
 		t.Errorf("err = %v, want ErrIterationLimit", err)
 	}
 }
@@ -107,7 +108,7 @@ func TestStandardSATInterfaceMismatch(t *testing.T) {
 	l, _ := lock.RLL(gen.C17(), 3, rng)
 	other := gen.Random("o", 4, 20, 3, 2)
 	orc := oracle.NewDeterministic(other, nil)
-	if _, err := StandardSAT(l.Circuit, orc, 0); err == nil {
+	if _, err := StandardSAT(context.Background(), l.Circuit, orc, 0); err == nil {
 		t.Error("want interface mismatch error")
 	}
 }
@@ -127,7 +128,7 @@ func TestStandardSATFailsOnNoisyOracle(t *testing.T) {
 			t.Fatal(err)
 		}
 		orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.05, seed+100)
-		res, err := StandardSAT(l.Circuit, orc, 500)
+		res, err := StandardSAT(context.Background(), l.Circuit, orc, 500)
 		if err != nil {
 			failures++ // iteration explosion also counts as failure
 			continue
@@ -158,7 +159,7 @@ func TestPSATOnDeterministicOracleMatchesStandard(t *testing.T) {
 		t.Fatal(err)
 	}
 	orc := oracle.NewDeterministic(l.Circuit, l.Key)
-	res, err := PSAT(l.Circuit, orc, PSATOptions{Ns: 5})
+	res, err := PSAT(context.Background(), l.Circuit, orc, PSATOptions{Ns: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestPSATLowNoiseSucceedsSometimes(t *testing.T) {
 			t.Fatal(err)
 		}
 		orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.002, seed+200)
-		res, err := PSAT(l.Circuit, orc, PSATOptions{Ns: 100, MaxIter: 300, Seed: seed})
+		res, err := PSAT(context.Background(), l.Circuit, orc, PSATOptions{Ns: 100, MaxIter: 300, Seed: seed})
 		if err != nil || res.Failed || res.Key == nil {
 			continue
 		}
@@ -216,7 +217,7 @@ func TestPSATHighNoiseFails(t *testing.T) {
 			t.Fatal(err)
 		}
 		orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.05, seed+300)
-		res, err := PSAT(l.Circuit, orc, PSATOptions{Ns: 60, MaxIter: 400, Seed: seed})
+		res, err := PSAT(context.Background(), l.Circuit, orc, PSATOptions{Ns: 60, MaxIter: 400, Seed: seed})
 		if err != nil || res.Failed || res.Key == nil {
 			fails++
 			continue
@@ -244,7 +245,7 @@ func TestChoosePatternDominant(t *testing.T) {
 	det := oracle.NewDeterministic(l.Circuit, l.Key)
 	x := []bool{true, false, true, false, true}
 	want := det.Query(x)
-	got := choosePattern(det, x, 9, 0.5, rng)
+	got := choosePattern(context.Background(), det, x, 9, 0.5, rng)
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatal("dominant pattern should match deterministic output")
@@ -263,7 +264,7 @@ func BenchmarkStandardSATC880Scale8(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		orc := oracle.NewDeterministic(l.Circuit, l.Key)
-		if _, err := StandardSAT(l.Circuit, orc, 0); err != nil {
+		if _, err := StandardSAT(context.Background(), l.Circuit, orc, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

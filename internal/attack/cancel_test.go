@@ -1,0 +1,122 @@
+package attack
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"statsat/internal/engine"
+	"statsat/internal/gen"
+	"statsat/internal/lock"
+	"statsat/internal/oracle"
+)
+
+// lockedC880Full builds the full-size c880 stand-in with a 32-bit RLL
+// key (Table V's configuration) — large enough that no attack finishes
+// within a millisecond deadline.
+func lockedC880Full(t testing.TB, seed int64) *lock.Locked {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	bm, _ := gen.ByName("c880")
+	l, err := lock.RLL(bm.BuildScaled(1), 32, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestStandardSATDeadlineInterrupted is the headline cancellation
+// contract: an attack launched with a 1ms deadline on c880 returns an
+// error matching ErrInterrupted together with a non-nil best-effort
+// result, instead of hanging until convergence.
+func TestStandardSATDeadlineInterrupted(t *testing.T) {
+	l := lockedC880Full(t, 7)
+	orc := oracle.NewDeterministic(l.Circuit, l.Key)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	res, err := StandardSAT(ctx, l.Circuit, orc, 0)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want to unwrap to context.DeadlineExceeded", err)
+	}
+	var ie *InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %T, want *InterruptedError", err)
+	}
+	if res == nil {
+		t.Fatal("interrupted attack returned nil result")
+	}
+	if res.Key == nil {
+		t.Error("interrupted result missing best-effort key")
+	}
+	if len(res.Key) != len(l.Key) {
+		t.Errorf("best-effort key has %d bits, want %d", len(res.Key), len(l.Key))
+	}
+	if res.Iterations != ie.Iterations {
+		t.Errorf("result iterations %d != error iterations %d", res.Iterations, ie.Iterations)
+	}
+}
+
+func TestPSATAlreadyCancelled(t *testing.T) {
+	l := lockedC880Full(t, 8)
+	orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.01, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := PSAT(ctx, l.Circuit, orc, PSATOptions{})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want to unwrap to context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("interrupted PSAT returned nil result")
+	}
+	if res.Key == nil {
+		t.Error("zero-iteration interrupt should still extract an unconstrained key candidate")
+	}
+	if res.Iterations != 0 {
+		t.Errorf("Iterations = %d, want 0 under a pre-cancelled context", res.Iterations)
+	}
+}
+
+func TestAppSATDeadlineInterrupted(t *testing.T) {
+	l := lockedC880Full(t, 9)
+	orc := oracle.NewDeterministic(l.Circuit, l.Key)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	res, err := AppSAT(ctx, l.Circuit, orc, AppSATOptions{Seed: 3})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if res == nil {
+		t.Fatal("interrupted AppSAT returned nil result")
+	}
+	if res.Key == nil {
+		t.Error("interrupted AppSAT result missing best-effort key")
+	}
+}
+
+// TestInterruptedErrorShape pins the error type's matching behaviour:
+// one errors.Is for the sentinel, one for the context cause, and As
+// for the payload.
+func TestInterruptedErrorShape(t *testing.T) {
+	ie := &engine.InterruptedError{Cause: context.Canceled, Instance: 3, Iterations: 17}
+	if !errors.Is(ie, ErrInterrupted) {
+		t.Error("InterruptedError does not match ErrInterrupted")
+	}
+	if !errors.Is(ie, context.Canceled) {
+		t.Error("InterruptedError does not unwrap to its cause")
+	}
+	if errors.Is(ie, context.DeadlineExceeded) {
+		t.Error("InterruptedError matched a cause it does not carry")
+	}
+	var got *InterruptedError
+	if !errors.As(ie, &got) || got.Instance != 3 || got.Iterations != 17 {
+		t.Errorf("errors.As round-trip lost fields: %+v", got)
+	}
+}

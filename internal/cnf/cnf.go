@@ -9,6 +9,7 @@
 package cnf
 
 import (
+	"context"
 	"fmt"
 
 	"statsat/internal/circuit"
@@ -431,14 +432,15 @@ func (k *KeySolver) Key() []bool { return modelOf(k.S, k.Keys) }
 // EnumerateKeys returns up to max distinct keys satisfying the current
 // constraints. Enumeration uses a throwaway activation literal so the
 // blocking clauses are retired afterwards and do not constrain future
-// queries.
-func (k *KeySolver) EnumerateKeys(max int) [][]bool {
+// queries. Cancelling ctx stops the enumeration early; the keys found
+// so far are returned.
+func (k *KeySolver) EnumerateKeys(ctx context.Context, max int) [][]bool {
 	if max <= 0 {
 		return nil
 	}
 	act := FreshLit(k.S)
 	var keys [][]bool
-	for len(keys) < max && k.S.Solve(act) == sat.Sat {
+	for len(keys) < max && k.S.SolveCtx(ctx, act) == sat.Sat {
 		key := k.Key()
 		keys = append(keys, key)
 		// Block this key while act holds.

@@ -1,6 +1,7 @@
 package cnf
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -382,7 +383,7 @@ func TestMiterFullAttackLoop(t *testing.T) {
 func TestKeySolverEnumerateKeys(t *testing.T) {
 	c, _ := xorLock(t)
 	ks := NewKeySolver(c)
-	keys := ks.EnumerateKeys(10)
+	keys := ks.EnumerateKeys(context.Background(), 10)
 	if len(keys) != 4 {
 		t.Fatalf("unconstrained 2-bit keyspace: got %d keys, want 4", len(keys))
 	}
@@ -399,7 +400,7 @@ func TestKeySolverEnumerateKeys(t *testing.T) {
 		t.Error("key solver unusable after enumeration")
 	}
 	// Second enumeration still sees all keys (blocking clauses retired).
-	if again := ks.EnumerateKeys(10); len(again) != 4 {
+	if again := ks.EnumerateKeys(context.Background(), 10); len(again) != 4 {
 		t.Errorf("second enumeration found %d keys, want 4", len(again))
 	}
 }
@@ -407,7 +408,7 @@ func TestKeySolverEnumerateKeys(t *testing.T) {
 func TestKeySolverEnumerateZero(t *testing.T) {
 	c, _ := xorLock(t)
 	ks := NewKeySolver(c)
-	if keys := ks.EnumerateKeys(0); keys != nil {
+	if keys := ks.EnumerateKeys(context.Background(), 0); keys != nil {
 		t.Error("max=0 should return nil")
 	}
 }

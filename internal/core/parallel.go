@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"statsat/internal/oracle"
@@ -72,13 +73,13 @@ func wrapOracle(orc oracle.Oracle) oracle.Oracle {
 // run.spawn. The N_inst bound, the iteration budget and all result
 // counters are enforced exactly as in the sequential path (shared
 // bookkeeping sits behind run.mu).
-func (run *attackRun) runParallel(root *instance) {
+func (run *attackRun) runParallel(ctx context.Context, root *instance) {
 	var wg sync.WaitGroup
 	run.spawn = func(in *instance) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			run.instanceLoop(in)
+			run.instanceLoop(ctx, in)
 		}()
 	}
 	run.spawn(root)
@@ -86,9 +87,9 @@ func (run *attackRun) runParallel(root *instance) {
 	run.spawn = nil
 }
 
-// instanceLoop drives one instance until it finishes, dies, errors or
-// exhausts the shared iteration budget.
-func (run *attackRun) instanceLoop(in *instance) {
+// instanceLoop drives one instance until it finishes, dies, errors,
+// exhausts the shared iteration budget, or the context is cancelled.
+func (run *attackRun) instanceLoop(ctx context.Context, in *instance) {
 	for {
 		run.mu.Lock()
 		stop := run.err != nil || in.state != running
@@ -96,16 +97,16 @@ func (run *attackRun) instanceLoop(in *instance) {
 		if stop {
 			return
 		}
+		if err := ctx.Err(); err != nil {
+			run.setErr(run.interrupted(in, err))
+			return
+		}
 		if !run.takeIteration() {
 			run.markTruncated()
 			return
 		}
-		if err := run.step(in); err != nil {
-			run.mu.Lock()
-			if run.err == nil {
-				run.err = err
-			}
-			run.mu.Unlock()
+		if err := run.step(ctx, in); err != nil {
+			run.setErr(err)
 			return
 		}
 	}

@@ -23,16 +23,19 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"statsat/internal/circuit"
 	"statsat/internal/cnf"
+	"statsat/internal/engine"
 	"statsat/internal/errprop"
 	"statsat/internal/metrics"
 	"statsat/internal/oracle"
@@ -175,6 +178,11 @@ type InstanceStat struct {
 // producing a key (the attack failed outright).
 var ErrNoInstances = errors.New("statsat: every SAT instance became unsatisfiable")
 
+// ErrInterrupted matches any attack stopped by context cancellation or
+// deadline expiry (via errors.Is). It always arrives alongside a
+// non-nil best-effort Result; see engine.InterruptedError.
+var ErrInterrupted = engine.ErrInterrupted
+
 // dip is one distinguishing input with its oracle statistics and the
 // (partially specified) output vector shared with the SAT solvers.
 type dip struct {
@@ -214,69 +222,46 @@ const (
 	dead
 )
 
-// instance is one SAT formulation (CNF formulas + recorded DIPs).
-// The *Buf fields are per-instance scratch for the iteration hot path;
-// an instance is only ever driven by one goroutine at a time, so they
-// need no locking (and clones get fresh ones).
+// instance is one SAT formulation (CNF formulas + recorded DIPs). The
+// embedded engine.Instance carries the miter (M), key solver (KS), ID
+// and iteration counter the shared loop operates on; this wrapper adds
+// StatSAT's fork-tree state. The *Buf fields are per-instance scratch
+// for the iteration hot path; an instance is only ever driven by one
+// goroutine at a time, so they need no locking (and clones get fresh
+// ones).
 type instance struct {
-	id         int
-	parent     int // id of the instance this one forked from (-1 for root)
-	miter      *cnf.Miter
-	ks         *cnf.KeySolver
-	dips       []*dip
-	byInput    map[string]int // input pattern -> dip index
-	iterations int
-	state      instState
-	key        []bool
+	engine.Instance
+	parent  int // id of the instance this one forked from (-1 for root)
+	dips    []*dip
+	byInput map[string]int // input pattern -> dip index
+	state   instState
+	key     []bool
 
 	keyBuf    []byte // repeated-DIP map lookups without a string alloc
 	unspecBuf []int  // unspecified-bit index scratch (handleRepeat)
 }
 
-// fmtY renders a partially-specified output vector ('x' = unspecified).
-func fmtY(y []int8) string {
-	b := make([]byte, len(y))
-	for i, v := range y {
-		switch v {
-		case 0:
-			b[i] = '0'
-		case 1:
-			b[i] = '1'
-		default:
-			b[i] = 'x'
-		}
-	}
-	return string(b)
-}
+// fmtY, keyOf and appendBits delegate to the shared formatting helpers
+// in internal/engine (one implementation for every attack).
 
-func keyOf(x []bool) string {
-	return string(appendBits(nil, x))
-}
+func fmtY(y []int8) string { return engine.FmtY(y) }
 
-// appendBits renders x as '0'/'1' bytes into buf. Looking a []byte up
-// in a map via m[string(buf)] compiles to an allocation-free access,
-// which is why the per-iteration repeat check uses this form.
-func appendBits(buf []byte, x []bool) []byte {
-	for _, v := range x {
-		if v {
-			buf = append(buf, '1')
-		} else {
-			buf = append(buf, '0')
-		}
-	}
-	return buf
-}
+func keyOf(x []bool) string { return engine.BitString(x) }
+
+func appendBits(buf []byte, x []bool) []byte { return engine.AppendBits(buf, x) }
 
 func (in *instance) clone(id int) *instance {
 	n := &instance{
-		id:         id,
-		parent:     in.id,
-		miter:      in.miter.Clone(),
-		ks:         in.ks.Clone(),
-		dips:       make([]*dip, len(in.dips)),
-		byInput:    make(map[string]int, len(in.byInput)),
-		iterations: in.iterations,
-		state:      in.state,
+		Instance: engine.Instance{
+			ID:         id,
+			M:          in.M.Clone(),
+			KS:         in.KS.Clone(),
+			Iterations: in.Iterations,
+		},
+		parent:  in.ID,
+		dips:    make([]*dip, len(in.dips)),
+		byInput: make(map[string]int, len(in.byInput)),
+		state:   in.state,
 	}
 	for i, d := range in.dips {
 		n.dips[i] = d.cloneFor()
@@ -294,9 +279,9 @@ func (in *instance) specify(d *dip, j int, val bool) {
 		v = 1
 	}
 	d.y[j] = v
-	cnf.Equal(in.miter.S, d.outA[j], val)
-	cnf.Equal(in.miter.S, d.outB[j], val)
-	cnf.Equal(in.ks.S, d.outs[j], val)
+	cnf.Equal(in.M.S, d.outA[j], val)
+	cnf.Equal(in.M.S, d.outB[j], val)
+	cnf.Equal(in.KS.S, d.outs[j], val)
 }
 
 // attack bundles the run state. mu guards insts, res, nextID, peakLive
@@ -315,6 +300,11 @@ type attackRun struct {
 	peakLive int
 	err      error
 	spawn    func(*instance) // set by the parallel scheduler
+
+	// eng drives the shared oracle-guided loop (internal/engine); its
+	// StartQ stays 0 so StatSAT events stamp the absolute shared-chip
+	// query counter.
+	eng *engine.Engine
 
 	// tr stamps and forwards trace events; nil (all methods no-op)
 	// when no Tracer is configured.
@@ -348,7 +338,15 @@ func (run *attackRun) logf(format string, args ...interface{}) {
 // Attack runs StatSAT against the oracle and returns every recovered
 // key with FM/HD scores (best first). The caller decides "correctness"
 // externally (e.g. metrics.KeysEquivalent against ground truth).
-func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+//
+// Cancelling ctx (or letting its deadline expire) stops the attack at
+// the next iteration boundary — or mid-solve, via the SAT solver's
+// amortized interrupt check — and returns an error matching
+// ErrInterrupted together with a non-nil best-effort Result: full
+// instance statistics, any keys produced by already-finished instances
+// (unscored; the evaluation phase is skipped) and, failing that, a key
+// candidate extracted from the most advanced live instance.
+func Attack(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
 	opts.setDefaults()
 	if locked.NumPIs() != orc.NumInputs() || locked.NumPOs() != orc.NumOutputs() {
 		return nil, fmt.Errorf("statsat: netlist/oracle interface mismatch (%d/%d in, %d/%d out)",
@@ -363,24 +361,12 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 		run.orc = wrapOracle(orc)
 	}
 	run.tr = trace.NewEmitter(opts.Tracer)
-	if run.tr.Enabled() {
-		run.tr.Emit(trace.Event{
-			Type:     trace.AttackStart,
-			Attack:   "statsat",
-			Instance: -1,
-			Circuit: &trace.CircuitInfo{
-				Name: locked.Name,
-				PIs:  locked.NumPIs(),
-				POs:  locked.NumPOs(),
-				Keys: locked.NumKeys(),
-			},
-			Opts: &trace.OptionsInfo{
-				Ns: opts.Ns, NSatis: opts.NSatis, NEval: opts.NEval, EvalNs: opts.EvalNs,
-				NInst: opts.NInst, ULambda: opts.ULambda, ELambda: opts.ELambda,
-				EpsG: opts.EpsG, MaxIter: opts.MaxTotalIter, Parallel: opts.Parallel,
-			},
-		})
-	}
+	run.eng = &engine.Engine{Locked: locked, Orc: run.orc, Tr: run.tr}
+	run.eng.EmitStart("statsat", &trace.OptionsInfo{
+		Ns: opts.Ns, NSatis: opts.NSatis, NEval: opts.NEval, EvalNs: opts.EvalNs,
+		NInst: opts.NInst, ULambda: opts.ULambda, ELambda: opts.ELambda,
+		EpsG: opts.EpsG, MaxIter: opts.MaxTotalIter, Parallel: opts.Parallel,
+	})
 	startQ := run.orc.Queries()
 	start := time.Now()
 
@@ -393,15 +379,16 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 	run.peakLive = 1
 
 	if opts.Parallel {
-		run.runParallel(root)
+		run.runParallel(ctx, root)
 	} else {
-		run.runSequential()
+		run.runSequential(ctx)
 	}
-	if run.err != nil {
+	var interrupted *engine.InterruptedError
+	if run.err != nil && !errors.As(run.err, &interrupted) {
 		return nil, run.err
 	}
 	run.res.Instances = run.peakLive
-	if run.anyRunning() && !run.res.Truncated {
+	if interrupted == nil && run.anyRunning() && !run.res.Truncated {
 		run.res.Truncated = true
 	}
 	if run.res.Truncated {
@@ -412,9 +399,9 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 
 	for _, in := range run.insts {
 		st := InstanceStat{
-			ID:         in.id,
+			ID:         in.ID,
 			Parent:     in.parent,
-			Iterations: in.iterations,
+			Iterations: in.Iterations,
 			DIPs:       len(in.dips),
 			KeyFound:   in.key != nil,
 		}
@@ -435,29 +422,15 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 		if in.state == finished && in.key != nil {
 			keys = append(keys, KeyReport{
 				Key:        in.key,
-				Iterations: in.iterations,
-				Instance:   in.id,
+				Iterations: in.Iterations,
+				Instance:   in.ID,
 			})
 		}
 	}
-	if run.tr.Enabled() {
-		run.tr.Emit(trace.Event{
-			Type:     trace.AttackEnd,
-			Instance: -1,
-			Totals: &trace.TotalsInfo{
-				Keys:             len(keys),
-				Iterations:       run.res.TotalIterations,
-				InstancesCreated: run.res.InstancesCreated,
-				PeakLive:         run.res.Instances,
-				Forks:            run.res.Forks,
-				ForceProceeds:    run.res.ForceProceeds,
-				DeadInstances:    run.res.DeadInstances,
-				OracleQueries:    run.res.OracleQueries,
-				Truncated:        run.res.Truncated,
-				DurationNs:       run.res.AttackDuration.Nanoseconds(),
-			},
-		})
+	if interrupted != nil {
+		return run.interruptedResult(keys, interrupted)
 	}
+	run.emitAttackEnd(len(keys))
 	if len(keys) == 0 {
 		return run.res, ErrNoInstances
 	}
@@ -472,7 +445,7 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 	}
 	evalStart := time.Now()
 	startEvalQ := run.orc.Queries()
-	run.evaluateKeys(keys)
+	run.evaluateKeys(ctx, keys)
 	run.res.EvalDuration = time.Since(evalStart)
 	run.res.EvalQueries = run.orc.Queries() - startEvalQ
 	run.res.EvalPerKey = run.res.EvalDuration / time.Duration(len(keys))
@@ -488,11 +461,76 @@ func Attack(locked *circuit.Circuit, orc oracle.Oracle, opts Options) (*Result, 
 			},
 		})
 	}
+	// A cancellation landing during evaluation leaves the attack-phase
+	// result intact but the scores best-effort; report it.
+	if err := ctx.Err(); err != nil {
+		run.eng.EmitInterrupted(err, run.res.TotalIterations)
+		return run.res, &engine.InterruptedError{Cause: err, Instance: -1, Iterations: run.res.TotalIterations}
+	}
 	return run.res, nil
 }
 
+// emitAttackEnd closes the attack phase of the trace with its totals.
+func (run *attackRun) emitAttackEnd(keys int) {
+	if !run.tr.Enabled() {
+		return
+	}
+	run.tr.Emit(trace.Event{
+		Type:     trace.AttackEnd,
+		Instance: -1,
+		Totals: &trace.TotalsInfo{
+			Keys:             keys,
+			Iterations:       run.res.TotalIterations,
+			InstancesCreated: run.res.InstancesCreated,
+			PeakLive:         run.res.Instances,
+			Forks:            run.res.Forks,
+			ForceProceeds:    run.res.ForceProceeds,
+			DeadInstances:    run.res.DeadInstances,
+			OracleQueries:    run.res.OracleQueries,
+			Truncated:        run.res.Truncated,
+			DurationNs:       run.res.AttackDuration.Nanoseconds(),
+		},
+	})
+}
+
+// interruptedResult finalises a cancelled run: when no instance had
+// finished yet, a best-effort key candidate is extracted from the live
+// instances' accumulated DIP constraints (unscored, like every
+// interrupted key — the evaluation phase needs oracle access the
+// deadline no longer affords). Instances are tried most-advanced
+// first; an instance whose solver has gone UNSAT under noisy
+// constraints simply yields nothing and the next one is consulted.
+// The trace closes with an interrupted marker followed by the partial
+// totals.
+func (run *attackRun) interruptedResult(keys []KeyReport, ie *engine.InterruptedError) (*Result, error) {
+	if len(keys) == 0 {
+		live := make([]*instance, 0, len(run.insts))
+		for _, in := range run.insts {
+			if in.state == running {
+				live = append(live, in)
+			}
+		}
+		sort.Slice(live, func(i, j int) bool { return live[i].Iterations > live[j].Iterations })
+		for _, in := range live {
+			if key := engine.BestEffortKey(in.KS); key != nil {
+				keys = append(keys, KeyReport{Key: key, Iterations: in.Iterations, Instance: in.ID})
+				break
+			}
+		}
+	}
+	run.res.Keys = keys
+	if len(keys) > 0 {
+		run.res.Best = &run.res.Keys[0]
+	}
+	run.eng.EmitInterrupted(ie.Cause, run.res.TotalIterations)
+	run.emitAttackEnd(len(keys))
+	run.logf("statsat: interrupted after %d iterations (%v); result is best-effort",
+		run.res.TotalIterations, ie.Cause)
+	return run.res, run.err
+}
+
 // runSequential is the deterministic round-robin scheduler.
-func (run *attackRun) runSequential() {
+func (run *attackRun) runSequential(ctx context.Context) {
 	for {
 		progressed := false
 		for i := 0; i < len(run.insts); i++ {
@@ -500,12 +538,16 @@ func (run *attackRun) runSequential() {
 			if in.state != running {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				run.setErr(run.interrupted(in, err))
+				return
+			}
 			if !run.takeIteration() {
 				run.markTruncated()
 				return
 			}
-			if err := run.step(in); err != nil {
-				run.err = err
+			if err := run.step(ctx, in); err != nil {
+				run.setErr(err)
 				return
 			}
 			progressed = true
@@ -514,6 +556,22 @@ func (run *attackRun) runSequential() {
 			return
 		}
 	}
+}
+
+// interrupted wraps a context error with the observing instance's
+// progress.
+func (run *attackRun) interrupted(in *instance, err error) error {
+	return &engine.InterruptedError{Cause: err, Instance: in.ID, Iterations: in.Iterations}
+}
+
+// setErr records the first error of the run (later ones are dropped;
+// schedulers stop on the first).
+func (run *attackRun) setErr(err error) {
+	run.mu.Lock()
+	if run.err == nil {
+		run.err = err
+	}
+	run.mu.Unlock()
 }
 
 // takeIteration reserves one scheduler step from the global budget.
@@ -548,8 +606,8 @@ func (run *attackRun) setState(in *instance, st instState) {
 	run.mu.Unlock()
 	if changed && st == dead && run.tr.Enabled() {
 		run.tr.Emit(trace.Event{
-			Type: trace.InstanceDead, Instance: in.id,
-			Key: &trace.KeyInfo{Iterations: in.iterations, DIPs: len(in.dips)},
+			Type: trace.InstanceDead, Instance: in.ID,
+			Key: &trace.KeyInfo{Iterations: in.Iterations, DIPs: len(in.dips)},
 		})
 	}
 }
@@ -576,92 +634,84 @@ func (run *attackRun) anyRunning() bool {
 }
 
 func (run *attackRun) newRootInstance() (*instance, error) {
-	m, err := cnf.NewMiter(run.locked)
+	ei, err := run.eng.NewInstance(0)
 	if err != nil {
 		return nil, err
 	}
 	return &instance{
-		id:      0,
-		parent:  -1,
-		miter:   m,
-		ks:      cnf.NewKeySolver(run.locked),
-		byInput: map[string]int{},
+		Instance: *ei,
+		parent:   -1,
+		byInput:  map[string]int{},
 	}, nil
 }
 
-// step performs one SAT iteration for the instance. It is safe to call
-// concurrently for distinct instances (each emits only for itself; the
-// emitter and sinks serialise internally).
-func (run *attackRun) step(in *instance) error {
-	iter := in.iterations + 1
-	if run.tr.Enabled() {
-		run.tr.Emit(trace.Event{
-			Type: trace.IterStart, Instance: in.id, Iter: iter,
-			Solver:        trace.SolverSnapshot(in.miter.S),
-			OracleQueries: run.orc.Queries(),
-		})
-	}
-	status := in.miter.S.Solve()
-	if status == sat.Unknown {
-		return fmt.Errorf("statsat: instance %d miter solve exceeded budget", in.id)
-	}
-	if status == sat.Unsat {
-		run.finish(in)
-		run.emitIterEnd(in, iter, "unsat")
-		return nil
-	}
-	in.iterations++
-	x := in.miter.Input()
+// step performs one SAT iteration for the instance through the shared
+// engine loop. It is safe to call concurrently for distinct instances
+// (each emits only for itself; the emitter and sinks serialise
+// internally). Convergence and scheduling are read back from in.state,
+// so the engine's done flag is redundant here.
+func (run *attackRun) step(ctx context.Context, in *instance) error {
+	_, err := run.eng.Step(ctx, &in.Instance, &instStrategy{run: run, in: in})
+	return err
+}
+
+// instStrategy adapts one StatSAT instance to the engine's Strategy:
+// Respond implements the §IV DIP handling (repeat detection, gated
+// recording), Converged the key extraction.
+type instStrategy struct {
+	run *attackRun
+	in  *instance
+}
+
+func (s *instStrategy) Respond(ctx context.Context, _ *engine.Instance, x []bool) (string, bool, error) {
+	run, in := s.run, s.in
 	in.keyBuf = appendBits(in.keyBuf[:0], x)
 	if idx, ok := in.byInput[string(in.keyBuf)]; ok {
 		// Repeated DI (§IV-D): the unspecified bits starve the solver.
-		err := run.handleRepeat(in, in.dips[idx])
-		run.emitIterEnd(in, iter, "repeat")
-		return err
+		if err := run.handleRepeat(in, in.dips[idx]); err != nil {
+			return "", false, err
+		}
+		return "repeat", false, nil
 	}
-	if err := run.recordNewDIP(in, x); err != nil {
-		return err
+	if err := run.recordNewDIP(ctx, in, x); err != nil {
+		return "", false, err
 	}
 	// recordNewDIP kills the instance when key enumeration comes up
 	// empty; only this goroutine transitions in.state, so the read is
 	// safe without the lock.
-	outcome := "dip"
 	if in.state == dead {
-		outcome = "dead"
+		return "dead", true, nil
 	}
-	run.emitIterEnd(in, iter, outcome)
-	return nil
+	return "dip", false, nil
 }
 
-// emitIterEnd closes one iteration attempt with its outcome and a
-// post-iteration solver snapshot.
-func (run *attackRun) emitIterEnd(in *instance, iter int, outcome string) {
-	if !run.tr.Enabled() {
-		return
-	}
-	run.tr.Emit(trace.Event{
-		Type: trace.IterEnd, Instance: in.id, Iter: iter, Status: outcome,
-		Solver:        trace.SolverSnapshot(in.miter.S),
-		OracleQueries: run.orc.Queries(),
-	})
+func (s *instStrategy) Converged(ctx context.Context, _ *engine.Instance) error {
+	return s.run.finish(ctx, s.in)
 }
 
-// finish extracts the instance's key (or marks it dead).
-func (run *attackRun) finish(in *instance) {
-	if in.ks.S.Solve() == sat.Sat {
-		in.key = in.ks.Key()
+// finish extracts the instance's key (or marks it dead). A context
+// interrupt during the extraction solve leaves the instance running
+// and surfaces as an InterruptedError instead.
+func (run *attackRun) finish(ctx context.Context, in *instance) error {
+	switch in.KS.S.SolveCtx(ctx) {
+	case sat.Sat:
+		in.key = in.KS.Key()
 		run.setState(in, finished)
 		if run.tr.Enabled() {
 			run.tr.Emit(trace.Event{
-				Type: trace.KeyAccepted, Instance: in.id,
-				Key: &trace.KeyInfo{Key: keyOf(in.key), Iterations: in.iterations, DIPs: len(in.dips)},
+				Type: trace.KeyAccepted, Instance: in.ID,
+				Key: &trace.KeyInfo{Key: keyOf(in.key), Iterations: in.Iterations, DIPs: len(in.dips)},
 			})
 		}
-		run.logf("statsat: instance %d finished after %d iterations", in.id, in.iterations)
-		return
+		run.logf("statsat: instance %d finished after %d iterations", in.ID, in.Iterations)
+		return nil
+	case sat.Unknown:
+		if err := ctx.Err(); err != nil {
+			return run.interrupted(in, err)
+		}
 	}
 	run.setState(in, dead)
-	run.logf("statsat: instance %d UNSAT (dead) after %d iterations", in.id, in.iterations)
+	run.logf("statsat: instance %d UNSAT (dead) after %d iterations", in.ID, in.Iterations)
 	if run.opts.Logf != nil {
 		// Diagnostic cross-check: rebuild the key constraints from the
 		// recorded DIPs in a fresh solver and compare.
@@ -670,7 +720,7 @@ func (run *attackRun) finish(in *instance) {
 			outs, err := fresh.AddDIPCopy(d.x)
 			if err != nil {
 				run.logf("statsat: rebuild failed: %v", err)
-				return
+				return nil
 			}
 			for i, v := range d.y {
 				if v >= 0 {
@@ -679,20 +729,30 @@ func (run *attackRun) finish(in *instance) {
 			}
 		}
 		run.logf("statsat: DIAG instance %d fresh-rebuild solve=%v (incremental said UNSAT)",
-			in.id, fresh.S.Solve())
+			in.ID, fresh.S.Solve())
 	}
+	return nil
 }
 
 // recordNewDIP queries the oracle, estimates BERs, translates the
 // signal probabilities into a partially-specified output vector
-// (eq. 4) and installs the DIP constraints.
-func (run *attackRun) recordNewDIP(in *instance, x []bool) error {
+// (eq. 4) and installs the DIP constraints. Context checks follow the
+// two expensive stages (oracle sampling, key enumeration) so a
+// cancelled run never mistakes their truncated output for real data —
+// in particular an interrupted enumeration must not kill the instance.
+func (run *attackRun) recordNewDIP(ctx context.Context, in *instance, x []bool) error {
 	opts := &run.opts
-	probs := oracle.SignalProbs(run.orc, x, opts.Ns)
+	probs := oracle.SignalProbs(ctx, run.orc, x, opts.Ns)
+	if err := ctx.Err(); err != nil {
+		return run.interrupted(in, err)
+	}
 	u := oracle.Uncertainties(probs)
 
 	// Satisfying keys of the recorded DIPs → averaged BER estimate.
-	cand := in.ks.EnumerateKeys(opts.NSatis)
+	cand := in.KS.EnumerateKeys(ctx, opts.NSatis)
+	if err := ctx.Err(); err != nil {
+		return run.interrupted(in, err)
+	}
 	if len(cand) == 0 {
 		run.setState(in, dead)
 		return nil
@@ -708,11 +768,11 @@ func (run *attackRun) recordNewDIP(in *instance, x []bool) error {
 	for i := range d.y {
 		d.y[i] = -1
 	}
-	d.outA, d.outB, err = in.miter.AddDIPCopies(x)
+	d.outA, d.outB, err = in.M.AddDIPCopies(x)
 	if err != nil {
 		return err
 	}
-	d.outs, err = in.ks.AddDIPCopy(x)
+	d.outs, err = in.KS.AddDIPCopy(x)
 	if err != nil {
 		return err
 	}
@@ -747,22 +807,18 @@ func (run *attackRun) recordNewDIP(in *instance, x []bool) error {
 		}
 	}
 	if traced {
-		run.tr.Emit(trace.Event{
-			Type: trace.DIPFound, Instance: in.id, Iter: in.iterations,
-			OracleQueries: run.orc.Queries(),
-			DIP: &trace.DIPInfo{
-				Index: dipIdx, X: keyOf(x), Y: fmtY(d.y),
-				Outputs: len(probs), Specified: specified, Candidates: len(cand),
-			},
+		run.eng.EmitDIP(&in.Instance, in.Iterations, &trace.DIPInfo{
+			Index: dipIdx, X: keyOf(x), Y: fmtY(d.y),
+			Outputs: len(probs), Specified: specified, Candidates: len(cand),
 		})
 		run.tr.Emit(trace.Event{
-			Type: trace.BitsGated, Instance: in.id, Iter: in.iterations,
+			Type: trace.BitsGated, Instance: in.ID, Iter: in.Iterations,
 			Gating: &trace.GatingInfo{DIP: dipIdx, Specified: specIdx, GatedU: gatedU, GatedE: gatedE},
 		})
 	}
 	if run.opts.Logf != nil {
 		run.logf("statsat: instance %d DIP %d: x=%s y=%s (%d/%d bits specified, %d candidate keys)",
-			in.id, len(in.dips), keyOf(x), fmtY(d.y), specified, len(probs), len(cand))
+			in.ID, len(in.dips), keyOf(x), fmtY(d.y), specified, len(probs), len(cand))
 	}
 	return nil
 }
@@ -809,12 +865,12 @@ func (run *attackRun) handleRepeat(in *instance, d *dip) error {
 		child.specify(childDip, j, !v)
 		if run.tr.Enabled() {
 			run.tr.Emit(trace.Event{
-				Type: trace.Fork, Instance: in.id, Iter: in.iterations,
-				Fork: &trace.ForkInfo{Child: child.id, Bit: j, U: d.u[j], E: d.e[j], Value: v},
+				Type: trace.Fork, Instance: in.ID, Iter: in.Iterations,
+				Fork: &trace.ForkInfo{Child: child.ID, Bit: j, U: d.u[j], E: d.e[j], Value: v},
 			})
 		}
 		run.logf("statsat: instance %d forked -> %d on bit %d (U=%.3f E=%.3f)",
-			in.id, child.id, j, d.u[j], d.e[j])
+			in.ID, child.ID, j, d.u[j], d.e[j])
 		if run.spawn != nil {
 			run.spawn(child)
 		}
@@ -826,11 +882,11 @@ func (run *attackRun) handleRepeat(in *instance, d *dip) error {
 	in.specify(d, j, v)
 	if run.tr.Enabled() {
 		run.tr.Emit(trace.Event{
-			Type: trace.ForceProceed, Instance: in.id, Iter: in.iterations,
+			Type: trace.ForceProceed, Instance: in.ID, Iter: in.Iterations,
 			Fork: &trace.ForkInfo{Bit: j, U: d.u[j], E: d.e[j], Value: v},
 		})
 	}
-	run.logf("statsat: instance %d force-proceeds on bit %d (E=%.3f)", in.id, j, d.e[j])
+	run.logf("statsat: instance %d force-proceeds on bit %d (E=%.3f)", in.ID, j, d.e[j])
 	return nil
 }
 
@@ -863,11 +919,11 @@ func argminAt(vals []float64, idx []int) int {
 // sampled once; the per-key simulations are independent and run
 // concurrently (each with its own simulated chip and noise stream, so
 // results are deterministic regardless of scheduling).
-func (run *attackRun) evaluateKeys(keys []KeyReport) {
+func (run *attackRun) evaluateKeys(ctx context.Context, keys []KeyReport) {
 	opts := &run.opts
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x5eed))
 	inputs := metrics.RandomInputSet(run.locked, opts.NEval, rng)
-	oracleProbs := metrics.SignalProbMatrix(run.orc, inputs, opts.EvalNs)
+	oracleProbs := metrics.SignalProbMatrix(ctx, run.orc, inputs, opts.EvalNs)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := range keys {
@@ -876,7 +932,7 @@ func (run *attackRun) evaluateKeys(keys []KeyReport) {
 		go func(i int) {
 			defer func() { <-sem; wg.Done() }()
 			sim := oracle.NewProbabilistic(run.locked, keys[i].Key, opts.EpsG, opts.Seed+int64(i)*7919)
-			keyProbs := metrics.SignalProbMatrix(sim, inputs, opts.EvalNs)
+			keyProbs := metrics.SignalProbMatrix(ctx, sim, inputs, opts.EvalNs)
 			keys[i].FM = metrics.FM(oracleProbs, keyProbs)
 			keys[i].HD = metrics.HD(oracleProbs, keyProbs)
 			if run.tr.Enabled() {
@@ -948,13 +1004,16 @@ func (o *EstimateOptions) setDefaults() {
 // paper, the estimate tends to undershoot the true eps_g (wrong keys
 // add functional, not noise-induced, disagreement that the comparison
 // charges against the uncertainty match).
-func EstimateGateError(locked *circuit.Circuit, orc oracle.Oracle, opts EstimateOptions) float64 {
+//
+// Cancelling ctx stops the grid sweep early and returns the best
+// matching eps' found so far (best-effort, never blocking).
+func EstimateGateError(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts EstimateOptions) float64 {
 	opts.setDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x9e3779b9))
 	inputs := metrics.RandomInputSet(locked, opts.NProbe, rng)
 	oracleU := make([][]float64, len(inputs))
 	for j, x := range inputs {
-		oracleU[j] = oracle.Uncertainties(oracle.SignalProbs(orc, x, opts.Ns))
+		oracleU[j] = oracle.Uncertainties(oracle.SignalProbs(ctx, orc, x, opts.Ns))
 	}
 	randKeys := make([][]bool, opts.NKeys)
 	for i := range randKeys {
@@ -965,6 +1024,9 @@ func EstimateGateError(locked *circuit.Circuit, orc oracle.Oracle, opts Estimate
 	simU := make([]float64, locked.NumPOs())
 	var probsBuf []float64 // reused across the whole grid sweep
 	for eps := 1e-4; eps <= 0.25; eps *= opts.Step {
+		if ctx.Err() != nil {
+			return best
+		}
 		match, total := 0, 0
 		for j, x := range inputs {
 			// Average simulated uncertainty over the random keys.
@@ -973,7 +1035,7 @@ func EstimateGateError(locked *circuit.Circuit, orc oracle.Oracle, opts Estimate
 			}
 			for ki, k := range randKeys {
 				sim := oracle.NewProbabilistic(locked, k, eps, opts.Seed+int64(ki)*131+int64(j))
-				probsBuf = oracle.SignalProbsInto(sim, x, opts.Ns, probsBuf)
+				probsBuf = oracle.SignalProbsInto(ctx, sim, x, opts.Ns, probsBuf)
 				u := oracle.UncertaintiesInto(probsBuf, probsBuf)
 				for i := range u {
 					simU[i] += u[i]

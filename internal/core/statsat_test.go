@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -42,7 +43,7 @@ func TestAttackDeterministicOracleExactKey(t *testing.T) {
 	// find an equivalent key with a single instance.
 	orig, l := lockedSmall(t, 1, 10)
 	orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0, 10)
-	res, err := Attack(l.Circuit, orc, quickOpts(0, 1))
+	res, err := Attack(context.Background(), l.Circuit, orc, quickOpts(0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestAttackNoisyOracleRecoversKey(t *testing.T) {
 	orig, l := lockedSmall(t, 2, 10)
 	const eps = 0.01
 	orc := oracle.NewProbabilistic(l.Circuit, l.Key, eps, 20)
-	res, err := Attack(l.Circuit, orc, quickOpts(eps, 8))
+	res, err := Attack(context.Background(), l.Circuit, orc, quickOpts(eps, 8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestAttackSFLLNoisy(t *testing.T) {
 	orc := oracle.NewProbabilistic(l.Circuit, l.Key, eps, 30)
 	opts := quickOpts(eps, 8)
 	opts.MaxTotalIter = 3000
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestAttackKeysSortedByFM(t *testing.T) {
 	_, l := lockedSmall(t, 4, 8)
 	const eps = 0.015
 	orc := oracle.NewProbabilistic(l.Circuit, l.Key, eps, 40)
-	res, err := Attack(l.Circuit, orc, quickOpts(eps, 4))
+	res, err := Attack(context.Background(), l.Circuit, orc, quickOpts(eps, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,12 +150,12 @@ func TestAttackOptionValidation(t *testing.T) {
 	_, l := lockedSmall(t, 5, 6)
 	other := gen.Random("o", 4, 20, 3, 2)
 	orc := oracle.NewDeterministic(other, nil)
-	if _, err := Attack(l.Circuit, orc, Options{}); err == nil {
+	if _, err := Attack(context.Background(), l.Circuit, orc, Options{}); err == nil {
 		t.Error("want interface mismatch error")
 	}
 	// Unlocked circuit.
 	orc2 := oracle.NewDeterministic(other, nil)
-	if _, err := Attack(other, orc2, Options{}); err == nil {
+	if _, err := Attack(context.Background(), other, orc2, Options{}); err == nil {
 		t.Error("want error for keyless circuit")
 	}
 }
@@ -174,7 +175,7 @@ func TestAttackTruncationGuard(t *testing.T) {
 	orc := oracle.NewProbabilistic(l.Circuit, l.Key, eps, 60)
 	opts := quickOpts(eps, 2)
 	opts.MaxTotalIter = 5 // tiny budget
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err == ErrNoInstances {
 		return // acceptable: budget killed everything
 	}
@@ -229,7 +230,7 @@ func TestInstanceStatsLineage(t *testing.T) {
 	orc := oracle.NewProbabilistic(l.Circuit, l.Key, eps, 600)
 	opts := quickOpts(eps, 8)
 	opts.MaxTotalIter = 3000
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err == ErrNoInstances {
 		t.Skip("all instances died on this seed")
 	}
@@ -292,7 +293,7 @@ func TestAttackWithLogging(t *testing.T) {
 	opts.MaxTotalIter = 400
 	lines := 0
 	opts.Logf = func(format string, args ...interface{}) { lines++ }
-	if _, err := Attack(l.Circuit, orc, opts); err != nil && err != ErrNoInstances {
+	if _, err := Attack(context.Background(), l.Circuit, orc, opts); err != nil && err != ErrNoInstances {
 		t.Fatal(err)
 	}
 	if lines == 0 {
@@ -349,7 +350,7 @@ func TestAttackParallelDeterministicOracle(t *testing.T) {
 	orc := oracle.NewDeterministic(l.Circuit, l.Key)
 	opts := quickOpts(0, 2)
 	opts.Parallel = true
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +387,7 @@ func TestUncertaintyGatingLeavesBitsUnspecified(t *testing.T) {
 	orc := oracle.NewProbabilistic(l.Circuit, l.Key, eps, 70)
 	opts := quickOpts(eps, 4)
 	opts.MaxTotalIter = 200
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err == ErrNoInstances {
 		t.Fatal("attack died entirely")
 	}
@@ -418,7 +419,7 @@ func TestAttackParallelMatchesQuality(t *testing.T) {
 	opts := quickOpts(eps, 8)
 	opts.Parallel = true
 	opts.MaxTotalIter = 4000
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,7 +448,7 @@ func TestAttackParallelRespectsInstanceCap(t *testing.T) {
 	opts := quickOpts(eps, 4)
 	opts.Parallel = true
 	opts.MaxTotalIter = 2000
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err == ErrNoInstances {
 		return
 	}
@@ -469,7 +470,7 @@ func TestEstimateGateErrorOrdering(t *testing.T) {
 	est := make([]float64, 0, 2)
 	for _, eps := range []float64{0.005, 0.03} {
 		orc := oracle.NewProbabilistic(l.Circuit, l.Key, eps, 80)
-		e := EstimateGateError(l.Circuit, orc, EstimateOptions{NProbe: 8, Ns: 120, NKeys: 3, Seed: 5})
+		e := EstimateGateError(context.Background(), l.Circuit, orc, EstimateOptions{NProbe: 8, Ns: 120, NKeys: 3, Seed: 5})
 		if e <= 0 || e > 0.3 {
 			t.Fatalf("estimate %v out of range", e)
 		}
@@ -483,7 +484,7 @@ func TestEstimateGateErrorOrdering(t *testing.T) {
 func TestEstimateGateErrorZeroNoise(t *testing.T) {
 	_, l := lockedSmall(t, 9, 6)
 	orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0, 90)
-	e := EstimateGateError(l.Circuit, orc, EstimateOptions{NProbe: 5, Ns: 80, NKeys: 2, Seed: 6})
+	e := EstimateGateError(context.Background(), l.Circuit, orc, EstimateOptions{NProbe: 5, Ns: 80, NKeys: 2, Seed: 6})
 	if e > 0.01 {
 		t.Errorf("noise-free oracle estimated eps %v, want tiny", e)
 	}
@@ -507,7 +508,7 @@ func TestAttackHigherNoiseNeedsMoreInstances(t *testing.T) {
 	orc := oracle.NewProbabilistic(l.Circuit, l.Key, eps, 100)
 	opts := quickOpts(eps, 8)
 	opts.MaxTotalIter = 4000
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err != nil {
 		t.Fatalf("8-instance attack failed outright: %v", err)
 	}
@@ -527,7 +528,7 @@ func BenchmarkAttackC880Scale8Eps1pc(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		orc := oracle.NewProbabilistic(l.Circuit, l.Key, 0.01, int64(i))
-		if _, err := Attack(l.Circuit, orc, quickOpts(0.01, 4)); err != nil && err != ErrNoInstances {
+		if _, err := Attack(context.Background(), l.Circuit, orc, quickOpts(0.01, 4)); err != nil && err != ErrNoInstances {
 			b.Fatal(err)
 		}
 	}

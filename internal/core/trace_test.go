@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -129,7 +130,7 @@ func TestAttackTraceSequential(t *testing.T) {
 	rec := trace.NewRecorder()
 	opts := quickOpts(eps, 8)
 	opts.Tracer = rec
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestAttackTraceParallel(t *testing.T) {
 	opts := quickOpts(eps, 8)
 	opts.Parallel = true
 	opts.Tracer = rec
-	res, err := Attack(l.Circuit, orc, opts)
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"statsat/internal/trace"
+)
+
+// The emit helpers keep every attack on the same event schema
+// (docs/OBSERVABILITY.md). All are nil-safe: with no tracer configured
+// the Emitter no-ops, and the payload-building ones additionally gate
+// on Enabled so untraced runs skip the allocation entirely.
+
+// EmitStart opens a trace with the run-scoped attack_start event.
+func (e *Engine) EmitStart(name string, opts *trace.OptionsInfo) {
+	if !e.Tr.Enabled() {
+		return
+	}
+	e.Tr.Emit(trace.Event{
+		Type: trace.AttackStart, Attack: name, Instance: -1,
+		Circuit: &trace.CircuitInfo{
+			Name: e.Locked.Name, PIs: e.Locked.NumPIs(), POs: e.Locked.NumPOs(), Keys: e.Locked.NumKeys(),
+		},
+		Opts: opts,
+	})
+}
+
+// EmitIterStart opens one iteration attempt with a pre-solve snapshot.
+func (e *Engine) EmitIterStart(inst *Instance, iter int) {
+	if !e.Tr.Enabled() {
+		return
+	}
+	e.Tr.Emit(trace.Event{
+		Type: trace.IterStart, Instance: inst.ID, Iter: iter,
+		Solver: trace.SolverSnapshot(inst.M.S), OracleQueries: e.Orc.Queries() - e.StartQ,
+	})
+}
+
+// EmitIterEnd closes one iteration attempt with its outcome and a
+// post-iteration solver snapshot.
+func (e *Engine) EmitIterEnd(inst *Instance, iter int, status string) {
+	if !e.Tr.Enabled() {
+		return
+	}
+	e.Tr.Emit(trace.Event{
+		Type: trace.IterEnd, Instance: inst.ID, Iter: iter, Status: status,
+		Solver: trace.SolverSnapshot(inst.M.S), OracleQueries: e.Orc.Queries() - e.StartQ,
+	})
+}
+
+// EmitDIP records a distinguishing input. The caller builds the
+// DIPInfo (the baselines specify every bit; StatSAT adds candidate
+// counts and partial vectors).
+func (e *Engine) EmitDIP(inst *Instance, iter int, info *trace.DIPInfo) {
+	if !e.Tr.Enabled() {
+		return
+	}
+	e.Tr.Emit(trace.Event{
+		Type: trace.DIPFound, Instance: inst.ID, Iter: iter,
+		OracleQueries: e.Orc.Queries() - e.StartQ,
+		DIP:           info,
+	})
+}
+
+// EmitInterrupted records a cancellation: the run-scoped marker that
+// everything after it (and the totals that follow) is best-effort.
+func (e *Engine) EmitInterrupted(cause error, iterations int) {
+	if !e.Tr.Enabled() {
+		return
+	}
+	e.Tr.Emit(trace.Event{
+		Type: trace.Interrupted, Instance: -1,
+		Interrupt: &trace.InterruptInfo{Cause: cause.Error(), Iterations: iterations},
+	})
+}
+
+// EmitSingleOutcome reports a converged single-instance attack's key
+// (key_accepted) or failure (instance_dead).
+func (e *Engine) EmitSingleOutcome(res *Result) {
+	if !e.Tr.Enabled() {
+		return
+	}
+	if res.Key != nil {
+		e.Tr.Emit(trace.Event{
+			Type: trace.KeyAccepted, Instance: 0,
+			Key: &trace.KeyInfo{Key: BitString(res.Key), Iterations: res.Iterations, DIPs: res.Iterations},
+		})
+	} else {
+		e.Tr.Emit(trace.Event{
+			Type: trace.InstanceDead, Instance: 0,
+			Key: &trace.KeyInfo{Iterations: res.Iterations, DIPs: res.Iterations},
+		})
+	}
+}
+
+// EmitSingleEnd closes a single-instance trace with its totals.
+func (e *Engine) EmitSingleEnd(res *Result) {
+	if !e.Tr.Enabled() {
+		return
+	}
+	keys := 0
+	if res.Key != nil {
+		keys = 1
+	}
+	dead := 0
+	if res.Failed {
+		dead = 1
+	}
+	e.Tr.Emit(trace.Event{
+		Type: trace.AttackEnd, Instance: -1,
+		Totals: &trace.TotalsInfo{
+			Keys: keys, Iterations: res.Iterations, InstancesCreated: 1, PeakLive: 1,
+			DeadInstances: dead, OracleQueries: res.OracleQueries,
+			DurationNs: res.Duration.Nanoseconds(),
+		},
+	})
+}

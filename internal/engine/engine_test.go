@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"statsat/internal/cnf"
+	"statsat/internal/gen"
+	"statsat/internal/lock"
+	"statsat/internal/sat"
+)
+
+func TestInterruptedErrorMatching(t *testing.T) {
+	ie := &InterruptedError{Cause: context.DeadlineExceeded, Instance: 2, Iterations: 9}
+	if !errors.Is(ie, ErrInterrupted) {
+		t.Error("InterruptedError must match ErrInterrupted")
+	}
+	if !errors.Is(ie, context.DeadlineExceeded) {
+		t.Error("InterruptedError must unwrap to its cause")
+	}
+	if errors.Is(ie, context.Canceled) {
+		t.Error("InterruptedError matched a cause it does not carry")
+	}
+	if errors.Is(ErrIterationLimit, ErrInterrupted) {
+		t.Error("the sentinels must stay distinct")
+	}
+	want := "attack: interrupted at instance 2 after 9 iterations: context deadline exceeded"
+	if got := ie.Error(); got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestBestEffortKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l, err := lock.RLL(gen.C17(), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := cnf.NewKeySolver(l.Circuit)
+	ks.S.ConflictBudget = 123
+	key := BestEffortKey(ks)
+	if key == nil {
+		t.Fatal("unconstrained key solver must yield a candidate")
+	}
+	if len(key) != len(l.Key) {
+		t.Errorf("key has %d bits, want %d", len(key), len(l.Key))
+	}
+	if ks.S.ConflictBudget != 123 {
+		t.Errorf("ConflictBudget = %d after extraction, want the caller's 123 restored",
+			ks.S.ConflictBudget)
+	}
+	// An unsatisfiable solver yields no candidate (and no panic).
+	ks.S.AddClause() // empty clause
+	if got := BestEffortKey(ks); got != nil {
+		t.Errorf("BestEffortKey on UNSAT solver = %v, want nil", got)
+	}
+}
+
+func TestStepInterruptedOnDeadCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l, err := lock.RLL(gen.C17(), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Locked: l.Circuit}
+	inst, err := e.NewInstance(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done, err := e.Step(ctx, inst, nil) // strategy untouched on the interrupt path
+	if !done {
+		t.Error("interrupted Step must report done")
+	}
+	var ie *InterruptedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InterruptedError", err, err)
+	}
+	if ie.Instance != 0 || ie.Iterations != 0 {
+		t.Errorf("payload = %+v, want instance 0 at iteration 0", ie)
+	}
+	if inst.Iterations != 0 {
+		t.Errorf("interrupted Step advanced Iterations to %d", inst.Iterations)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := BitString([]bool{true, false, true, true}); got != "1011" {
+		t.Errorf("BitString = %q", got)
+	}
+	if got := BitString(nil); got != "" {
+		t.Errorf("BitString(nil) = %q", got)
+	}
+	buf := AppendBits([]byte("k="), []bool{false, true})
+	if string(buf) != "k=01" {
+		t.Errorf("AppendBits = %q", buf)
+	}
+	if got := FmtY([]int8{0, 1, -1, 1}); got != "01x1" {
+		t.Errorf("FmtY = %q", got)
+	}
+}
+
+func TestDefaultConvergedInterrupted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l, err := lock.RLL(gen.C17(), 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Locked: l.Circuit}
+	inst, err := e.NewInstance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var res Result
+	err = DefaultConverged(ctx, inst, &res)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if res.Failed {
+		t.Error("a cancelled convergence solve is not a failed attack")
+	}
+	// With a live context the unconstrained solver converges to a key.
+	res = Result{}
+	if err := DefaultConverged(context.Background(), inst, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed || res.Key == nil {
+		t.Errorf("live convergence: failed=%v key=%v", res.Failed, res.Key)
+	}
+	if inst.KS.S.Solve() != sat.Sat {
+		t.Error("key solver left unusable after convergence")
+	}
+}

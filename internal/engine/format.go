@@ -1,0 +1,37 @@
+package engine
+
+// BitString renders a bit vector as a '0'/'1' string for trace events
+// and logs.
+func BitString(bits []bool) string {
+	return string(AppendBits(nil, bits))
+}
+
+// AppendBits renders x as '0'/'1' bytes into buf. Looking a []byte up
+// in a map via m[string(buf)] compiles to an allocation-free access,
+// which is why per-iteration repeat checks use this form.
+func AppendBits(buf []byte, x []bool) []byte {
+	for _, v := range x {
+		if v {
+			buf = append(buf, '1')
+		} else {
+			buf = append(buf, '0')
+		}
+	}
+	return buf
+}
+
+// FmtY renders a partially-specified output vector ('x' = unspecified).
+func FmtY(y []int8) string {
+	b := make([]byte, len(y))
+	for i, v := range y {
+		switch v {
+		case 0:
+			b[i] = '0'
+		case 1:
+			b[i] = '1'
+		default:
+			b[i] = 'x'
+		}
+	}
+	return string(b)
+}

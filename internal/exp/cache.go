@@ -1,10 +1,14 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
+
+	"statsat/internal/core"
 )
 
 // Figures 4-6 re-plot the Table II / Table III runs rather than
@@ -52,16 +56,33 @@ func (c *memo[T]) entry(key string) *memoEntry[T] {
 // get returns the memoised rows for key, invoking compute at most once
 // per key process-wide; concurrent callers block until the winner's
 // rows are ready. Errors are memoised too: the computation is
-// deterministic in the key, so retrying cannot help.
+// deterministic in the key, so retrying cannot help — with one
+// exception. Cancellation errors reflect the *caller's* context, not
+// the key, so they are never memoised: a later caller with a live
+// context recomputes from scratch.
 func (c *memo[T]) get(key string, compute func() (T, error)) (T, error) {
 	e := c.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.done {
-		e.rows, e.err = compute()
-		e.done = true
+	if e.done {
+		return e.rows, e.err
 	}
+	rows, err := compute()
+	if isCancellation(err) {
+		var zero T
+		return zero, err
+	}
+	e.rows, e.err = rows, err
+	e.done = true
 	return e.rows, e.err
+}
+
+// isCancellation reports whether err stems from context cancellation
+// or deadline expiry (directly or via an interrupted attack).
+func isCancellation(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, core.ErrInterrupted))
 }
 
 // put primes the memo with already-computed rows. It is best-effort:
@@ -98,15 +119,15 @@ func cacheKey(p Profile, circuits []string) string {
 		strings.Join(circuits, ","))
 }
 
-func tableIICached(p Profile) ([]TableIIRow, error) {
+func tableIICached(ctx context.Context, p Profile) ([]TableIIRow, error) {
 	return tableIIMemo.get(cacheKey(p, tableIICircuits), func() ([]TableIIRow, error) {
-		return TableII(p, io.Discard)
+		return TableII(ctx, p, io.Discard)
 	})
 }
 
-func tableIIICached(p Profile) ([]TableIIIRow, error) {
+func tableIIICached(ctx context.Context, p Profile) ([]TableIIIRow, error) {
 	return tableIIIMemo.get(cacheKey(p, tableIIICircuits), func() ([]TableIIIRow, error) {
-		return TableIII(p, io.Discard)
+		return TableIII(ctx, p, io.Discard)
 	})
 }
 

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -27,7 +28,7 @@ type DefenseRow struct {
 
 // Defense runs the defense exploration the paper's conclusion calls
 // for: can noise placement/level defeat StatSAT, and at what cost?
-func Defense(p Profile, w io.Writer) ([]DefenseRow, error) {
+func Defense(ctx context.Context, p Profile, w io.Writer) ([]DefenseRow, error) {
 	wl, err := BuildWorkload(p, "c880") // plain RLL baseline workload
 	if err != nil {
 		return nil, err
@@ -65,13 +66,14 @@ func Defense(p Profile, w io.Writer) ([]DefenseRow, error) {
 		}
 	}
 	rows := make([]DefenseRow, len(cells))
-	err = runOrdered(p.workers(), len(cells), func(i int) error {
+	emitted := 0
+	err = runOrdered(ctx, p.workers(), len(cells), func(i int) error {
 		c := cells[i]
 		v := variants[c.vi]
 		vwl := Workload{Bench: wl.Bench, Orig: wl.Orig, Locked: v.l}
 		ber := metrics.MeasureBER(v.l.Circuit, v.l.Key, c.eps, p.BERInputs, p.BERSamples,
 			deriveSeed(p.Seed, "defense-ber", v.name, c.eps))
-		out, err := runDoubling(p, vwl, c.eps,
+		out, err := runDoubling(ctx, p, vwl, c.eps,
 			fmt.Sprintf("defense/%s/eps%.4g", v.name, c.eps))
 		if err != nil {
 			return err
@@ -92,9 +94,10 @@ func Defense(p Profile, w io.Writer) ([]DefenseRow, error) {
 		row := rows[i]
 		fmt.Fprintf(w, "%-10s %6.2f %9.4f %5v %9.4f %6d %5d %6d\n",
 			row.Variant, row.EpsPct, row.FuncBER, row.Correct, row.HDBest, row.Forks, row.Dead, row.Iters)
+		emitted = i + 1
 	})
 	if err != nil {
-		return nil, err
+		return rows[:emitted], err
 	}
 	fmt.Fprintln(w, "\nReading: if RLL-deep rows flip to corr=false (or need far more forks) at the")
 	fmt.Fprintln(w, "same FuncBER cost, depth-targeted key placement is a viable StatSAT defence.")

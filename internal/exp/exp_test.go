@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -65,7 +66,7 @@ func TestBuildWorkloadLockChoices(t *testing.T) {
 
 func TestTableI(t *testing.T) {
 	var buf bytes.Buffer
-	rows := TableI(Smoke, &buf)
+	rows := TableI(context.Background(), Smoke, &buf)
 	if len(rows) != 7 {
 		t.Fatalf("TableI rows = %d", len(rows))
 	}
@@ -100,7 +101,7 @@ func TestTableIISmoke(t *testing.T) {
 	defer func() { tableIICircuits = old }()
 
 	var buf bytes.Buffer
-	rows, err := TableII(p, &buf)
+	rows, err := TableII(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestTableIIISmoke(t *testing.T) {
 	p := Smoke
 	p.MaxNInst = 4
 	var buf bytes.Buffer
-	rows, err := TableIII(p, &buf)
+	rows, err := TableIII(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestTableIVSmoke(t *testing.T) {
 	tableIVCircuits = []string{"c3540"}
 	defer func() { tableIVCircuits = old }()
 	var buf bytes.Buffer
-	rows, err := TableIV(Smoke, &buf)
+	rows, err := TableIV(context.Background(), Smoke, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestTableVSmoke(t *testing.T) {
 	tableVWorkloads = tableVWorkloads[:1] // c880 only
 	defer func() { tableVWorkloads = old }()
 	var buf bytes.Buffer
-	rows, err := TableV(Smoke, &buf)
+	rows, err := TableV(context.Background(), Smoke, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestFig4And5FromSharedRuns(t *testing.T) {
 	tableIICircuits = []string{"ex1010"}
 	defer func() { tableIICircuits = old }()
 	var buf bytes.Buffer
-	f4, err := Fig4(Smoke, &buf)
+	f4, err := Fig4(context.Background(), Smoke, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestFig4And5FromSharedRuns(t *testing.T) {
 			t.Errorf("standard SAT iterations missing: %+v", r)
 		}
 	}
-	f5, err := Fig5(Smoke, io.Discard)
+	f5, err := Fig5(context.Background(), Smoke, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestFig6Smoke(t *testing.T) {
 	p := Smoke
 	p.MaxNInst = 4
 	var buf bytes.Buffer
-	pts, err := Fig6(p, &buf)
+	pts, err := Fig6(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +274,7 @@ func TestFig6Smoke(t *testing.T) {
 
 func TestAblationsSmoke(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Ablations(Smoke, &buf)
+	rows, err := Ablations(context.Background(), Smoke, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestBarRendering(t *testing.T) {
 
 func TestDefenseSmoke(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Defense(Smoke, &buf)
+	rows, err := Defense(context.Background(), Smoke, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +364,7 @@ func TestDefenseSmoke(t *testing.T) {
 
 func TestSweepNsSmoke(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := SweepNs(Smoke, &buf)
+	rows, err := SweepNs(context.Background(), Smoke, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -17,8 +18,8 @@ type Fig4Row struct {
 }
 
 // Fig4 regenerates the iteration comparison from the Table II runs.
-func Fig4(p Profile, w io.Writer) ([]Fig4Row, error) {
-	rows, err := tableIICached(p)
+func Fig4(ctx context.Context, p Profile, w io.Writer) ([]Fig4Row, error) {
+	rows, err := tableIICached(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -58,8 +59,8 @@ type Fig5Row struct {
 }
 
 // Fig5 regenerates the timing comparison from the Table II runs.
-func Fig5(p Profile, w io.Writer) ([]Fig5Row, error) {
-	rows, err := tableIICached(p)
+func Fig5(ctx context.Context, p Profile, w io.Writer) ([]Fig5Row, error) {
+	rows, err := tableIICached(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -88,8 +89,8 @@ type Fig6Point struct {
 }
 
 // Fig6 regenerates the time/quality trade-off from the Table III runs.
-func Fig6(p Profile, w io.Writer) ([]Fig6Point, error) {
-	rows, err := tableIIICached(p)
+func Fig6(ctx context.Context, p Profile, w io.Writer) ([]Fig6Point, error) {
+	rows, err := tableIIICached(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +139,7 @@ type AblationRow struct {
 // duplication carry the attack): full (paper defaults), no-U-gating
 // (U_lambda=0.5), no-E-gating (E_lambda=1.0), no-duplication
 // (N_inst=1) and single-key BER estimation (N_satis=1).
-func Ablations(p Profile, w io.Writer) ([]AblationRow, error) {
+func Ablations(ctx context.Context, p Profile, w io.Writer) ([]AblationRow, error) {
 	wl, err := BuildWorkload(p, "seq")
 	if err != nil {
 		return nil, err
@@ -161,7 +162,8 @@ func Ablations(p Profile, w io.Writer) ([]AblationRow, error) {
 	}
 	// One scheduler job per variant, all sharing the warmed workload.
 	rows := make([]AblationRow, len(variants))
-	err = runOrdered(p.workers(), len(variants), func(i int) error {
+	emitted := 0
+	err = runOrdered(ctx, p.workers(), len(variants), func(i int) error {
 		v := variants[i]
 		pp := p                      // each job mutates its own profile copy
 		uLambda, eLambda := 0.0, 0.0 // 0 selects the paper defaults
@@ -171,7 +173,7 @@ func Ablations(p Profile, w io.Writer) ([]AblationRow, error) {
 		opts.ULambda = uLambda
 		opts.ELambda = eLambda
 		opts.NSatis = nSatis
-		out, err := runAttack(pp, wl, eps, opts,
+		out, err := runAttack(ctx, pp, wl, eps, opts,
 			deriveSeed(p.Seed, "ablation-oracle", v.name),
 			fmt.Sprintf("ablation/%s", v.name))
 		if err != nil {
@@ -194,9 +196,10 @@ func Ablations(p Profile, w io.Writer) ([]AblationRow, error) {
 		row := rows[i]
 		fmt.Fprintf(w, "%-16s %4d %9.4f %5v %5d %6d %9.2f\n",
 			row.Variant, row.NumKeys, row.HDBest, row.Correct, row.Dead, row.Forks, row.AttackSec)
+		emitted = i + 1
 	})
 	if err != nil {
-		return nil, err
+		return rows[:emitted], err
 	}
 	return rows, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -30,7 +31,7 @@ func TestPaperPilotC3540A(t *testing.T) {
 	for nInst := 1; nInst <= 4; nInst *= 2 {
 		opts := p.attackOpts(eps, nInst, p.Seed)
 		opts.Parallel = true
-		out, err := runAttack(p, wl, eps, opts,
+		out, err := runAttack(context.Background(), p, wl, eps, opts,
 			deriveSeed(p.Seed, "pilot-oracle", nInst), fmt.Sprintf("pilot/c3540/n%d", nInst))
 		if err != nil {
 			t.Fatal(err)

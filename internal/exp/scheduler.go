@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -55,12 +56,22 @@ func deriveSeed(base int64, coords ...interface{}) int64 {
 // failed index, and the error is returned. With workers <= 1 (or a
 // single job) everything runs inline on the caller's goroutine in
 // index order — the sequential path is the same code minus the pool.
-func runOrdered(workers, n int, run func(i int) error, emit func(i int)) error {
+//
+// Cancelling ctx stops the scheduler the same way an error does: no
+// new jobs start, running jobs finish (jobs observe the same ctx and
+// cut themselves short), the completed prefix is still emitted —
+// that is the flush-on-cancel contract cmd/experiments relies on to
+// keep partial CSV output — and ctx's error is returned unless a job
+// failed first.
+func runOrdered(ctx context.Context, workers, n int, run func(i int) error, emit func(i int)) error {
 	if n <= 0 {
 		return nil
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := run(i); err != nil {
 				return err
 			}
@@ -88,7 +99,7 @@ func runOrdered(workers, n int, run func(i int) error, emit func(i int)) error {
 			defer wg.Done()
 			for {
 				mu.Lock()
-				if firstErr != nil || next >= n {
+				if firstErr != nil || next >= n || ctx.Err() != nil {
 					mu.Unlock()
 					return
 				}
@@ -119,5 +130,8 @@ func runOrdered(workers, n int, run func(i int) error, emit func(i int)) error {
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }

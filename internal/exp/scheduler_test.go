@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -49,7 +50,7 @@ func TestRunOrderedMatchesSequential(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, 64} {
 		results := make([]int, n)
 		var order []int
-		err := runOrdered(workers, n, func(i int) error {
+		err := runOrdered(context.Background(), workers, n, func(i int) error {
 			results[i] = i * i
 			return nil
 		}, func(i int) {
@@ -76,7 +77,7 @@ func TestRunOrderedFailingJob(t *testing.T) {
 	boom := errors.New("job 17 exploded")
 	for _, workers := range []int{1, 8} {
 		var order []int
-		err := runOrdered(workers, 64, func(i int) error {
+		err := runOrdered(context.Background(), workers, 64, func(i int) error {
 			if i == 17 {
 				return boom
 			}
@@ -100,7 +101,7 @@ func TestRunOrderedFailingJob(t *testing.T) {
 
 func TestRunOrderedEmitNil(t *testing.T) {
 	var ran int64
-	if err := runOrdered(8, 100, func(i int) error {
+	if err := runOrdered(context.Background(), 8, 100, func(i int) error {
 		atomic.AddInt64(&ran, 1)
 		return nil
 	}, nil); err != nil {
@@ -117,7 +118,7 @@ func TestRunOrderedStress(t *testing.T) {
 	const n = 500
 	results := make([]int, n)
 	sum := 0
-	if err := runOrdered(16, n, func(i int) error {
+	if err := runOrdered(context.Background(), 16, n, func(i int) error {
 		results[i] = i
 		return nil
 	}, func(i int) {
@@ -213,11 +214,11 @@ func collectSuite(t *testing.T, workers int) map[string]string {
 	var buf bytes.Buffer
 
 	buf.Reset()
-	TableI(p, &buf)
+	TableI(context.Background(), p, &buf)
 	out["table1/text"] = buf.String()
 
 	buf.Reset()
-	r2, err := TableII(p, &buf)
+	r2, err := TableII(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func collectSuite(t *testing.T, workers int) map[string]string {
 	out["table2/csv"] = zeroCSV(t, r2)
 
 	buf.Reset()
-	r3, err := TableIII(p, &buf)
+	r3, err := TableIII(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func collectSuite(t *testing.T, workers int) map[string]string {
 	out["table3/csv"] = zeroCSV(t, r3)
 
 	buf.Reset()
-	r4, err := TableIV(p, &buf)
+	r4, err := TableIV(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func collectSuite(t *testing.T, workers int) map[string]string {
 	out["table4/csv"] = zeroCSV(t, r4)
 
 	buf.Reset()
-	r5, err := TableV(p, &buf)
+	r5, err := TableV(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func collectSuite(t *testing.T, workers int) map[string]string {
 	out["table5/csv"] = zeroCSV(t, r5)
 
 	buf.Reset()
-	ra, err := Ablations(p, &buf)
+	ra, err := Ablations(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func collectSuite(t *testing.T, workers int) map[string]string {
 	out["ablations/csv"] = zeroCSV(t, ra)
 
 	buf.Reset()
-	rd, err := Defense(p, &buf)
+	rd, err := Defense(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func collectSuite(t *testing.T, workers int) map[string]string {
 	out["defense/csv"] = zeroCSV(t, rd)
 
 	buf.Reset()
-	rs, err := SweepNs(p, &buf)
+	rs, err := SweepNs(context.Background(), p, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,5 +315,105 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 			t.Errorf("%s differs between workers=1 and workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
 				k, want, got)
 		}
+	}
+}
+
+// TestRunOrderedCancelSequential pins the sequential path's contract
+// exactly: cancelling inside job k still emits job k (it completed),
+// then the loop stops before job k+1 and returns the context error.
+func TestRunOrderedCancelSequential(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var order []int
+	err := runOrdered(ctx, 1, 10, func(i int) error {
+		if i == 3 {
+			cancel()
+		}
+		return nil
+	}, func(i int) {
+		order = append(order, i)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("emitted %v, want exactly jobs 0..3", order)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("emit order %v is not the prefix 0..3", order)
+		}
+	}
+}
+
+// TestRunOrderedCancelEmitsPrefix is the flush-on-cancel contract
+// cmd/experiments relies on: cancelling mid-run stops new jobs, lets
+// running jobs finish, and still emits a contiguous in-order prefix of
+// completed jobs — never the full set, never a gap. Jobs past the
+// cancelling one park on ctx.Done() so the test is deterministic: the
+// scheduler hands out indices monotonically, so at most workers-1 jobs
+// beyond index 5 are in flight when cancel fires, and each completes
+// exactly once before its worker observes the cancellation and exits.
+func TestRunOrderedCancelEmitsPrefix(t *testing.T) {
+	const n, workers = 200, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var order []int
+	err := runOrdered(ctx, workers, n, func(i int) error {
+		if i == 5 {
+			cancel()
+		}
+		if i > 5 {
+			<-ctx.Done()
+		}
+		return nil
+	}, func(i int) {
+		order = append(order, i)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("emitted %v: not a contiguous in-order prefix at position %d", order, i)
+		}
+	}
+	if len(order) < 6 || len(order) > 5+workers {
+		t.Fatalf("emitted %d jobs, want between 6 and %d (prefix through the cancelling job plus in-flight stragglers)",
+			len(order), 5+workers)
+	}
+}
+
+// TestMemoCancellationNotCached: a computation that fails with a
+// cancellation error must not poison the memo — the next caller (with
+// a live context) recomputes and gets the real rows.
+func TestMemoCancellationNotCached(t *testing.T) {
+	var m memo[int]
+	calls := 0
+	compute := func(err error) func() (int, error) {
+		return func() (int, error) {
+			calls++
+			if err != nil {
+				return 0, err
+			}
+			return 42, nil
+		}
+	}
+	if _, err := m.get("k", compute(context.Canceled)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first get err = %v, want context.Canceled", err)
+	}
+	if _, err := m.get("k", compute(context.DeadlineExceeded)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second get err = %v, want context.DeadlineExceeded", err)
+	}
+	got, err := m.get("k", compute(nil))
+	if err != nil || got != 42 {
+		t.Fatalf("third get = %d, %v; want 42, nil", got, err)
+	}
+	if calls != 3 {
+		t.Fatalf("compute ran %d times, want 3 (cancellations not memoised)", calls)
+	}
+	// Now the value is cached: no further compute calls.
+	if got, _ := m.get("k", compute(nil)); got != 42 || calls != 3 {
+		t.Fatalf("cached get = %d with %d calls, want 42 with 3", got, calls)
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,7 +28,7 @@ type SweepRow struct {
 
 // SweepNs runs StatSAT on one mid-noise workload across sampling
 // budgets Ns ∈ {32, 64, ..., p.Ns}.
-func SweepNs(p Profile, w io.Writer) ([]SweepRow, error) {
+func SweepNs(ctx context.Context, p Profile, w io.Writer) ([]SweepRow, error) {
 	wl, err := BuildWorkload(p, "c3540")
 	if err != nil {
 		return nil, err
@@ -45,12 +46,13 @@ func SweepNs(p Profile, w io.Writer) ([]SweepRow, error) {
 		nsPts = append(nsPts, ns)
 	}
 	rows := make([]SweepRow, len(nsPts))
-	err = runOrdered(p.workers(), len(nsPts), func(i int) error {
+	emitted := 0
+	err = runOrdered(ctx, p.workers(), len(nsPts), func(i int) error {
 		ns := nsPts[i]
 		opts := p.attackOpts(eps, p.MaxNInst/2+1, deriveSeed(p.Seed, "sweep-attack", ns))
 		opts.Ns = ns
 		opts.EvalNs = ns
-		out, err := runAttack(p, wl, eps, opts,
+		out, err := runAttack(ctx, p, wl, eps, opts,
 			deriveSeed(p.Seed, "sweep-oracle", ns), fmt.Sprintf("sweep/ns%d", ns))
 		if err != nil {
 			return err
@@ -67,16 +69,17 @@ func SweepNs(p Profile, w io.Writer) ([]SweepRow, error) {
 			deriveSeed(p.Seed, "sweep-floor-oracle", ns))
 		rngInputs := metrics.RandomInputSet(wl.Locked.Circuit, 10,
 			newSeededRand(deriveSeed(p.Seed, "sweep-floor-inputs", ns)))
-		row.HDFloor = metrics.SamplingHDFloor(orc, rngInputs, ns, 2048)
+		row.HDFloor = metrics.SamplingHDFloor(ctx, orc, rngInputs, ns, 2048)
 		rows[i] = row
 		return nil
 	}, func(i int) {
 		row := rows[i]
 		fmt.Fprintf(w, "%6d %5v %9.4f %10.4f %10d %9.2f\n",
 			row.Ns, row.Correct, row.HDBest, row.HDFloor, row.OracleQueries, row.AttackSecs)
+		emitted = i + 1
 	})
 	if err != nil {
-		return nil, err
+		return rows[:emitted], err
 	}
 	fmt.Fprintln(w, "\nReading: HD(K*) of a correct key tracks the sampling floor ~ 1/sqrt(Ns);")
 	fmt.Fprintln(w, "the paper's remark that HD(K*) is pure sampling error is quantitative.")

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,12 +23,12 @@ type TableIRow struct {
 // TableI regenerates the benchmark inventory at the profile's scale
 // (at scale 1 the numbers equal the published ones). Workload builds
 // fan out across the scheduler pool; rows print in Table I order.
-func TableI(p Profile, w io.Writer) []TableIRow {
+func TableI(ctx context.Context, p Profile, w io.Writer) []TableIRow {
 	fmt.Fprintf(w, "TABLE I: Benchmark circuits and their source (profile %s, scale %d)\n", p.Name, p.Scale)
 	fmt.Fprintf(w, "%-10s %-8s %8s %8s %8s\n", "Benchmark", "Source", "Inputs", "Gates", "Outputs")
 	hr(w, 46)
 	rows := make([]TableIRow, len(benchOrder))
-	runOrdered(p.workers(), len(benchOrder), func(i int) error {
+	runOrdered(ctx, p.workers(), len(benchOrder), func(i int) error {
 		b, _ := ProfileBench(p, benchOrder[i])
 		rows[i] = b
 		return nil
@@ -82,7 +83,7 @@ var tableIICircuits = []string{"c3540", "c7552", "seq", "b14", "ex1010", "b15"}
 // (circuit, eps) cell is an independent scheduler job with
 // coordinate-derived seeds; rows are emitted in table order, so the
 // output is byte-identical for any Profile.Workers.
-func TableII(p Profile, w io.Writer) ([]TableIIRow, error) {
+func TableII(ctx context.Context, p Profile, w io.Writer) ([]TableIIRow, error) {
 	fmt.Fprintf(w, "TABLE II: N_inst required to find the correct key vs eps_g (profile %s)\n", p.Name)
 	fmt.Fprintf(w, "%-12s %-10s %6s %4s %9s %9s %6s %4s %9s %5s %7s %8s\n",
 		"Bench", "Lock", "eps%", "", "AvgBER", "MaxBER", "Ninst", "|K|", "HD(K*)", "corr", "iters", "T_atk(s)")
@@ -92,12 +93,12 @@ func TableII(p Profile, w io.Writer) ([]TableIIRow, error) {
 	// Stage 1: per-circuit workloads and deterministic SAT baselines.
 	wls := make([]Workload, len(tableIICircuits))
 	dets := make([]*attack.Result, len(tableIICircuits))
-	if err := runOrdered(nw, len(tableIICircuits), func(i int) error {
+	if err := runOrdered(ctx, nw, len(tableIICircuits), func(i int) error {
 		wl, err := BuildWorkload(p, tableIICircuits[i])
 		if err != nil {
 			return err
 		}
-		det, err := stdAttackBaseline(p, wl)
+		det, err := stdAttackBaseline(ctx, p, wl)
 		if err != nil {
 			return err
 		}
@@ -119,12 +120,13 @@ func TableII(p Profile, w io.Writer) ([]TableIIRow, error) {
 		}
 	}
 	rows := make([]TableIIRow, len(cells))
-	err := runOrdered(nw, len(cells), func(i int) error {
+	emitted := 0
+	err := runOrdered(ctx, nw, len(cells), func(i int) error {
 		c := cells[i]
 		wl, det := wls[c.ci], dets[c.ci]
 		ber := metrics.MeasureBER(wl.Locked.Circuit, wl.Locked.Key, c.eps,
 			p.BERInputs, p.BERSamples, deriveSeed(p.Seed, "table2-ber", wl.Bench.Name, c.eps))
-		out, err := runDoubling(p, wl, c.eps,
+		out, err := runDoubling(ctx, p, wl, c.eps,
 			fmt.Sprintf("table2/%s/eps%s", wl.Bench.Name, epsLabel(c.ei)))
 		if err != nil {
 			return err
@@ -157,9 +159,12 @@ func TableII(p Profile, w io.Writer) ([]TableIIRow, error) {
 		fmt.Fprintf(w, "%-12s %-10s %6.2f (%s) %9.4f %9.4f %6d %4d %9.4f %5v %7d %8.2f\n",
 			row.Bench, row.Lock, row.EpsPct, row.Label, row.AvgBER, row.MaxBER,
 			row.NInst, row.NumKeys, row.HDBest, row.Correct, row.Iterations, row.AttackSeconds)
+		emitted = i + 1
 	})
 	if err != nil {
-		return nil, err
+		// Partial-output contract: the rows already emitted (a prefix,
+		// in table order) are returned so callers can flush partial CSV.
+		return rows[:emitted], err
 	}
 	storeTableII(p, rows)
 	return rows, nil
@@ -177,9 +182,9 @@ func bestIterations(out RunOutcome) int {
 // stdAttackBaseline runs the standard SAT attack on the deterministic
 // version of the locked circuit ("only for the sake of comparison",
 // Fig. 4's grey bars).
-func stdAttackBaseline(p Profile, wl Workload) (*attack.Result, error) {
+func stdAttackBaseline(ctx context.Context, p Profile, wl Workload) (*attack.Result, error) {
 	orc := oracle.NewDeterministic(wl.Locked.Circuit, wl.Locked.Key)
-	return attack.StandardSAT(wl.Locked.Circuit, orc, p.MaxTotalIter)
+	return attack.StandardSAT(ctx, wl.Locked.Circuit, orc, p.MaxTotalIter)
 }
 
 // TableIIIRow is one (circuit, N_inst) entry: HD(K*) across the
@@ -212,14 +217,14 @@ func nInstLadder(cap int) []int {
 // TableIII sweeps N_inst at fixed eps_g, reporting HD(K*) (Table III)
 // and FM(K*) vs total time (Fig. 6 uses the same rows). Each
 // (circuit, N_inst) point is an independent scheduler job.
-func TableIII(p Profile, w io.Writer) ([]TableIIIRow, error) {
+func TableIII(ctx context.Context, p Profile, w io.Writer) ([]TableIIIRow, error) {
 	fmt.Fprintf(w, "TABLE III: HD(K*) vs N_inst at fixed eps_g (profile %s; * marks the correct key)\n", p.Name)
 	fmt.Fprintf(w, "%-12s %6s %6s %4s %9s %9s %10s\n", "Bench", "eps%", "Ninst", "|K|", "HD(K*)", "FM(K*)", "T_total(s)")
 	hr(w, 64)
 	nw := p.workers()
 
 	wls := make([]Workload, len(tableIIICircuits))
-	if err := runOrdered(nw, len(tableIIICircuits), func(i int) error {
+	if err := runOrdered(ctx, nw, len(tableIIICircuits), func(i int) error {
 		wl, err := BuildWorkload(p, tableIIICircuits[i])
 		if err != nil {
 			return err
@@ -242,14 +247,15 @@ func TableIII(p Profile, w io.Writer) ([]TableIIIRow, error) {
 		}
 	}
 	rows := make([]TableIIIRow, len(cells))
-	err := runOrdered(nw, len(cells), func(i int) error {
+	emitted := 0
+	err := runOrdered(ctx, nw, len(cells), func(i int) error {
 		c := cells[i]
 		wl := wls[c.ci]
 		epsPts := p.epsList(paperEps[tableIIICircuits[c.ci]])
 		eps := epsPts[min(1, len(epsPts)-1)] // point B
 		opts := p.attackOpts(eps, c.nInst,
 			deriveSeed(p.Seed, "table3-attack", wl.Bench.Name, wl.LockName(), eps, c.nInst))
-		out, err := runAttack(p, wl, eps, opts,
+		out, err := runAttack(ctx, p, wl, eps, opts,
 			deriveSeed(p.Seed, "table3-oracle", wl.Bench.Name, wl.LockName(), eps, c.nInst),
 			fmt.Sprintf("table3/%s/n%d", wl.Bench.Name, c.nInst))
 		if err != nil {
@@ -268,6 +274,7 @@ func TableIII(p Profile, w io.Writer) ([]TableIIIRow, error) {
 		return nil
 	}, func(i int) {
 		row := rows[i]
+		emitted = i + 1
 		if row.NumKeys == 0 {
 			fmt.Fprintf(w, "%-12s %6.2f %6d    -         -         -          -\n",
 				row.Bench, row.EpsPct, row.NInst)
@@ -281,7 +288,7 @@ func TableIII(p Profile, w io.Writer) ([]TableIIIRow, error) {
 			row.Bench, row.EpsPct, row.NInst, row.NumKeys, row.HDBest, mark, row.FMBest, row.TotalSeconds)
 	})
 	if err != nil {
-		return nil, err
+		return rows[:emitted], err
 	}
 	storeTableIII(p, rows)
 	return rows, nil
@@ -305,14 +312,14 @@ var tableIVCircuits = []string{"c3540", "c7552", "b14"}
 // it (with E_lambda lowered, since the estimate undershoots). One
 // scheduler job per (circuit, eps) cell; the estimation and its
 // doubling search stay inside the cell.
-func TableIV(p Profile, w io.Writer) ([]TableIVRow, error) {
+func TableIV(ctx context.Context, p Profile, w io.Writer) ([]TableIVRow, error) {
 	fmt.Fprintf(w, "TABLE IV: attacker-estimated eps'_g and resulting HD(K*) (profile %s)\n", p.Name)
 	fmt.Fprintf(w, "%-12s %8s %8s %9s %5s\n", "Bench", "eps%", "eps'%", "HD(K*)", "corr")
 	hr(w, 48)
 	nw := p.workers()
 
 	wls := make([]Workload, len(tableIVCircuits))
-	if err := runOrdered(nw, len(tableIVCircuits), func(i int) error {
+	if err := runOrdered(ctx, nw, len(tableIVCircuits), func(i int) error {
 		wl, err := BuildWorkload(p, tableIVCircuits[i])
 		if err != nil {
 			return err
@@ -334,12 +341,13 @@ func TableIV(p Profile, w io.Writer) ([]TableIVRow, error) {
 		}
 	}
 	rows := make([]TableIVRow, len(cells))
-	err := runOrdered(nw, len(cells), func(i int) error {
+	emitted := 0
+	err := runOrdered(ctx, nw, len(cells), func(i int) error {
 		c := cells[i]
 		wl := wls[c.ci]
 		orc := oracle.NewProbabilistic(wl.Locked.Circuit, wl.Locked.Key, c.eps,
 			deriveSeed(p.Seed, "table4-est-oracle", wl.Bench.Name, c.eps))
-		est := core.EstimateGateError(wl.Locked.Circuit, orc, core.EstimateOptions{
+		est := core.EstimateGateError(ctx, wl.Locked.Circuit, orc, core.EstimateOptions{
 			NProbe: max(5, p.BERInputs/4),
 			Ns:     p.Ns,
 			NKeys:  4,
@@ -353,7 +361,7 @@ func TableIV(p Profile, w io.Writer) ([]TableIVRow, error) {
 				deriveSeed(p.Seed, "table4-attack", wl.Bench.Name, wl.LockName(), c.eps, nInst))
 			opts.ELambda = 0.15
 			var err error
-			out, err = runAttack(p, wl, c.eps, opts,
+			out, err = runAttack(ctx, p, wl, c.eps, opts,
 				deriveSeed(p.Seed, "table4-oracle", wl.Bench.Name, wl.LockName(), c.eps, nInst),
 				fmt.Sprintf("table4/%s/eps%.4g_n%d", wl.Bench.Name, c.eps, nInst))
 			if err != nil {
@@ -379,9 +387,10 @@ func TableIV(p Profile, w io.Writer) ([]TableIVRow, error) {
 		}
 		fmt.Fprintf(w, "%-12s %8.2f %8.3f %8.4f%s %5v\n",
 			row.Bench, row.EpsPct, row.EpsEstPct, row.HDBest, mark, row.Correct)
+		emitted = i + 1
 	})
 	if err != nil {
-		return nil, err
+		return rows[:emitted], err
 	}
 	return rows, nil
 }
@@ -416,7 +425,7 @@ var tableVWorkloads = []struct {
 // every PSAT repetition and every StatSAT doubling search is its own
 // scheduler job (the paper's 20 PSAT runs per cell dominate the
 // cost), and a cell's row is emitted once its last job lands.
-func TableV(p Profile, w io.Writer) ([]TableVRow, error) {
+func TableV(ctx context.Context, p Profile, w io.Writer) ([]TableVRow, error) {
 	fmt.Fprintf(w, "TABLE V: runs (out of %d) in which PSAT found the correct key vs StatSAT (profile %s)\n", p.Runs, p.Name)
 	fmt.Fprintf(w, "%-12s %6s %12s %10s\n", "Circuit", "eps%", "PSAT-succ", "StatSAT?")
 	hr(w, 44)
@@ -424,7 +433,7 @@ func TableV(p Profile, w io.Writer) ([]TableVRow, error) {
 
 	// Distinct circuits, then cells referencing them.
 	wls := make([]Workload, len(tableVWorkloads))
-	if err := runOrdered(nw, len(tableVWorkloads), func(i int) error {
+	if err := runOrdered(ctx, nw, len(tableVWorkloads), func(i int) error {
 		wl, err := BuildWorkload(p, tableVWorkloads[i].name)
 		if err != nil {
 			return err
@@ -455,12 +464,12 @@ func TableV(p Profile, w io.Writer) ([]TableVRow, error) {
 	psatOK := make([]bool, len(cells)*p.Runs)
 	statOut := make([]RunOutcome, len(cells))
 	rows := make([]TableVRow, 0, len(cells))
-	err := runOrdered(nw, len(cells)*perCell, func(i int) error {
+	err := runOrdered(ctx, nw, len(cells)*perCell, func(i int) error {
 		ci, r := i/perCell, i%perCell
 		c := cells[ci]
 		wl := wls[c.wi]
 		if r == p.Runs {
-			out, err := runDoubling(p, wl, c.eps,
+			out, err := runDoubling(ctx, p, wl, c.eps,
 				fmt.Sprintf("table5/%s/eps%.4g", wl.Bench.Name, c.eps))
 			if err != nil {
 				return err
@@ -470,7 +479,7 @@ func TableV(p Profile, w io.Writer) ([]TableVRow, error) {
 		}
 		orc := oracle.NewProbabilistic(wl.Locked.Circuit, wl.Locked.Key, c.eps,
 			deriveSeed(p.Seed, "table5-psat-oracle", wl.Bench.Name, c.eps, r))
-		res, err := attack.PSAT(wl.Locked.Circuit, orc, attack.PSATOptions{
+		res, err := attack.PSAT(ctx, wl.Locked.Circuit, orc, attack.PSATOptions{
 			Ns:      p.Ns,
 			MaxIter: p.MaxTotalIter,
 			Seed:    deriveSeed(p.Seed, "table5-psat", wl.Bench.Name, c.eps, r),
@@ -511,7 +520,9 @@ func TableV(p Profile, w io.Writer) ([]TableVRow, error) {
 		fmt.Fprintf(w, "%-12s %6.2f %8d/%-3d %10s\n", row.Bench, row.EpsPct, succ, p.Runs, statsatStr)
 	})
 	if err != nil {
-		return nil, err
+		// rows accumulates in emit order, so it already holds exactly
+		// the flushed prefix of cells.
+		return rows, err
 	}
 	return rows, nil
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -102,15 +103,18 @@ type RunOutcome struct {
 // recorded to a fresh JSON-lines file under p.TraceDir named after
 // tag, the run's unique coordinate string (so concurrent runs never
 // share a file and names are stable across worker counts).
-func runAttack(p Profile, w Workload, eps float64, opts core.Options, oracleSeed int64, tag string) (RunOutcome, error) {
+func runAttack(ctx context.Context, p Profile, w Workload, eps float64, opts core.Options, oracleSeed int64, tag string) (RunOutcome, error) {
 	orc := oracle.NewProbabilistic(w.Locked.Circuit, w.Locked.Key, eps, oracleSeed)
 	closeTrace := p.attachTrace(&opts, tag)
 	defer closeTrace()
-	res, err := core.Attack(w.Locked.Circuit, orc, opts)
+	res, err := core.Attack(ctx, w.Locked.Circuit, orc, opts)
 	if err == core.ErrNoInstances {
 		return RunOutcome{Res: res, NInst: opts.NInst}, nil
 	}
 	if err != nil {
+		// Interrupted runs carry a best-effort result, but a half-run
+		// cell is not table data: propagate so the scheduler stops and
+		// the completed prefix is flushed.
 		return RunOutcome{}, err
 	}
 	out := RunOutcome{Res: res, NInst: opts.NInst}
@@ -136,14 +140,14 @@ func runAttack(p Profile, w Workload, eps float64, opts core.Options, oracleSeed
 // retried once with lowered U_lambda / E_lambda thresholds. All
 // randomness is derived from the run's coordinates (tag, technique,
 // eps, N_inst), never from execution order.
-func runDoubling(p Profile, w Workload, eps float64, tag string) (RunOutcome, error) {
+func runDoubling(ctx context.Context, p Profile, w Workload, eps float64, tag string) (RunOutcome, error) {
 	var last RunOutcome
 	for nInst := 1; nInst <= p.MaxNInst; nInst *= 2 {
 		runTag := fmt.Sprintf("%s_n%d", tag, nInst)
 		seed := deriveSeed(p.Seed, "attack", w.Bench.Name, w.LockName(), eps, tag, nInst)
 		opts := p.attackOpts(eps, nInst, seed)
 		oseed := deriveSeed(p.Seed, "oracle", w.Bench.Name, w.LockName(), eps, tag, nInst)
-		out, err := runAttack(p, w, eps, opts, oseed, runTag)
+		out, err := runAttack(ctx, p, w, eps, opts, oseed, runTag)
 		if err != nil {
 			return RunOutcome{}, err
 		}
@@ -153,7 +157,7 @@ func runDoubling(p Profile, w Workload, eps float64, tag string) (RunOutcome, er
 			opts.ULambda = 0.15
 			opts.ELambda = 0.20
 			oseed = deriveSeed(p.Seed, "oracle-retry", w.Bench.Name, w.LockName(), eps, tag, nInst)
-			out, err = runAttack(p, w, eps, opts, oseed, runTag+"_retry")
+			out, err = runAttack(ctx, p, w, eps, opts, oseed, runTag+"_retry")
 			if err != nil {
 				return RunOutcome{}, err
 			}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces the cancellation contract's plumbing in the attack
+// layers (internal/engine, internal/attack, internal/core): a context
+// must flow from the entry point down to every solver and oracle call,
+// never be conjured mid-stack. Two failure shapes are flagged. First,
+// any use of context.Background() or context.TODO() — a fresh context
+// inside the attack layer detaches the work below it from the caller's
+// deadline, which is exactly the "Ctrl-C hangs until convergence" bug
+// the engine refactor removed; fresh contexts belong in cmd/ binaries
+// and tests only. Second, an exported function (or method) that
+// accepts a context.Context but never uses it — callers reasonably
+// assume passing a deadline has an effect, so an ignored ctx parameter
+// is a silent contract violation. See docs/ARCHITECTURE.md for the
+// cancellation contract the plumbing serves.
+type CtxFlow struct{}
+
+func (CtxFlow) Name() string { return "ctxflow" }
+
+func (CtxFlow) Doc() string {
+	return "forbids context.Background/context.TODO in internal/engine, internal/attack " +
+		"and internal/core, and flags exported functions there that accept a " +
+		"context.Context without using it; the caller's context must flow down intact"
+}
+
+func (CtxFlow) Applies(pkgPath string) bool {
+	return inScope(pkgPath,
+		"statsat/internal/engine",
+		"statsat/internal/attack",
+		"statsat/internal/core")
+}
+
+func (c CtxFlow) Run(p *Package) []Finding {
+	out := c.freshContexts(p)
+	out = append(out, c.droppedParams(p)...)
+	return out
+}
+
+// freshContexts flags every use of context.Background / context.TODO.
+func (c CtxFlow) freshContexts(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			f, ok := p.Info.Uses[id].(*types.Func)
+			if !ok || f.Pkg() == nil || f.Pkg().Path() != "context" {
+				return true
+			}
+			if f.Name() != "Background" && f.Name() != "TODO" {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(id.Pos()),
+				Check: c.Name(),
+				Message: "context." + f.Name() + "() in an attack-layer package detaches callees " +
+					"from the caller's deadline; accept a ctx parameter instead (fresh contexts " +
+					"belong in cmd/ and tests)",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// droppedParams flags exported functions and methods whose
+// context.Context parameter is unnamed, blank, or never used in the
+// body.
+func (c CtxFlow) droppedParams(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				if !isContextType(p, field.Type) {
+					continue
+				}
+				if len(field.Names) == 0 {
+					out = append(out, c.dropped(p, field.Pos(), fd))
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						out = append(out, c.dropped(p, name.Pos(), fd))
+						continue
+					}
+					obj := p.Info.Defs[name]
+					if obj != nil && !identUsed(p, fd.Body, obj) {
+						out = append(out, c.dropped(p, name.Pos(), fd))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c CtxFlow) dropped(p *Package, pos token.Pos, fd *ast.FuncDecl) Finding {
+	return Finding{
+		Pos:   p.Fset.Position(pos),
+		Check: c.Name(),
+		Message: "exported " + fd.Name.Name + " accepts a context.Context it never uses; " +
+			"thread ctx through to callees (or drop the parameter) so the caller's " +
+			"deadline keeps meaning something",
+	}
+}
+
+// identUsed reports whether any identifier in body resolves to obj.
+func identUsed(p *Package, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// isContextType reports whether the parameter type expression denotes
+// context.Context.
+func isContextType(p *Package, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

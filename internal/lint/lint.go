@@ -77,6 +77,7 @@ func DefaultChecks() []Check {
 		BufRetain{},
 		TraceGate{},
 		FloatEq{},
+		CtxFlow{},
 	}
 }
 

@@ -39,7 +39,7 @@ func TestCheckMetadata(t *testing.T) {
 		}
 		seen[c.Name()] = true
 	}
-	for _, name := range []string{"globalrand", "walltime", "bufretain", "tracegate", "floateq"} {
+	for _, name := range []string{"globalrand", "walltime", "bufretain", "tracegate", "floateq", "ctxflow"} {
 		if !seen[name] {
 			t.Errorf("catalogue is missing check %q", name)
 		}
@@ -131,11 +131,11 @@ func TestCleanFixture(t *testing.T) {
 	}
 }
 
-// TestWallTimeScope pins the sanctioned-package allowlist: the three
+// TestWallTimeScope pins the sanctioned-package allowlist: the four
 // timing packages are exempt, everything else is in scope.
 func TestWallTimeScope(t *testing.T) {
 	c := WallTime{}
-	for _, path := range []string{"statsat/internal/trace", "statsat/internal/attack", "statsat/internal/core"} {
+	for _, path := range []string{"statsat/internal/trace", "statsat/internal/engine", "statsat/internal/attack", "statsat/internal/core"} {
 		if c.Applies(path) {
 			t.Errorf("walltime should not apply to sanctioned package %s", path)
 		}
@@ -143,6 +143,23 @@ func TestWallTimeScope(t *testing.T) {
 	for _, path := range []string{"statsat", "statsat/internal/exp", "statsat/internal/gen", "statsat/cmd/experiments"} {
 		if !c.Applies(path) {
 			t.Errorf("walltime should apply to %s", path)
+		}
+	}
+}
+
+// TestCtxFlowScope pins the attack-layer scope: the three packages the
+// cancellation contract flows through are checked, the rest are not
+// (cmd/ tools and tests construct root contexts legitimately).
+func TestCtxFlowScope(t *testing.T) {
+	c := CtxFlow{}
+	for _, path := range []string{"statsat/internal/engine", "statsat/internal/attack", "statsat/internal/core"} {
+		if !c.Applies(path) {
+			t.Errorf("ctxflow should apply to %s", path)
+		}
+	}
+	for _, path := range []string{"statsat", "statsat/internal/exp", "statsat/internal/sat", "statsat/cmd/statsat", "statsat/cmd/experiments"} {
+		if c.Applies(path) {
+			t.Errorf("ctxflow should not apply to %s", path)
 		}
 	}
 }

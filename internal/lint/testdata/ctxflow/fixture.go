@@ -1,0 +1,56 @@
+// Package fixture exercises the ctxflow check: inside the attack
+// layers a context must flow down from the caller — never be created
+// fresh, never be accepted and ignored by an exported function.
+package fixture
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// GoodThreaded passes its context down: no finding.
+func GoodThreaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+// GoodErrCheck uses the context directly: no finding.
+func GoodErrCheck(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// unexportedDropped is outside the exported-API rule: callers inside
+// the package can see the parameter is dead. No finding.
+func unexportedDropped(ctx context.Context) int { return 42 }
+
+func BadFresh() error {
+	return work(context.Background()) // want `\[ctxflow\] context\.Background\(\)`
+}
+
+func BadTODO() error {
+	return work(context.TODO()) // want `\[ctxflow\] context\.TODO\(\)`
+}
+
+func BadDropped(ctx context.Context) int { // want `\[ctxflow\] exported BadDropped accepts a context\.Context it never uses`
+	return 1
+}
+
+func BadBlank(_ context.Context) int { // want `\[ctxflow\] exported BadBlank accepts a context\.Context it never uses`
+	return 2
+}
+
+type Runner struct{}
+
+// Run is an exported method: the rule applies to methods too.
+func (Runner) Run(ctx context.Context) int { // want `\[ctxflow\] exported Run accepts a context\.Context it never uses`
+	return 3
+}
+
+// GoodMethod threads the context: no finding.
+func (Runner) GoodMethod(ctx context.Context) error { return work(ctx) }
+
+// GoodSuppressed documents why its context is deliberately unused.
+//
+//lint:ignore ctxflow fixture: interface compliance requires the parameter
+func GoodSuppressed(ctx context.Context) int { return 4 }

@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -113,10 +114,12 @@ func MeasureBER(c *circuit.Circuit, key []bool, eps float64, nInputs, ns int, se
 
 // SignalProbMatrix samples signal probabilities for each input vector
 // (rows) over ns queries each, producing the matrices FM/HD consume.
-func SignalProbMatrix(o oracle.Oracle, inputs [][]bool, ns int) [][]float64 {
+// Cancelling ctx leaves the remaining rows as best-effort partial (or
+// all-zero) estimates; see oracle.SignalProbs.
+func SignalProbMatrix(ctx context.Context, o oracle.Oracle, inputs [][]bool, ns int) [][]float64 {
 	out := make([][]float64, len(inputs))
 	for j, x := range inputs {
-		out[j] = oracle.SignalProbs(o, x, ns)
+		out[j] = oracle.SignalProbs(ctx, o, x, ns)
 	}
 	return out
 }
@@ -141,7 +144,7 @@ func RandomInputSet(c *circuit.Circuit, nEval int, rng *rand.Rand) [][]bool {
 //
 // The true per-(input,output) signal probabilities are estimated from
 // the oracle itself with refNs samples per input (choose refNs >> ns).
-func SamplingHDFloor(o oracle.Oracle, inputs [][]bool, ns, refNs int) float64 {
+func SamplingHDFloor(ctx context.Context, o oracle.Oracle, inputs [][]bool, ns, refNs int) float64 {
 	if ns <= 0 || refNs <= 0 {
 		panic("metrics: SamplingHDFloor needs positive sample counts")
 	}
@@ -150,7 +153,7 @@ func SamplingHDFloor(o oracle.Oracle, inputs [][]bool, ns, refNs int) float64 {
 	count := 0
 	var probs []float64
 	for _, x := range inputs {
-		probs = oracle.SignalProbsInto(o, x, refNs, probs)
+		probs = oracle.SignalProbsInto(ctx, o, x, refNs, probs)
 		for _, p := range probs {
 			sd := math.Sqrt(2 * p * (1 - p) / float64(ns))
 			total += sd * sqrt2OverPi

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -115,7 +116,7 @@ func TestSignalProbMatrixShape(t *testing.T) {
 	}
 	o := oracle.NewProbabilistic(l.Circuit, l.Key, 0.02, 9)
 	inputs := RandomInputSet(l.Circuit, 7, rng)
-	m := SignalProbMatrix(o, inputs, 30)
+	m := SignalProbMatrix(context.Background(), o, inputs, 30)
 	if len(m) != 7 || len(m[0]) != 2 {
 		t.Fatalf("matrix shape %dx%d", len(m), len(m[0]))
 	}
@@ -217,10 +218,10 @@ func TestSamplingHDFloorExplainsCorrectKeyHD(t *testing.T) {
 	const eps = 0.01
 	const ns = 200
 	inputs := RandomInputSet(l.Circuit, 25, rng)
-	oraProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 70), inputs, ns)
-	keyProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 71), inputs, ns)
+	oraProbs := SignalProbMatrix(context.Background(), oracle.NewProbabilistic(l.Circuit, l.Key, eps, 70), inputs, ns)
+	keyProbs := SignalProbMatrix(context.Background(), oracle.NewProbabilistic(l.Circuit, l.Key, eps, 71), inputs, ns)
 	measured := HD(oraProbs, keyProbs)
-	floor := SamplingHDFloor(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 72), inputs, ns, 4000)
+	floor := SamplingHDFloor(context.Background(), oracle.NewProbabilistic(l.Circuit, l.Key, eps, 72), inputs, ns, 4000)
 	if floor <= 0 {
 		t.Fatal("floor should be positive under noise")
 	}
@@ -235,7 +236,7 @@ func TestSamplingHDFloorZeroNoise(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	l, _ := lock.RLL(gen.C17(), 3, rng)
 	inputs := RandomInputSet(l.Circuit, 10, rng)
-	floor := SamplingHDFloor(oracle.NewDeterministic(l.Circuit, l.Key), inputs, 100, 500)
+	floor := SamplingHDFloor(context.Background(), oracle.NewDeterministic(l.Circuit, l.Key), inputs, 100, 500)
 	if floor != 0 {
 		t.Errorf("deterministic oracle floor = %v, want 0", floor)
 	}
@@ -247,7 +248,7 @@ func TestSamplingHDFloorPanics(t *testing.T) {
 			t.Error("want panic for ns=0")
 		}
 	}()
-	SamplingHDFloor(nil, nil, 0, 10)
+	SamplingHDFloor(context.Background(), nil, nil, 0, 10)
 }
 
 func TestFMDiscriminatesKeyQuality(t *testing.T) {
@@ -262,11 +263,11 @@ func TestFMDiscriminatesKeyQuality(t *testing.T) {
 	}
 	const eps = 0.01
 	inputs := RandomInputSet(l.Circuit, 30, rng)
-	oraProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 50), inputs, 200)
-	goodProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, l.Key, eps, 51), inputs, 200)
+	oraProbs := SignalProbMatrix(context.Background(), oracle.NewProbabilistic(l.Circuit, l.Key, eps, 50), inputs, 200)
+	goodProbs := SignalProbMatrix(context.Background(), oracle.NewProbabilistic(l.Circuit, l.Key, eps, 51), inputs, 200)
 	wrong := append([]bool(nil), l.Key...)
 	wrong[0], wrong[3] = !wrong[0], !wrong[3]
-	badProbs := SignalProbMatrix(oracle.NewProbabilistic(l.Circuit, wrong, eps, 52), inputs, 200)
+	badProbs := SignalProbMatrix(context.Background(), oracle.NewProbabilistic(l.Circuit, wrong, eps, 52), inputs, 200)
 	fmGood := FM(oraProbs, goodProbs)
 	fmBad := FM(oraProbs, badProbs)
 	if fmGood >= fmBad {

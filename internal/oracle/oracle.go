@@ -7,6 +7,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -172,8 +173,13 @@ func (o *Probabilistic) Eps() float64 { return o.eps }
 // BatchQuerier are sampled bit-parallel, BatchLanes samples per pass
 // (the sample count is then rounded up to a whole number of passes —
 // never fewer samples than requested).
-func SignalProbs(o Oracle, x []bool, ns int) []float64 {
-	return SignalProbsInto(o, x, ns, nil)
+//
+// Cancelling ctx stops the sampling early; the probabilities are then
+// normalised over the samples actually taken (best-effort, all-zero
+// when cancellation preceded the first sample). Callers that must
+// distinguish partial from complete data check ctx.Err() afterwards.
+func SignalProbs(ctx context.Context, o Oracle, x []bool, ns int) []float64 {
+	return SignalProbsInto(ctx, o, x, ns, nil)
 }
 
 // SignalProbsInto is SignalProbs with a caller-provided result buffer:
@@ -182,7 +188,7 @@ func SignalProbs(o Oracle, x []bool, ns int) []float64 {
 // floors) run without per-call allocation. One-counts accumulate
 // directly into dst (exact in float64 for any realistic ns), so no
 // intermediate counter slice is needed either.
-func SignalProbsInto(o Oracle, x []bool, ns int, dst []float64) []float64 {
+func SignalProbsInto(ctx context.Context, o Oracle, x []bool, ns int, dst []float64) []float64 {
 	if ns <= 0 {
 		panic("oracle: SignalProbs needs ns >= 1")
 	}
@@ -194,25 +200,29 @@ func SignalProbsInto(o Oracle, x []bool, ns int, dst []float64) []float64 {
 	for j := range dst {
 		dst[j] = 0
 	}
-	total := ns
+	total := 0
 	if bq, ok := o.(BatchQuerier); ok {
 		passes := (ns + circuit.BatchLanes - 1) / circuit.BatchLanes
-		total = passes * circuit.BatchLanes
-		for p := 0; p < passes; p++ {
+		for p := 0; p < passes && ctx.Err() == nil; p++ {
 			words := bq.QueryBatch(x)
 			for j, w := range words {
 				dst[j] += float64(bits.OnesCount64(w))
 			}
+			total += circuit.BatchLanes
 		}
 	} else {
-		for i := 0; i < ns; i++ {
+		for i := 0; i < ns && ctx.Err() == nil; i++ {
 			y := o.Query(x)
 			for j, b := range y {
 				if b {
 					dst[j]++
 				}
 			}
+			total++
 		}
+	}
+	if total == 0 {
+		return dst
 	}
 	for j := range dst {
 		dst[j] /= float64(total)
@@ -246,13 +256,14 @@ func UncertaintiesInto(probs, dst []float64) []float64 {
 
 // PatternCounts queries the oracle ns times and tallies whole output
 // patterns (the PSAT baseline consumes patterns, not per-bit
-// probabilities). Keys are the string of '0'/'1' bytes.
-func PatternCounts(o Oracle, x []bool, ns int) map[string]int {
+// probabilities). Keys are the string of '0'/'1' bytes. Cancelling ctx
+// stops the sampling early and returns the tallies so far.
+func PatternCounts(ctx context.Context, o Oracle, x []bool, ns int) map[string]int {
 	counts := make(map[string]int)
 	buf := make([]byte, o.NumOutputs())
 	remaining := ns
 	if bq, ok := o.(BatchQuerier); ok {
-		for remaining >= circuit.BatchLanes {
+		for remaining >= circuit.BatchLanes && ctx.Err() == nil {
 			words := bq.QueryBatch(x)
 			for lane := 0; lane < circuit.BatchLanes; lane++ {
 				for j, w := range words {
@@ -267,7 +278,7 @@ func PatternCounts(o Oracle, x []bool, ns int) map[string]int {
 			remaining -= circuit.BatchLanes
 		}
 	}
-	for i := 0; i < remaining; i++ {
+	for i := 0; i < remaining && ctx.Err() == nil; i++ {
 		y := o.Query(x)
 		for j, b := range y {
 			if b {

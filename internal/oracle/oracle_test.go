@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -122,7 +123,7 @@ func TestSignalProbsConvergeToBER(t *testing.T) {
 	c.AddOutput(b, "")
 	const eps = 0.3
 	o := NewProbabilistic(c, nil, eps, 5)
-	probs := SignalProbs(o, []bool{true}, 20000)
+	probs := SignalProbs(context.Background(), o, []bool{true}, 20000)
 	// Correct value 1, flips w.p. 0.3 → signal prob ≈ 0.7.
 	if math.Abs(probs[0]-0.7) > 0.02 {
 		t.Errorf("signal prob %.4f, want ≈0.70", probs[0])
@@ -141,7 +142,7 @@ func TestSignalProbsPanicsOnZeroNs(t *testing.T) {
 			t.Error("want panic for ns=0")
 		}
 	}()
-	SignalProbs(o, []bool{true, true, true, true, true}, 0)
+	SignalProbs(context.Background(), o, []bool{true, true, true, true, true}, 0)
 }
 
 func TestUncertainties(t *testing.T) {
@@ -158,7 +159,7 @@ func TestPatternCounts(t *testing.T) {
 	l := lockedC17(t)
 	d := NewDeterministic(l.Circuit, l.Key)
 	x := []bool{true, false, false, true, true}
-	counts := PatternCounts(d, x, 25)
+	counts := PatternCounts(context.Background(), d, x, 25)
 	if len(counts) != 1 {
 		t.Fatalf("deterministic oracle produced %d patterns", len(counts))
 	}
@@ -179,7 +180,7 @@ func TestPatternCounts(t *testing.T) {
 func TestPatternCountsNoisySpreads(t *testing.T) {
 	l := lockedC17(t)
 	p := NewProbabilistic(l.Circuit, l.Key, 0.15, 21)
-	counts := PatternCounts(p, []bool{true, true, true, true, true}, 400)
+	counts := PatternCounts(context.Background(), p, []bool{true, true, true, true, true}, 400)
 	if len(counts) < 2 {
 		t.Errorf("noisy oracle produced only %d distinct patterns", len(counts))
 	}
@@ -224,10 +225,10 @@ func TestSignalProbsBatchMatchesScalar(t *testing.T) {
 	l := lockedC17(t)
 	x := []bool{true, false, true, true, false}
 	const ns = 6400
-	batch := SignalProbs(NewProbabilistic(l.Circuit, l.Key, 0.08, 41), x, ns)
+	batch := SignalProbs(context.Background(), NewProbabilistic(l.Circuit, l.Key, 0.08, 41), x, ns)
 	// Force the scalar path through a wrapper that hides QueryBatch.
 	scalarOracle := scalarOnly{NewProbabilistic(l.Circuit, l.Key, 0.08, 42)}
-	scalar := SignalProbs(scalarOracle, x, ns)
+	scalar := SignalProbs(context.Background(), scalarOracle, x, ns)
 	for i := range batch {
 		if d := batch[i] - scalar[i]; d > 0.03 || d < -0.03 {
 			t.Errorf("output %d: batch %.4f vs scalar %.4f", i, batch[i], scalar[i])
@@ -242,7 +243,7 @@ func TestPatternCountsBatchTotals(t *testing.T) {
 	l := lockedC17(t)
 	p := NewProbabilistic(l.Circuit, l.Key, 0.1, 51)
 	const ns = 150 // 2 full passes + 22 scalar
-	counts := PatternCounts(p, []bool{true, true, true, false, false}, ns)
+	counts := PatternCounts(context.Background(), p, []bool{true, true, true, false, false}, ns)
 	total := 0
 	for _, n := range counts {
 		total += n
@@ -256,8 +257,8 @@ func TestPatternCountsBatchVsScalarDistribution(t *testing.T) {
 	l := lockedC17(t)
 	x := []bool{false, true, false, true, true}
 	const ns = 6400
-	batch := PatternCounts(NewProbabilistic(l.Circuit, l.Key, 0.06, 61), x, ns)
-	scalar := PatternCounts(scalarOnly{NewProbabilistic(l.Circuit, l.Key, 0.06, 62)}, x, ns)
+	batch := PatternCounts(context.Background(), NewProbabilistic(l.Circuit, l.Key, 0.06, 61), x, ns)
+	scalar := PatternCounts(context.Background(), scalarOnly{NewProbabilistic(l.Circuit, l.Key, 0.06, 62)}, x, ns)
 	// The dominant pattern must agree and have similar mass.
 	bestOf := func(m map[string]int) (string, int) {
 		bp, bn := "", -1
@@ -341,7 +342,7 @@ func BenchmarkSignalProbs500(b *testing.B) {
 	x := orig.RandomInputs(rng)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		SignalProbs(o, x, 500)
+		SignalProbs(context.Background(), o, x, 500)
 	}
 }
 
@@ -361,6 +362,6 @@ func BenchmarkSignalProbs500Into(b *testing.B) {
 	var dst []float64
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		dst = SignalProbsInto(o, x, 500, dst)
+		dst = SignalProbsInto(context.Background(), o, x, 500, dst)
 	}
 }

@@ -1,0 +1,76 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSolveCtxAlreadyCancelled(t *testing.T) {
+	s, v := mk(2)
+	s.AddClause(PosLit(v[0]), PosLit(v[1]))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	solvesBefore := s.Stats.Solves
+	if got := s.SolveCtx(ctx); got != Unknown {
+		t.Errorf("SolveCtx(cancelled) = %v, want Unknown", got)
+	}
+	if s.Stats.Solves != solvesBefore+1 {
+		t.Errorf("Solves = %d, want %d (cancelled calls still count)",
+			s.Stats.Solves, solvesBefore+1)
+	}
+	// The solver must stay fully usable: a live context solves normally.
+	if got := s.SolveCtx(context.Background()); got != Sat {
+		t.Errorf("SolveCtx(live) after cancelled call = %v, want Sat", got)
+	}
+}
+
+func TestSolveCtxDeadlineInterruptsSearch(t *testing.T) {
+	// PHP(10, 9) needs far more than interruptCheckInterval conflicts,
+	// so an expired deadline is observed at an amortized check long
+	// before the proof completes.
+	s := New()
+	pigeonhole(s, 10, 9)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if got := s.SolveCtx(ctx); got != Unknown {
+		t.Fatalf("SolveCtx under 1ms deadline = %v, want Unknown", got)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("deadline did not fire — Unknown came from somewhere else")
+	}
+	// The transient interrupt channel must not leak into later Solve
+	// calls: a plain Solve on a small instance completes.
+	if s.interrupt != nil {
+		t.Fatal("interrupt channel survived SolveCtx return")
+	}
+}
+
+func TestSolveCtxLiveContextMatchesSolve(t *testing.T) {
+	// A context that never fires must not perturb the search result.
+	mkPigeon := func() *Solver {
+		s := New()
+		pigeonhole(s, 5, 4)
+		return s
+	}
+	plain := mkPigeon().Solve()
+	withCtx := mkPigeon().SolveCtx(context.Background())
+	if plain != withCtx {
+		t.Errorf("SolveCtx = %v, Solve = %v; live context changed the result", withCtx, plain)
+	}
+	if withCtx != Unsat {
+		t.Errorf("PHP(5,4) = %v, want Unsat", withCtx)
+	}
+}
+
+func TestSolveCtxAssumptionsPassThrough(t *testing.T) {
+	// SolveCtx must forward assumptions exactly like Solve.
+	s, v := mk(2)
+	s.AddClause(PosLit(v[0]), PosLit(v[1]))
+	if got := s.SolveCtx(context.Background(), NegLit(v[0]), NegLit(v[1])); got != Unsat {
+		t.Errorf("SolveCtx with contradictory assumptions = %v, want Unsat", got)
+	}
+	if got := s.SolveCtx(context.Background(), PosLit(v[0])); got != Sat {
+		t.Errorf("SolveCtx with satisfiable assumption = %v, want Sat", got)
+	}
+}

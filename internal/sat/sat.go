@@ -12,6 +12,7 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -150,6 +151,11 @@ type Solver struct {
 
 	// Budget limits a single Solve call; 0 means unlimited.
 	ConflictBudget int64
+
+	// interrupt, when non-nil, aborts the search once the channel is
+	// closed (checked amortized over conflicts, like ConflictBudget).
+	// Set transiently by SolveCtx; never copied by Clone.
+	interrupt <-chan struct{}
 
 	// Model caching: last solution, indexed by var.
 	model []lbool
@@ -651,8 +657,31 @@ func luby(i int64) int64 {
 	return 1 << seq
 }
 
+// interruptCheckInterval is how many conflicts pass between two looks
+// at the interrupt channel: cheap enough to be invisible in the search
+// loop, fine-grained enough that cancellation lands within
+// milliseconds on any real formula.
+const interruptCheckInterval = 256
+
+// SolveCtx is Solve with cancellation: when ctx is cancelled or its
+// deadline passes, the search unwinds and returns Unknown. The check
+// is amortized over conflicts (every interruptCheckInterval), so a
+// solve that never conflicts — unit propagation straight to a model —
+// completes even under a cancelled context. Callers distinguish a
+// cancelled Unknown from a ConflictBudget Unknown via ctx.Err().
+func (s *Solver) SolveCtx(ctx context.Context, assumptions ...Lit) Status {
+	if ctx.Err() != nil {
+		s.Stats.Solves++
+		return Unknown
+	}
+	s.interrupt = ctx.Done()
+	defer func() { s.interrupt = nil }()
+	return s.Solve(assumptions...)
+}
+
 // Solve runs the CDCL search under the given assumptions. It returns
-// Sat, Unsat, or Unknown (only when ConflictBudget is exhausted).
+// Sat, Unsat, or Unknown (only when ConflictBudget is exhausted or a
+// SolveCtx context fires).
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.Stats.Solves++
 	if !s.okay {
@@ -690,6 +719,15 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			if s.ConflictBudget > 0 && s.Stats.Conflicts-conflictsAtStart >= s.ConflictBudget {
 				s.cancelUntil(0)
 				return Unknown
+			}
+			if s.interrupt != nil &&
+				(s.Stats.Conflicts-conflictsAtStart)%interruptCheckInterval == 0 {
+				select {
+				case <-s.interrupt:
+					s.cancelUntil(0)
+					return Unknown
+				default:
+				}
 			}
 			continue
 		}

@@ -106,6 +106,11 @@ func (ev Event) String() string {
 		if ev.Key != nil && ev.Score != nil {
 			body += fmt.Sprintf(" key=%s FM=%.4f HD=%.4f", ev.Key.Key, ev.Score.FM, ev.Score.HD)
 		}
+	case Interrupted:
+		if ev.Interrupt != nil {
+			body += fmt.Sprintf(" %s after %d iterations (results are best-effort)",
+				ev.Interrupt.Cause, ev.Interrupt.Iterations)
+		}
 	case AttackEnd:
 		if ev.Totals != nil {
 			body += fmt.Sprintf(" %d key(s), %d iterations, %d instances (%d forks, %d force-proceeds, %d dead), %d queries in %v",

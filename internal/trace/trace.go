@@ -51,6 +51,9 @@ const (
 	InstanceDead EventType = "instance_dead"
 	// KeyAccepted records an instance finishing with a key.
 	KeyAccepted EventType = "key_accepted"
+	// Interrupted records a cancellation or deadline expiry: the run
+	// stopped early and the results that follow are best-effort.
+	Interrupted EventType = "interrupted"
 	// AttackEnd closes the key-finding phase with run totals.
 	AttackEnd EventType = "attack_end"
 	// EvalStart opens the key-evaluation phase (eq. 7-8).
@@ -89,16 +92,17 @@ type Event struct {
 	// emission time (shared across instances).
 	OracleQueries int64 `json:"oracle_queries,omitempty"`
 
-	Circuit *CircuitInfo `json:"circuit,omitempty"`
-	Opts    *OptionsInfo `json:"opts,omitempty"`
-	Solver  *SolverStats `json:"solver,omitempty"`
-	DIP     *DIPInfo     `json:"dip,omitempty"`
-	Gating  *GatingInfo  `json:"gating,omitempty"`
-	Fork    *ForkInfo    `json:"fork,omitempty"`
-	Key     *KeyInfo     `json:"key,omitempty"`
-	Score   *ScoreInfo   `json:"score,omitempty"`
-	Eval    *EvalInfo    `json:"eval,omitempty"`
-	Totals  *TotalsInfo  `json:"totals,omitempty"`
+	Circuit   *CircuitInfo   `json:"circuit,omitempty"`
+	Opts      *OptionsInfo   `json:"opts,omitempty"`
+	Solver    *SolverStats   `json:"solver,omitempty"`
+	DIP       *DIPInfo       `json:"dip,omitempty"`
+	Gating    *GatingInfo    `json:"gating,omitempty"`
+	Fork      *ForkInfo      `json:"fork,omitempty"`
+	Key       *KeyInfo       `json:"key,omitempty"`
+	Score     *ScoreInfo     `json:"score,omitempty"`
+	Eval      *EvalInfo      `json:"eval,omitempty"`
+	Totals    *TotalsInfo    `json:"totals,omitempty"`
+	Interrupt *InterruptInfo `json:"interrupt,omitempty"`
 }
 
 // CircuitInfo describes the attacked netlist's interface
@@ -249,6 +253,16 @@ type TotalsInfo struct {
 	OracleQueries    int64 `json:"oracle_queries"`
 	Truncated        bool  `json:"truncated,omitempty"`
 	DurationNs       int64 `json:"duration_ns"`
+}
+
+// InterruptInfo describes why a run stopped early (interrupted).
+type InterruptInfo struct {
+	// Cause is the context error text ("context canceled" or
+	// "context deadline exceeded").
+	Cause string `json:"cause"`
+	// Iterations is the total iteration count completed before the
+	// interrupt.
+	Iterations int `json:"iterations"`
 }
 
 // Tracer receives trace events. Implementations must be safe for

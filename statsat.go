@@ -49,6 +49,7 @@
 package statsat
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -173,7 +174,16 @@ func NewNoisyOracle(c *Circuit, key []bool, eps float64, seed int64) Oracle {
 
 // SignalProbs queries an oracle ns times and returns per-output
 // signal probabilities (eq. 1 of the paper).
-func SignalProbs(o Oracle, x []bool, ns int) []float64 { return oracle.SignalProbs(o, x, ns) }
+func SignalProbs(o Oracle, x []bool, ns int) []float64 {
+	return oracle.SignalProbs(context.Background(), o, x, ns)
+}
+
+// SignalProbsCtx is SignalProbs with cancellation: a cancelled ctx
+// stops the sampling early and the probabilities are normalised over
+// the samples actually taken (best-effort).
+func SignalProbsCtx(ctx context.Context, o Oracle, x []bool, ns int) []float64 {
+	return oracle.SignalProbs(ctx, o, x, ns)
+}
 
 // Options configures the StatSAT attack (zero values pick the paper's
 // defaults: Ns=500, NSatis=100, NEval=2000, U_lambda=0.25,
@@ -190,9 +200,23 @@ type KeyReport = core.KeyReport
 // ErrNoInstances is returned when every SAT instance died without a key.
 var ErrNoInstances = core.ErrNoInstances
 
+// ErrInterrupted matches (errors.Is) any attack stopped by context
+// cancellation or deadline expiry. Interrupted attacks return it
+// alongside a non-nil best-effort result; see docs/ARCHITECTURE.md
+// for the cancellation contract.
+var ErrInterrupted = core.ErrInterrupted
+
 // Attack runs StatSAT against the oracle.
 func Attack(locked *Circuit, orc Oracle, opts Options) (*Result, error) {
-	return core.Attack(locked, orc, opts)
+	return core.Attack(context.Background(), locked, orc, opts)
+}
+
+// AttackCtx is Attack with cancellation: when ctx is cancelled or its
+// deadline expires the attack stops at the next iteration boundary
+// and returns its best-effort partial result together with an error
+// matching ErrInterrupted.
+func AttackCtx(ctx context.Context, locked *Circuit, orc Oracle, opts Options) (*Result, error) {
+	return core.Attack(ctx, locked, orc, opts)
 }
 
 // EstimateOptions configures EstimateGateError.
@@ -201,7 +225,14 @@ type EstimateOptions = core.EstimateOptions
 // EstimateGateError implements §V-E: the attacker estimates the
 // oracle's gate error probability by uncertainty matching.
 func EstimateGateError(locked *Circuit, orc Oracle, opts EstimateOptions) float64 {
-	return core.EstimateGateError(locked, orc, opts)
+	return core.EstimateGateError(context.Background(), locked, orc, opts)
+}
+
+// EstimateGateErrorCtx is EstimateGateError with cancellation: a
+// cancelled ctx stops the grid sweep and returns the best estimate so
+// far.
+func EstimateGateErrorCtx(ctx context.Context, locked *Circuit, orc Oracle, opts EstimateOptions) float64 {
+	return core.EstimateGateError(ctx, locked, orc, opts)
 }
 
 // BaselineResult reports a standard-SAT or PSAT run.
@@ -212,12 +243,23 @@ type PSATOptions = attack.PSATOptions
 
 // StandardSAT runs the classic SAT attack (deterministic oracles).
 func StandardSAT(locked *Circuit, orc Oracle, maxIter int) (*BaselineResult, error) {
-	return attack.StandardSAT(locked, orc, maxIter)
+	return attack.StandardSAT(context.Background(), locked, orc, maxIter)
+}
+
+// StandardSATCtx is StandardSAT with cancellation (see AttackCtx for
+// the contract).
+func StandardSATCtx(ctx context.Context, locked *Circuit, orc Oracle, maxIter int) (*BaselineResult, error) {
+	return attack.StandardSAT(ctx, locked, orc, maxIter)
 }
 
 // PSAT runs the probabilistic-SAT baseline of Patnaik et al.
 func PSAT(locked *Circuit, orc Oracle, opts PSATOptions) (*BaselineResult, error) {
-	return attack.PSAT(locked, orc, opts)
+	return attack.PSAT(context.Background(), locked, orc, opts)
+}
+
+// PSATCtx is PSAT with cancellation (see AttackCtx for the contract).
+func PSATCtx(ctx context.Context, locked *Circuit, orc Oracle, opts PSATOptions) (*BaselineResult, error) {
+	return attack.PSAT(ctx, locked, orc, opts)
 }
 
 // SATOptions configures StandardSATOpt.
@@ -226,7 +268,13 @@ type SATOptions = attack.SATOptions
 // StandardSATOpt is StandardSAT with the full option set (iteration
 // bound plus tracing).
 func StandardSATOpt(locked *Circuit, orc Oracle, opts SATOptions) (*BaselineResult, error) {
-	return attack.StandardSATOpt(locked, orc, opts)
+	return attack.StandardSATOpt(context.Background(), locked, orc, opts)
+}
+
+// StandardSATOptCtx is StandardSATOpt with cancellation (see AttackCtx
+// for the contract).
+func StandardSATOptCtx(ctx context.Context, locked *Circuit, orc Oracle, opts SATOptions) (*BaselineResult, error) {
+	return attack.StandardSATOpt(ctx, locked, orc, opts)
 }
 
 // AppSATOptions configures the AppSAT baseline.
@@ -239,7 +287,13 @@ type AppSATResult = attack.AppSATResult
 // on deterministic oracles, inapplicable to probabilistic ones (the
 // paper's footnote 2).
 func AppSAT(locked *Circuit, orc Oracle, opts AppSATOptions) (*AppSATResult, error) {
-	return attack.AppSAT(locked, orc, opts)
+	return attack.AppSAT(context.Background(), locked, orc, opts)
+}
+
+// AppSATCtx is AppSAT with cancellation (see AttackCtx for the
+// contract).
+func AppSATCtx(ctx context.Context, locked *Circuit, orc Oracle, opts AppSATOptions) (*AppSATResult, error) {
+	return attack.AppSAT(ctx, locked, orc, opts)
 }
 
 // LockRLLDeep locks a circuit with depth-targeted random key gates —
@@ -316,6 +370,7 @@ const (
 	TraceEvalStart    = trace.EvalStart
 	TraceKeyScored    = trace.KeyScored
 	TraceEvalEnd      = trace.EvalEnd
+	TraceInterrupted  = trace.Interrupted
 )
 
 // NewJSONLTracer writes one JSON object per event to w (the JSON-lines
