@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -26,32 +27,37 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	// Ctrl-C / SIGTERM stops the scheduler: no new cells start, cells
+	// already completed stay flushed (table rows stream in order; the
+	// partial row prefix is still written as CSV), and the tool exits
+	// non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run carries the whole tool so the non-zero exit paths can still
-// flush partial output first — os.Exit in main would skip defers.
-func run() int {
+// flush partial output first — os.Exit in main would skip defers —
+// and so tests can drive it with their own context, flags and pipes.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		profile  = flag.String("profile", "quick", "profile: paper | quick | smoke")
-		expID    = flag.String("exp", "all", "experiment id(s), comma-separated: table1..table5, fig4..fig6, ablations, defense, all")
-		csvDir   = flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
-		traceDir = flag.String("trace", "", "record one JSON-lines trace per attack run into this directory (schema: docs/OBSERVABILITY.md)")
-		verbose  = flag.Bool("v", false, "stream trace events to stderr as they happen")
-		workers  = flag.Int("workers", 0, "experiment scheduler workers: 0 = one per CPU, 1 = sequential (results are identical for any value; see docs/PERFORMANCE.md)")
+		profile  = fs.String("profile", "quick", "profile: paper | quick | smoke")
+		expID    = fs.String("exp", "all", "experiment id(s), comma-separated: table1..table5, fig4..fig6, ablations, defense, all")
+		csvDir   = fs.String("csv", "", "also write each experiment's rows as CSV into this directory")
+		traceDir = fs.String("trace", "", "record one JSON-lines trace per attack run into this directory (schema: docs/OBSERVABILITY.md)")
+		verbose  = fs.Bool("v", false, "stream trace events to stderr as they happen")
+		workers  = fs.Int("workers", 0, "experiment scheduler workers: 0 = one per CPU, 1 = sequential (results are identical for any value; see docs/PERFORMANCE.md)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	p, ok := exp.ProfileByName(*profile)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "experiments: unknown profile %q\n", *profile)
+		fmt.Fprintf(stderr, "experiments: unknown profile %q\n", *profile)
 		return 1
 	}
-	// Ctrl-C / SIGTERM stops the scheduler: no new cells start, cells
-	// already completed stay flushed (table rows stream in order; the
-	// partial row prefix is still written as CSV below), and the tool
-	// exits non-zero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	p.TraceDir = *traceDir
 	p.Verbose = *verbose
 	p.Workers = *workers
@@ -67,27 +73,27 @@ func run() int {
 		var rows interface{}
 		switch strings.TrimSpace(id) {
 		case "table1":
-			rows = exp.TableI(ctx, p, os.Stdout)
+			rows = exp.TableI(ctx, p, stdout)
 		case "table2":
-			rows, err = exp.TableII(ctx, p, os.Stdout)
+			rows, err = exp.TableII(ctx, p, stdout)
 		case "table3":
-			rows, err = exp.TableIII(ctx, p, os.Stdout)
+			rows, err = exp.TableIII(ctx, p, stdout)
 		case "table4":
-			rows, err = exp.TableIV(ctx, p, os.Stdout)
+			rows, err = exp.TableIV(ctx, p, stdout)
 		case "table5":
-			rows, err = exp.TableV(ctx, p, os.Stdout)
+			rows, err = exp.TableV(ctx, p, stdout)
 		case "fig4":
-			rows, err = exp.Fig4(ctx, p, os.Stdout)
+			rows, err = exp.Fig4(ctx, p, stdout)
 		case "fig5":
-			rows, err = exp.Fig5(ctx, p, os.Stdout)
+			rows, err = exp.Fig5(ctx, p, stdout)
 		case "fig6":
-			rows, err = exp.Fig6(ctx, p, os.Stdout)
+			rows, err = exp.Fig6(ctx, p, stdout)
 		case "ablations":
-			rows, err = exp.Ablations(ctx, p, os.Stdout)
+			rows, err = exp.Ablations(ctx, p, stdout)
 		case "defense":
-			rows, err = exp.Defense(ctx, p, os.Stdout)
+			rows, err = exp.Defense(ctx, p, stdout)
 		case "sweep":
-			rows, err = exp.SweepNs(ctx, p, os.Stdout)
+			rows, err = exp.SweepNs(ctx, p, stdout)
 		default:
 			err = fmt.Errorf("unknown experiment %q", id)
 		}
@@ -95,16 +101,16 @@ func run() int {
 			// On cancellation, generators return the completed prefix of
 			// rows: flush it as partial CSV before exiting non-zero.
 			if cerr := writeCSV(*csvDir, strings.TrimSpace(id), p.Name, rows); cerr != nil {
-				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", id, cerr)
+				fmt.Fprintf(stderr, "experiments: csv %s: %v\n", id, cerr)
 				return 1
 			}
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			fmt.Fprintf(stderr, "experiments: %s: %v\n", id, err)
 			return 1
 		}
 		//lint:ignore walltime completion banner is presentation-only; determinism tests compare generator output, not banners
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
 }

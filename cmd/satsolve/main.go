@@ -1,7 +1,7 @@
 // satsolve is a DIMACS front-end for the internal CDCL solver — the
 // same engine that powers the attacks. It prints "s SATISFIABLE" with
 // a "v" model line or "s UNSATISFIABLE", following SAT-competition
-// output conventions.
+// output conventions and exit codes (10 SAT, 20 UNSAT).
 //
 // Usage:
 //
@@ -22,66 +22,75 @@ import (
 )
 
 func main() {
-	var (
-		stats  = flag.Bool("stats", false, "print solver statistics")
-		budget = flag.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
-	)
-	flag.Parse()
 	// Ctrl-C / SIGTERM interrupts the search; the solver then reports
 	// UNKNOWN and the tool exits non-zero.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	var r io.Reader = os.Stdin
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+// run carries the whole tool so tests can drive it with their own
+// context, flags and pipes. Exit codes follow SAT-competition
+// convention: 10 SAT, 20 UNSAT, 0 UNKNOWN within budget, 1 on error
+// or interruption.
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("satsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		stats  = fs.Bool("stats", false, "print solver statistics")
+		budget = fs.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	r := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "satsolve:", err)
+			return 1
 		}
 		defer f.Close()
 		r = f
 	}
 	s, err := sat.ParseDIMACS(r)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "satsolve:", err)
+		return 1
 	}
 	s.ConflictBudget = *budget
 	res := s.SolveCtx(ctx)
 	switch res {
 	case sat.Sat:
-		fmt.Println("s SATISFIABLE")
-		fmt.Print("v")
+		fmt.Fprintln(stdout, "s SATISFIABLE")
+		fmt.Fprint(stdout, "v")
 		for v := 0; v < s.NumVars(); v++ {
 			lit := v + 1
 			if !s.ModelValue(sat.Var(v)) {
 				lit = -lit
 			}
-			fmt.Printf(" %d", lit)
+			fmt.Fprintf(stdout, " %d", lit)
 		}
-		fmt.Println(" 0")
+		fmt.Fprintln(stdout, " 0")
 	case sat.Unsat:
-		fmt.Println("s UNSATISFIABLE")
+		fmt.Fprintln(stdout, "s UNSATISFIABLE")
 	default:
-		fmt.Println("s UNKNOWN")
+		fmt.Fprintln(stdout, "s UNKNOWN")
 	}
 	if *stats {
 		st := s.Stats
-		fmt.Fprintf(os.Stderr, "c decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d removed=%d\n",
+		fmt.Fprintf(stderr, "c decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d removed=%d\n",
 			st.Decisions, st.Propagations, st.Conflicts, st.Restarts, st.Learnt, st.Removed)
 	}
-	if res == sat.Unsat {
-		os.Exit(20)
+	switch {
+	case res == sat.Unsat:
+		return 20
+	case res == sat.Sat:
+		return 10
+	case ctx.Err() != nil:
+		fmt.Fprintln(stderr, "satsolve: interrupted")
+		return 1
 	}
-	if res == sat.Sat {
-		os.Exit(10)
-	}
-	if ctx.Err() != nil {
-		fmt.Fprintln(os.Stderr, "satsolve: interrupted")
-		os.Exit(1)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "satsolve:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"statsat/internal/server"
+	"statsat/internal/trace"
+)
+
+// clientOptions carries the flag values the -server submit path needs.
+type clientOptions struct {
+	serverURL string
+	in        string
+	format    string
+	key       string
+	eps       float64
+	attack    string
+	seed      int64
+	verbose   bool
+	opts      server.SpecOptions
+}
+
+// runServer submits the job to a statsatd daemon instead of attacking
+// locally: it uploads the netlist inline, follows the NDJSON trace
+// stream (rendered human-readably under -v), and prints the final
+// outcome. Cancelling ctx (Ctrl-C) DELETEs the job so the daemon
+// interrupts the attack and the partial result is still reported.
+// Returns the process exit code: 0 clean, 1 interrupted or failed.
+func runServer(ctx context.Context, co clientOptions) int {
+	src, err := os.ReadFile(co.in)
+	if err != nil {
+		return fail(err)
+	}
+	format := co.format
+	if format == "" && strings.HasSuffix(co.in, ".v") {
+		format = "verilog"
+	}
+	sp := server.Spec{
+		Attack:  co.attack,
+		Netlist: string(src),
+		Format:  format,
+		Key:     co.key,
+		Eps:     co.eps,
+		Seed:    co.seed,
+		Options: co.opts,
+	}
+	base := strings.TrimSuffix(co.serverURL, "/")
+
+	id, err := submitJob(ctx, base, &sp)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "statsat: job %s submitted to %s\n", id, base)
+
+	// On Ctrl-C the stream request dies with ctx; cancel the job
+	// server-side so it settles (with its best-effort partial outcome)
+	// instead of running on unobserved.
+	streamErr := followTrace(ctx, base, id, co.verbose)
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "statsat: interrupted — cancelling job", id)
+		cancelJob(base, id)
+	} else if streamErr != nil {
+		fmt.Fprintln(os.Stderr, "statsat: trace stream:", streamErr)
+	}
+
+	st, err := fetchStatus(base, id)
+	if err != nil {
+		return fail(err)
+	}
+	return reportStatus(st)
+}
+
+// submitJob POSTs the spec and returns the assigned job ID.
+func submitJob(ctx context.Context, base string, sp *server.Spec) (string, error) {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", apiError(resp)
+	}
+	var reply struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return "", err
+	}
+	return reply.ID, nil
+}
+
+// followTrace streams the job's NDJSON trace until the job finishes or
+// ctx is cancelled. Events render through the same formatter as the
+// local -v path, so both modes read identically.
+func followTrace(ctx context.Context, base, id string, verbose bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev trace.Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if verbose {
+			fmt.Fprintln(os.Stderr, ev.String())
+		}
+	}
+}
+
+// cancelJob issues the DELETE; errors are advisory (the daemon may
+// already be gone), so it only logs.
+func cancelJob(base, id string) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsat: cancel:", err)
+		return
+	}
+	resp.Body.Close()
+}
+
+// fetchStatus GETs the job's final status. It runs without the command
+// context on purpose: after Ctrl-C the job's partial result is exactly
+// what we came for.
+func fetchStatus(base, id string) (*server.Status, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// reportStatus prints the outcome in the local report style and maps
+// the job state to the exit code.
+func reportStatus(st *server.Status) int {
+	if st.Outcome == nil {
+		fmt.Printf("job %s: %s (no outcome)\n", st.ID, st.State)
+		if st.State == server.StateFailed || st.State == server.StateCancelled {
+			return 1
+		}
+		return 0
+	}
+	out := st.Outcome
+	if out.Interrupted {
+		fmt.Fprintln(os.Stderr, "statsat: interrupted — results below are best-effort")
+	}
+	fmt.Printf("%s (%s on %s): %d key(s), %d iterations, %d queries\n",
+		st.Attack, st.State, st.Circuit.Name, len(out.Keys), out.Iterations, out.OracleQueries)
+	for i, k := range out.Keys {
+		marker := ""
+		if k.Correct {
+			marker = "  (CORRECT)"
+		}
+		if k.FM != 0 || k.HD != 0 {
+			fmt.Printf("key %d: FM=%.4f HD=%.4f iters=%d %s%s\n", i, k.FM, k.HD, k.Iterations, k.Key, marker)
+		} else {
+			fmt.Printf("key %d: iters=%d %s%s\n", i, k.Iterations, k.Key, marker)
+		}
+	}
+	if st.State != server.StateDone {
+		return 1
+	}
+	return 0
+}
+
+// apiError turns a non-2xx response into an error carrying the
+// server's JSON error envelope when present.
+func apiError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &envelope) == nil && envelope.Error != "" {
+		return fmt.Errorf("server: %s: %s", resp.Status, envelope.Error)
+	}
+	return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+}

@@ -25,6 +25,7 @@ import (
 	"statsat/internal/metrics"
 	"statsat/internal/netio"
 	"statsat/internal/oracle"
+	"statsat/internal/server"
 	"statsat/internal/trace"
 )
 
@@ -54,6 +55,7 @@ func run() int {
 		traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file (schema: docs/OBSERVABILITY.md)")
 		maxIter  = flag.Int("maxiter", 20000, "iteration safety cap")
 		parallel = flag.Bool("parallel", false, "run SAT instances concurrently (faster, non-reproducible)")
+		srvURL   = flag.String("server", "", "submit the job to a statsatd daemon at this base URL instead of attacking locally")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -61,8 +63,32 @@ func run() int {
 	}
 	// Ctrl-C / SIGTERM cancels the attack at the next iteration
 	// boundary; the attack then returns its best-effort partial result.
+	// In -server mode the same signal DELETEs the remote job.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *srvURL != "" {
+		keySrc := *keyStr
+		if *keyFile != "" {
+			b, err := os.ReadFile(*keyFile)
+			if err != nil {
+				return fail(err)
+			}
+			keySrc = strings.TrimSpace(string(b))
+		}
+		epsGuess := *epsG
+		if epsGuess < 0 {
+			epsGuess = 0 // daemon defaults eps_g to the true eps
+		}
+		return runServer(ctx, clientOptions{
+			serverURL: *srvURL, in: *in, format: *format, key: keySrc,
+			eps: *eps, attack: *mode, seed: *seed, verbose: *verbose,
+			opts: server.SpecOptions{
+				Ns: *ns, NSatis: *nSatis, NEval: *nEval, NInst: *nInst,
+				ULambda: *uLam, ELambda: *eLam, EpsG: epsGuess,
+				MaxIter: *maxIter, Parallel: *parallel,
+			},
+		})
+	}
 	forced, err := netio.ParseFormat(*format)
 	if err != nil {
 		return fail(err)

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer the daemon's stdout lands in.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// base URL, a cancel func triggering graceful shutdown, and the exit
+// code channel.
+func startDaemon(t *testing.T, extraArgs ...string) (string, context.CancelFunc, <-chan int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout, stderr := &syncBuffer{}, &syncBuffer{}
+	args := append([]string{"-addr", "127.0.0.1:0", "-q"}, extraArgs...)
+	code := make(chan int, 1)
+	go func() { code <- run(ctx, args, stdout, stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			return m[1], cancel, code
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never printed its address; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, cancel, code := startDaemon(t, "-workers", "2")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Workers != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Submit a quick job end-to-end through the real HTTP stack.
+	spec := `{"attack":"sat","benchmark":"c17","key_bits":4,"options":{"max_iter":500}}`
+	presp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(presp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusAccepted || reply.ID == "" {
+		t.Fatalf("submit = %s id=%q", presp.Status, reply.ID)
+	}
+	// Poll until the job settles.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sresp, err := http.Get(base + "/v1/jobs/" + reply.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		sresp.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Graceful drain exits 0.
+	cancel()
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code = %d, want 0", c)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb syncBuffer
+	if c := run(ctx, []string{"-no-such-flag"}, &out, &errb); c != 2 {
+		t.Errorf("unknown flag exit = %d, want 2", c)
+	}
+	if c := run(ctx, []string{"positional"}, &out, &errb); c != 2 {
+		t.Errorf("positional arg exit = %d, want 2", c)
+	}
+	if c := run(ctx, []string{"-addr", "256.256.256.256:bad"}, &out, &errb); c != 1 {
+		t.Errorf("bad addr exit = %d, want 1", c)
+	}
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"sync"
+
+	"statsat/internal/trace"
+)
+
+// Progress is a race-safe live view of a running attack, aggregated
+// from its trace stream. It implements trace.Tracer, so observers
+// (statsatd's job status endpoint, tests, dashboards) attach it
+// alongside their other sinks — trace.Multi(stream, progress) — and
+// poll Snapshot from any goroutine while the attack runs. Because it
+// consumes the same documented event schema every engine emits
+// (docs/OBSERVABILITY.md), one Progress works for all four attacks
+// without touching their loops.
+//
+// The zero value is ready to use.
+type Progress struct {
+	mu   sync.Mutex
+	snap ProgressSnapshot
+}
+
+// ProgressSnapshot is a point-in-time copy of the counters. All fields
+// are monotonic over the life of a run except LastKey, which tracks
+// the most recently accepted key.
+type ProgressSnapshot struct {
+	// Attack is the engine name from attack_start ("statsat", "psat",
+	// "sat"); empty until the run opens its trace.
+	Attack string `json:"attack,omitempty"`
+	// Events counts every trace event observed.
+	Events int64 `json:"events"`
+	// Iterations counts completed iterations (iteration_end events,
+	// summed across instances).
+	Iterations int `json:"iterations"`
+	// DIPs counts distinguishing inputs recorded (dip_found).
+	DIPs int `json:"dips"`
+	// Forks and ForceProceeds count eq. 5 / eq. 6 events (StatSAT).
+	Forks         int `json:"forks,omitempty"`
+	ForceProceeds int `json:"force_proceeds,omitempty"`
+	// DeadInstances counts instance_dead events.
+	DeadInstances int `json:"dead_instances,omitempty"`
+	// KeysAccepted counts key_accepted events; LastKey is the most
+	// recent one's key bits — the caller's best-effort "key so far"
+	// while the run is still going.
+	KeysAccepted int    `json:"keys_accepted"`
+	LastKey      string `json:"last_key,omitempty"`
+	// OracleQueries is the highest cumulative query count stamped on
+	// any event so far.
+	OracleQueries int64 `json:"oracle_queries"`
+	// Interrupted is set once an interrupted event arrives: everything
+	// after it is best-effort.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// AttackDone is set by attack_end; Scored (with BestFM/BestHD) by
+	// eval_end.
+	AttackDone bool    `json:"attack_done,omitempty"`
+	Scored     bool    `json:"scored,omitempty"`
+	BestFM     float64 `json:"best_fm,omitempty"`
+	BestHD     float64 `json:"best_hd,omitempty"`
+}
+
+// Emit implements trace.Tracer.
+func (p *Progress) Emit(ev trace.Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := &p.snap
+	s.Events++
+	if ev.OracleQueries > s.OracleQueries {
+		s.OracleQueries = ev.OracleQueries
+	}
+	switch ev.Type {
+	case trace.AttackStart:
+		s.Attack = ev.Attack
+	case trace.IterEnd:
+		s.Iterations++
+	case trace.DIPFound:
+		s.DIPs++
+	case trace.Fork:
+		s.Forks++
+	case trace.ForceProceed:
+		s.ForceProceeds++
+	case trace.InstanceDead:
+		s.DeadInstances++
+	case trace.KeyAccepted:
+		s.KeysAccepted++
+		if ev.Key != nil {
+			s.LastKey = ev.Key.Key
+		}
+	case trace.Interrupted:
+		s.Interrupted = true
+	case trace.AttackEnd:
+		s.AttackDone = true
+		if ev.Totals != nil && ev.Totals.OracleQueries > s.OracleQueries {
+			s.OracleQueries = ev.Totals.OracleQueries
+		}
+	case trace.EvalEnd:
+		s.Scored = true
+		if ev.Score != nil {
+			s.BestFM, s.BestHD = ev.Score.FM, ev.Score.HD
+		}
+	}
+}
+
+// Snapshot returns a copy of the current counters; safe to call from
+// any goroutine at any time.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snap
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"statsat/internal/trace"
+)
+
+func TestProgressAggregatesEvents(t *testing.T) {
+	var p Progress
+	feed := []trace.Event{
+		{Type: trace.AttackStart, Attack: "statsat"},
+		{Type: trace.IterStart, Iter: 0, OracleQueries: 10},
+		{Type: trace.DIPFound, OracleQueries: 510},
+		{Type: trace.IterEnd, Iter: 0},
+		{Type: trace.Fork},
+		{Type: trace.ForceProceed},
+		{Type: trace.IterEnd, Iter: 1},
+		{Type: trace.InstanceDead},
+		{Type: trace.KeyAccepted, Key: &trace.KeyInfo{Key: "1011"}},
+		{Type: trace.AttackEnd, Totals: &trace.TotalsInfo{OracleQueries: 999}},
+		{Type: trace.EvalEnd, Score: &trace.ScoreInfo{FM: 0.97, HD: 0.01}},
+	}
+	for _, ev := range feed {
+		p.Emit(ev)
+	}
+	s := p.Snapshot()
+	if s.Attack != "statsat" {
+		t.Errorf("Attack = %q", s.Attack)
+	}
+	if s.Events != int64(len(feed)) {
+		t.Errorf("Events = %d, want %d", s.Events, len(feed))
+	}
+	if s.Iterations != 2 || s.DIPs != 1 || s.Forks != 1 || s.ForceProceeds != 1 || s.DeadInstances != 1 {
+		t.Errorf("counters = %+v", s)
+	}
+	if s.KeysAccepted != 1 || s.LastKey != "1011" {
+		t.Errorf("keys = %d lastKey = %q", s.KeysAccepted, s.LastKey)
+	}
+	if s.OracleQueries != 999 {
+		t.Errorf("OracleQueries = %d, want 999 (attack_end totals win)", s.OracleQueries)
+	}
+	if !s.AttackDone || !s.Scored || s.BestFM != 0.97 || s.BestHD != 0.01 {
+		t.Errorf("terminal flags = %+v", s)
+	}
+	if s.Interrupted {
+		t.Error("Interrupted set without an interrupted event")
+	}
+}
+
+func TestProgressInterrupted(t *testing.T) {
+	var p Progress
+	p.Emit(trace.Event{Type: trace.Interrupted, Interrupt: &trace.InterruptInfo{Cause: "context canceled"}})
+	if !p.Snapshot().Interrupted {
+		t.Fatal("Interrupted not set")
+	}
+}
+
+func TestProgressOracleQueriesMonotonic(t *testing.T) {
+	var p Progress
+	p.Emit(trace.Event{Type: trace.IterStart, OracleQueries: 100})
+	p.Emit(trace.Event{Type: trace.IterStart, OracleQueries: 40}) // another instance, lower stamp
+	if got := p.Snapshot().OracleQueries; got != 100 {
+		t.Fatalf("OracleQueries = %d, want max-observed 100", got)
+	}
+}
+
+func TestProgressConcurrentSnapshot(t *testing.T) {
+	var p Progress
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			p.Emit(trace.Event{Type: trace.IterEnd, Iter: i})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			_ = p.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := p.Snapshot().Iterations; got != 1000 {
+		t.Fatalf("Iterations = %d, want 1000", got)
+	}
+}
+
+// Progress must satisfy trace.Tracer so it can ride any attack's
+// tracer chain.
+var _ trace.Tracer = (*Progress)(nil)

@@ -24,16 +24,18 @@ type CtxFlow struct{}
 func (CtxFlow) Name() string { return "ctxflow" }
 
 func (CtxFlow) Doc() string {
-	return "forbids context.Background/context.TODO in internal/engine, internal/attack " +
-		"and internal/core, and flags exported functions there that accept a " +
-		"context.Context without using it; the caller's context must flow down intact"
+	return "forbids context.Background/context.TODO in internal/engine, internal/attack, " +
+		"internal/core and internal/server, and flags exported functions there that " +
+		"accept a context.Context without using it; the caller's context must flow " +
+		"down intact"
 }
 
 func (CtxFlow) Applies(pkgPath string) bool {
 	return inScope(pkgPath,
 		"statsat/internal/engine",
 		"statsat/internal/attack",
-		"statsat/internal/core")
+		"statsat/internal/core",
+		"statsat/internal/server")
 }
 
 func (c CtxFlow) Run(p *Package) []Finding {

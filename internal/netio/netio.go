@@ -49,8 +49,11 @@ func ParseFormat(name string) (Format, error) {
 	return "", fmt.Errorf("netio: unknown format %q (want bench or verilog)", name)
 }
 
-// Read parses a netlist from r in the given format.
-func Read(r io.Reader, f Format) (*circuit.Circuit, error) {
+// ReadFrom parses a netlist from any reader in the given format ("" =
+// Bench) — the entry point for sources that never touch the
+// filesystem, such as netlists uploaded to statsatd or embedded in
+// tests. The path-based helpers (ReadFile) are thin wrappers over it.
+func ReadFrom(r io.Reader, f Format) (*circuit.Circuit, error) {
 	switch f {
 	case Verilog:
 		return verilog.Parse(r)
@@ -58,6 +61,17 @@ func Read(r io.Reader, f Format) (*circuit.Circuit, error) {
 		return bench.Parse(r)
 	}
 	return nil, fmt.Errorf("netio: unknown format %q", f)
+}
+
+// Read parses a netlist from r in the given format. Deprecated alias
+// kept for existing callers: use ReadFrom.
+func Read(r io.Reader, f Format) (*circuit.Circuit, error) {
+	return ReadFrom(r, f)
+}
+
+// ReadString parses a netlist held in memory (ReadFrom over a string).
+func ReadString(src string, f Format) (*circuit.Circuit, error) {
+	return ReadFrom(strings.NewReader(src), f)
 }
 
 // Write serialises c to w in the given format.
@@ -83,7 +97,7 @@ func ReadFile(path string, explicit Format) (*circuit.Circuit, error) {
 	if format == "" {
 		format = FormatForPath(path)
 	}
-	c, err := Read(f, format)
+	c, err := ReadFrom(f, format)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

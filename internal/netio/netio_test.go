@@ -109,3 +109,45 @@ func TestUnknownFormatErrors(t *testing.T) {
 		t.Error("want write error")
 	}
 }
+
+func TestReadFromAndReadString(t *testing.T) {
+	orig := gen.C17()
+	var sb strings.Builder
+	if err := Write(&sb, orig, Bench); err != nil {
+		t.Fatal(err)
+	}
+	src := sb.String()
+
+	// ReadFrom: canonical reader-based entry point, "" defaults to bench.
+	for _, f := range []Format{Bench, ""} {
+		c, err := ReadFrom(strings.NewReader(src), f)
+		if err != nil {
+			t.Fatalf("ReadFrom(%q): %v", f, err)
+		}
+		if c.NumPIs() != orig.NumPIs() || c.NumPOs() != orig.NumPOs() {
+			t.Errorf("ReadFrom(%q): interface mismatch", f)
+		}
+	}
+
+	// ReadString is sugar over ReadFrom.
+	c, err := ReadString(src, Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPIs() != orig.NumPIs() {
+		t.Error("ReadString: interface mismatch")
+	}
+
+	// Verilog through the same path.
+	var vb strings.Builder
+	if err := Write(&vb, orig, Verilog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(strings.NewReader(vb.String()), Verilog); err != nil {
+		t.Errorf("ReadFrom verilog: %v", err)
+	}
+
+	if _, err := ReadFrom(strings.NewReader(src), "edif"); err == nil {
+		t.Error("want error for unknown format")
+	}
+}

@@ -1,0 +1,343 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+)
+
+// Cancellation causes distinguishable in job status output.
+var (
+	errClientCancel = errors.New("job cancelled by client request")
+	errShutdown     = errors.New("server shutting down")
+)
+
+// Config parameterises a Server. Zero values pick serviceable
+// defaults.
+type Config struct {
+	// Workers bounds concurrently running jobs (default: GOMAXPROCS).
+	Workers int
+	// MaxJobs bounds retained jobs (store capacity; default 256).
+	MaxJobs int
+	// QueueDepth bounds jobs waiting for a worker (default: 2*MaxJobs).
+	QueueDepth int
+	// MaxBodyBytes bounds the POST /v1/jobs request body — netlist
+	// uploads included (default 8 MiB).
+	MaxBodyBytes int64
+	// TraceBuffer is each job's trace replay-ring capacity in events
+	// (default 4096; see trace.Stream).
+	TraceBuffer int
+	// Logf, if set, receives one line per lifecycle transition.
+	Logf func(format string, args ...interface{})
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxJobs
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// Server is the statsatd HTTP handler plus its worker pool and job
+// store. Create with New, wire into an http.Server, call Start to
+// begin executing jobs, and Shutdown to drain. Server implements
+// http.Handler.
+type Server struct {
+	cfg   Config
+	store *store
+	mux   *http.ServeMux
+
+	// queue is the pull queue: workers take the next admitted job
+	// whenever they free up, the same shape as the experiment
+	// scheduler's shared-queue pool (internal/exp).
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu         sync.Mutex
+	started    bool
+	closed     bool
+	base       context.Context
+	baseCancel context.CancelCauseFunc
+}
+
+// New builds an idle server; no goroutines run until Start.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: newStore(cfg.MaxJobs),
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Start launches the worker pool. ctx is the base context every job's
+// context derives from: cancelling it interrupts all running jobs
+// (each flushes an `interrupted` trace event and publishes its partial
+// result), but the pool itself drains only via Shutdown.
+func (s *Server) Start(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.base, s.baseCancel = context.WithCancelCause(ctx)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.logf("statsatd: %d workers, %d job capacity", s.cfg.Workers, s.cfg.MaxJobs)
+}
+
+// worker pulls admitted jobs until the queue closes. Jobs cancelled
+// while queued fail tryStart inside execute and are skipped.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.logf("statsatd: job %s starting (%s on %s)", j.ID, j.mat.attack, j.mat.circuit.Name)
+		j.execute(j.ctx)
+		j.cancel(nil) // release the job context's resources
+		s.logf("statsatd: job %s %s", j.ID, j.State())
+	}
+}
+
+// Shutdown drains the server: submissions are refused from this point,
+// every queued or running job is cancelled with a shutdown cause
+// (running attacks stop at the engine's next interrupt check, flush
+// the `interrupted` trace event and keep their best-effort partial
+// outcome), and the worker pool exits. Blocks until the pool is idle
+// or ctx expires. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil
+	}
+	first := !s.closed
+	if first {
+		s.closed = true
+		close(s.queue)
+	}
+	cancel := s.baseCancel
+	s.mu.Unlock()
+
+	if first {
+		s.logf("statsatd: shutting down")
+		cancel(errShutdown)
+		// Settle jobs still waiting in the queue so their streams close
+		// and Done waiters release even before a worker pops them.
+		for _, j := range s.store.list() {
+			if j.State() == StateQueued {
+				j.Cancel(errShutdown)
+			}
+		}
+	}
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		s.logf("statsatd: drained")
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown wait: %w", ctx.Err())
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// accepting reports whether submissions are currently admitted.
+func (s *Server) accepting() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started && !s.closed
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// submitReply is the POST /v1/jobs response body.
+type submitReply struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	mat, err := sp.materialize()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := newJob(&sp, mat, s.cfg.TraceBuffer)
+
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, errShutdown)
+		return
+	}
+	j.ctx, j.cancel = context.WithCancelCause(s.base)
+	if err := s.store.add(j); err != nil {
+		s.mu.Unlock()
+		j.cancel(nil)
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.store.remove(j.ID)
+		s.mu.Unlock()
+		j.cancel(nil)
+		httpError(w, http.StatusTooManyRequests, errors.New("server: job queue full"))
+		return
+	}
+	s.mu.Unlock()
+
+	s.logf("statsatd: job %s admitted (%s on %s)", j.ID, mat.attack, mat.circuit.Name)
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, submitReply{ID: j.ID, State: j.State()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.list()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleTrace live-streams the job's trace as NDJSON (one
+// docs/OBSERVABILITY.md event object per line): first the replay of
+// everything still buffered, then each new event as the attack emits
+// it. The response ends when the job reaches a terminal state (its
+// stream closes) or the client goes away.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	sub := j.stream.Subscribe(0)
+	defer sub.Cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit headers before the first event arrives
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			// Flush per batch: drain whatever is already queued before
+			// paying the flush, so bursts cost one write.
+			if len(sub.C) == 0 && flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleCancel interrupts the job and replies with its settled status
+// — including the best-effort partial outcome the cancellation
+// contract guarantees (docs/ARCHITECTURE.md). If the job cannot settle
+// before the request's own context ends, the in-flight status is
+// returned instead.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.store.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	j.Cancel(errClientCancel)
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":    "ok",
+		"accepting": s.accepting(),
+		"jobs":      s.store.len(),
+		"workers":   s.cfg.Workers,
+	})
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error envelope.
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,575 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"statsat"
+	"statsat/internal/trace"
+)
+
+// testServer wires a started Server into an httptest frontend and
+// registers teardown that drains both.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.Start(ctx)
+	hts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hts.Close()
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		cancel()
+	})
+	return srv, hts
+}
+
+// submit POSTs a spec and returns the assigned job ID.
+func submit(t *testing.T, base string, sp Spec) string {
+	t.Helper()
+	body, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %s: %s", resp.Status, b)
+	}
+	var reply submitReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.ID == "" {
+		t.Fatal("submit: empty job ID")
+	}
+	return reply.ID
+}
+
+// getStatus GETs and decodes a job status.
+func getStatus(t *testing.T, base, id string) Status {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %s", resp.Status)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitTerminal polls until the job settles (white-box via the store so
+// tests don't sleep-loop over HTTP).
+func waitTerminal(t *testing.T, srv *Server, id string) *Job {
+	t.Helper()
+	j, ok := srv.store.get(id)
+	if !ok {
+		t.Fatalf("job %s not in store", id)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s did not settle", id)
+	}
+	return j
+}
+
+// slowSpec is a job that cannot finish quickly: an Anti-SAT locked
+// benchmark forces ~2^(k-1) distinguishing iterations, so a 14-bit lock
+// keeps the attack busy far longer than any test step while each
+// individual iteration stays fast.
+func slowSpec() Spec {
+	return Spec{
+		Attack:    "statsat",
+		Benchmark: "c880",
+		Scale:     8,
+		Lock:      "antisat",
+		KeyBits:   14,
+		Options:   SpecOptions{Ns: 20, MaxIter: 1 << 20},
+	}
+}
+
+// quickSpec is a job that finishes in milliseconds.
+func quickSpec(attack string) Spec {
+	return Spec{
+		Attack:    attack,
+		Benchmark: "c17",
+		Lock:      "rll",
+		KeyBits:   4,
+		Options:   SpecOptions{Ns: 10, NSatis: 5, NEval: 20, MaxIter: 500},
+	}
+}
+
+// TestEndToEndCancelMidSolve is the acceptance-criteria flow: submit a
+// job against a locked c880 oracle, observe at least one
+// iteration_start event on the live NDJSON stream, cancel mid-solve,
+// and receive a partial result whose error is ErrInterrupted.
+func TestEndToEndCancelMidSolve(t *testing.T) {
+	srv, hts := testServer(t, Config{Workers: 1, MaxJobs: 8})
+	id := submit(t, hts.URL, slowSpec())
+
+	// Follow the NDJSON stream until the first iteration_start.
+	resp, err := http.Get(hts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace Content-Type = %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	sawIterStart := false
+	for !sawIterStart {
+		var ev trace.Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("stream ended before iteration_start: %v", err)
+		}
+		if ev.Type == trace.IterStart {
+			sawIterStart = true
+		}
+	}
+
+	// Cancel mid-solve; DELETE waits for the job to settle and returns
+	// the partial result.
+	req, err := http.NewRequest(http.MethodDelete, hts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(dresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if st.State != StateCancelled {
+		t.Fatalf("state after DELETE = %s, want cancelled", st.State)
+	}
+	if st.Outcome == nil || !st.Outcome.Interrupted {
+		t.Fatalf("outcome after DELETE = %+v, want interrupted partial", st.Outcome)
+	}
+	if st.Error == "" {
+		t.Error("cancelled status has no error text")
+	}
+
+	// The Go error satisfies the facade's sentinel (white-box: HTTP
+	// can't carry error identity).
+	j := waitTerminal(t, srv, id)
+	if err := j.Err(); !errors.Is(err, statsat.ErrInterrupted) {
+		t.Fatalf("job error = %v, want ErrInterrupted", err)
+	}
+
+	// The stream flushed the interrupted event and then closed.
+	sawInterrupted := false
+	for {
+		var ev trace.Event
+		if err := dec.Decode(&ev); err != nil {
+			break // EOF: stream closed by job settlement
+		}
+		if ev.Type == trace.Interrupted {
+			sawInterrupted = true
+		}
+	}
+	if !sawInterrupted {
+		t.Error("interrupted event not observed on the trace stream")
+	}
+}
+
+// TestParallelBurst is the second acceptance criterion: an 8-job burst
+// under -race with zero goroutine leaks after Shutdown.
+func TestParallelBurst(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := New(Config{Workers: 4, MaxJobs: 16})
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.Start(ctx)
+	hts := httptest.NewServer(srv)
+
+	var wg sync.WaitGroup
+	ids := make([]string, 8)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			attack := []string{"statsat", "psat", "sat", "appsat"}[i%4]
+			ids[i] = submit(t, hts.URL, quickSpec(attack))
+		}(i)
+	}
+	wg.Wait()
+
+	for _, id := range ids {
+		j := waitTerminal(t, srv, id)
+		if st := j.State(); st != StateDone {
+			t.Errorf("job %s settled as %s (err %v)", id, st, j.Err())
+		}
+	}
+
+	hts.Close()
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	cancel()
+
+	// Goroutine count must return to the pre-server baseline (allowing
+	// runtime jitter a moment to settle).
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after shutdown", before, runtime.NumGoroutine())
+}
+
+func TestShutdownInterruptsRunningJobs(t *testing.T) {
+	srv := New(Config{Workers: 2, MaxJobs: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv.Start(ctx)
+	hts := httptest.NewServer(srv)
+	defer hts.Close()
+
+	// One running slow job, one stuck behind it in the queue plus a
+	// second worker-occupying job: submit three so at least one is
+	// still queued at shutdown.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, submit(t, hts.URL, slowSpec()))
+	}
+	// Wait until a job is genuinely running so shutdown exercises the
+	// engine interrupt path, not just queue settlement.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no job reached running state")
+		}
+		running := false
+		for _, id := range ids {
+			if j, ok := srv.store.get(id); ok && j.State() == StateRunning {
+				running = true
+			}
+		}
+		if running {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	for _, id := range ids {
+		j, _ := srv.store.get(id)
+		if st := j.State(); st != StateCancelled {
+			t.Errorf("job %s after shutdown = %s, want cancelled", id, st)
+		}
+		if !errors.Is(j.Err(), statsat.ErrInterrupted) && j.Err() == nil {
+			t.Errorf("job %s error = %v", id, j.Err())
+		}
+	}
+
+	// Submissions are refused after shutdown.
+	body, _ := json.Marshal(quickSpec("sat"))
+	resp, err := http.Post(hts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown = %s, want 503", resp.Status)
+	}
+}
+
+func TestJobTimeoutSettlesCancelled(t *testing.T) {
+	srv, hts := testServer(t, Config{Workers: 1, MaxJobs: 4})
+	sp := slowSpec()
+	sp.TimeoutMs = 300
+	id := submit(t, hts.URL, sp)
+	j := waitTerminal(t, srv, id)
+	if st := j.State(); st != StateCancelled {
+		t.Fatalf("timed-out job state = %s, want cancelled", st)
+	}
+	if !errors.Is(j.Err(), statsat.ErrInterrupted) {
+		t.Fatalf("timed-out job error = %v, want ErrInterrupted", j.Err())
+	}
+	out := j.Outcome()
+	if out == nil || !out.Interrupted || out.InterruptCause == "" {
+		t.Fatalf("timed-out outcome = %+v", out)
+	}
+}
+
+func TestQuickJobCompletesWithCorrectKey(t *testing.T) {
+	srv, hts := testServer(t, Config{Workers: 2, MaxJobs: 4})
+	id := submit(t, hts.URL, quickSpec("statsat"))
+	j := waitTerminal(t, srv, id)
+	if st := j.State(); st != StateDone {
+		t.Fatalf("state = %s (err %v)", st, j.Err())
+	}
+	st := getStatus(t, hts.URL, id)
+	if st.Outcome == nil || len(st.Outcome.Keys) == 0 {
+		t.Fatalf("outcome = %+v, want at least one key", st.Outcome)
+	}
+	correct := false
+	for _, k := range st.Outcome.Keys {
+		if k.Correct {
+			correct = true
+		}
+	}
+	if !correct {
+		t.Errorf("no recovered key marked correct: %+v", st.Outcome.Keys)
+	}
+	if st.Progress == nil || st.Progress.Iterations == 0 {
+		t.Errorf("progress = %+v, want non-zero iterations", st.Progress)
+	}
+	if st.Finished == "" || st.Started == "" || st.Created == "" {
+		t.Errorf("timestamps missing: %+v", st)
+	}
+}
+
+func TestNetlistUploadJob(t *testing.T) {
+	src, key := lockedC17Source(t, 3)
+	srv, hts := testServer(t, Config{Workers: 1, MaxJobs: 4})
+	id := submit(t, hts.URL, Spec{
+		Attack: "sat", Netlist: src, Key: key,
+		Options: SpecOptions{MaxIter: 500},
+	})
+	j := waitTerminal(t, srv, id)
+	if st := j.State(); st != StateDone {
+		t.Fatalf("state = %s (err %v)", st, j.Err())
+	}
+	out := j.Outcome()
+	if out == nil || len(out.Keys) != 1 || !out.Keys[0].Correct {
+		t.Fatalf("outcome = %+v, want one correct key", out)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	_, hts := testServer(t, Config{Workers: 1, MaxJobs: 4})
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(hts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(`{`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON = %s, want 400", resp.Status)
+	}
+	if resp := post(`{"no_such_field": 1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field = %s, want 400", resp.Status)
+	}
+	if resp := post(`{"benchmark": "c432"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec = %s, want 400", resp.Status)
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	resp := post(`{"benchmark": "c432"}`)
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == "" {
+		t.Errorf("error envelope = %+v (%v)", envelope, err)
+	}
+
+	for _, path := range []string{"/v1/jobs/j999999", "/v1/jobs/j999999/trace"} {
+		r, err := http.Get(hts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %s, want 404", path, r.Status)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, hts.URL+"/v1/jobs/j999999", nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown = %s, want 404", r.Status)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	_, hts := testServer(t, Config{Workers: 1, MaxJobs: 4, MaxBodyBytes: 64})
+	body, _ := json.Marshal(Spec{Benchmark: "c17", Netlist: strings.Repeat("x", 1024)})
+	resp, err := http.Post(hts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body = %s, want 413", resp.Status)
+	}
+}
+
+func TestHealthzAndList(t *testing.T) {
+	srv, hts := testServer(t, Config{Workers: 1, MaxJobs: 4})
+
+	resp, err := http.Get(hts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status    string `json:"status"`
+		Accepting bool   `json:"accepting"`
+		Workers   int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || !health.Accepting || health.Workers != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	id1 := submit(t, hts.URL, quickSpec("sat"))
+	id2 := submit(t, hts.URL, quickSpec("psat"))
+	waitTerminal(t, srv, id1)
+	waitTerminal(t, srv, id2)
+
+	lresp, err := http.Get(hts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []Status `json:"jobs"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(list.Jobs) != 2 || list.Jobs[0].ID != id1 || list.Jobs[1].ID != id2 {
+		t.Fatalf("list = %+v", list.Jobs)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	srv, hts := testServer(t, Config{Workers: 1, MaxJobs: 8})
+	// Occupy the single worker, then queue a second job.
+	blocker := submit(t, hts.URL, slowSpec())
+	queued := submit(t, hts.URL, slowSpec())
+
+	req, _ := http.NewRequest(http.MethodDelete, hts.URL+"/v1/jobs/"+queued, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != StateCancelled {
+		t.Fatalf("queued job after DELETE = %s, want cancelled", st.State)
+	}
+	if st.Outcome != nil {
+		t.Errorf("queued job has an outcome: %+v", st.Outcome)
+	}
+	j, _ := srv.store.get(queued)
+	if !errors.Is(j.Err(), statsat.ErrInterrupted) {
+		// A queued cancellation never entered the engine; its error is
+		// the raw cause, which need not match ErrInterrupted. Verify it
+		// is at least non-nil.
+		if j.Err() == nil {
+			t.Error("cancelled queued job has nil error")
+		}
+	}
+
+	// Unblock the worker for teardown.
+	breq, _ := http.NewRequest(http.MethodDelete, hts.URL+"/v1/jobs/"+blocker, nil)
+	bresp, err := http.DefaultClient.Do(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+}
+
+func TestStoreEvictionOverHTTP(t *testing.T) {
+	srv, hts := testServer(t, Config{Workers: 2, MaxJobs: 2})
+	a := submit(t, hts.URL, quickSpec("sat"))
+	waitTerminal(t, srv, a)
+	b := submit(t, hts.URL, quickSpec("sat"))
+	waitTerminal(t, srv, b)
+	c := submit(t, hts.URL, quickSpec("sat"))
+	waitTerminal(t, srv, c)
+
+	resp, err := http.Get(hts.URL + "/v1/jobs/" + a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job GET = %s, want 404", resp.Status)
+	}
+}
+
+// TestTraceStreamReplaysForLateSubscriber verifies a subscriber that
+// attaches after completion still receives the buffered trace.
+func TestTraceStreamReplaysForLateSubscriber(t *testing.T) {
+	srv, hts := testServer(t, Config{Workers: 1, MaxJobs: 4})
+	id := submit(t, hts.URL, quickSpec("statsat"))
+	waitTerminal(t, srv, id)
+
+	resp, err := http.Get(hts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var types []trace.EventType
+	for {
+		var ev trace.Event
+		if err := dec.Decode(&ev); err != nil {
+			break
+		}
+		types = append(types, ev.Type)
+	}
+	if len(types) == 0 {
+		t.Fatal("no replayed events")
+	}
+	if types[0] != trace.AttackStart {
+		t.Errorf("first replayed event = %s, want attack_start", types[0])
+	}
+	saw := map[trace.EventType]bool{}
+	for _, ty := range types {
+		saw[ty] = true
+	}
+	for _, want := range []trace.EventType{trace.IterStart, trace.AttackEnd} {
+		if !saw[want] {
+			t.Errorf("replay missing %s (got %v)", want, types)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"statsat"
+	"statsat/internal/netio"
+)
+
+// lockedC17Source locks C17 with RLL and renders it to bench text, the
+// shape a client uploads in netlist mode. Returns the source and the
+// correct key string.
+func lockedC17Source(t *testing.T, keyBits int) (string, string) {
+	t.Helper()
+	lk, err := statsat.LockRLL(statsat.C17(), keyBits, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := netio.Write(&sb, lk.Circuit, netio.Bench); err != nil {
+		t.Fatal(err)
+	}
+	key := make([]byte, len(lk.Key))
+	for i, v := range lk.Key {
+		if v {
+			key[i] = '1'
+		} else {
+			key[i] = '0'
+		}
+	}
+	return sb.String(), string(key)
+}
+
+func TestSpecMaterializeBenchmark(t *testing.T) {
+	sp := Spec{Benchmark: "c17", Lock: "rll", KeyBits: 4}
+	mat, err := sp.materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.attack != "statsat" {
+		t.Errorf("default attack = %q", mat.attack)
+	}
+	if mat.circuit.Keys != 4 {
+		t.Errorf("key inputs = %d, want 4", mat.circuit.Keys)
+	}
+	if len(mat.key) != 4 || mat.orc == nil || mat.locked == nil {
+		t.Errorf("materialized = %+v", mat)
+	}
+}
+
+func TestSpecMaterializeNetlist(t *testing.T) {
+	src, key := lockedC17Source(t, 3)
+	sp := Spec{Attack: "psat", Netlist: src, Key: key}
+	mat, err := sp.materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.attack != "psat" || mat.circuit.Keys != 3 {
+		t.Errorf("materialized = %+v", mat.circuit)
+	}
+}
+
+func TestSpecMaterializeNoisyOracle(t *testing.T) {
+	sp := Spec{Benchmark: "c17", KeyBits: 2, Eps: 0.01, Seed: 3}
+	if _, err := sp.materialize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecMaterializeRejects(t *testing.T) {
+	src, key := lockedC17Source(t, 3)
+	cases := []struct {
+		name string
+		sp   Spec
+	}{
+		{"unknown attack", Spec{Attack: "quantum", Benchmark: "c17"}},
+		{"no source", Spec{}},
+		{"both sources", Spec{Benchmark: "c17", Netlist: src, Key: key}},
+		{"bad eps", Spec{Benchmark: "c17", Eps: 1.5}},
+		{"unknown benchmark", Spec{Benchmark: "c432"}},
+		{"bad scale", Spec{Benchmark: "c880", Scale: -1}},
+		{"bad key bits", Spec{Benchmark: "c17", KeyBits: 65}},
+		{"unknown lock", Spec{Benchmark: "c17", Lock: "xor"}},
+		{"benchmark with key", Spec{Benchmark: "c17", Key: "101"}},
+		{"netlist with lock", Spec{Netlist: src, Key: key, Lock: "rll"}},
+		{"netlist missing key", Spec{Netlist: src}},
+		{"netlist key width", Spec{Netlist: src, Key: "1"}},
+		{"netlist key alphabet", Spec{Netlist: src, Key: "1x0"}},
+		{"netlist garbage", Spec{Netlist: "not a netlist", Key: "1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.sp.materialize()
+			if err == nil {
+				t.Fatal("materialize accepted an invalid spec")
+			}
+			if !errors.Is(err, errSpec) {
+				t.Fatalf("err = %v, not wrapped in errSpec", err)
+			}
+		})
+	}
+}
+
+func TestSpecNetlistWithoutKeyInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := netio.Write(&sb, statsat.C17(), netio.Bench); err != nil {
+		t.Fatal(err)
+	}
+	sp := Spec{Netlist: sb.String(), Key: "1"}
+	if _, err := sp.materialize(); err == nil {
+		t.Fatal("accepted a netlist with no key inputs")
+	}
+}
+
+func TestSpecAllLocksMaterialize(t *testing.T) {
+	for _, lock := range []string{"rll", "sll", "sfll", "antisat", "sarlock"} {
+		sp := Spec{Benchmark: "c880", Scale: 16, Lock: lock, KeyBits: 4}
+		if _, err := sp.materialize(); err != nil {
+			t.Errorf("lock %s: %v", lock, err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrStoreFull is returned when a new job cannot be admitted because
+// the store is at capacity and every retained job is still queued or
+// running (terminal jobs are evicted oldest-first to make room).
+var ErrStoreFull = errors.New("server: job store full")
+
+// store is the in-memory job registry: bounded, insertion-ordered,
+// eviction-safe. Eviction only ever removes terminal jobs — a queued
+// or running job is never dropped, so the bound degrades history
+// retention, not correctness.
+type store struct {
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []*Job // insertion order (oldest first)
+	cap   int
+	seq   int64
+}
+
+func newStore(capacity int) *store {
+	return &store{jobs: make(map[string]*Job, capacity), cap: capacity}
+}
+
+// add assigns the job its ID and registers it, evicting the oldest
+// terminal job if the store is full. Fails with ErrStoreFull when
+// nothing is evictable.
+func (s *store) add(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.order) >= s.cap && !s.evictLocked() {
+		return ErrStoreFull
+	}
+	s.seq++
+	j.ID = fmt.Sprintf("j%06d", s.seq)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	return nil
+}
+
+// evictLocked drops the oldest terminal job; false when every job is
+// still live.
+func (s *store) evictLocked() bool {
+	for i, j := range s.order {
+		if j.State().Terminal() {
+			delete(s.jobs, j.ID)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// remove unregisters a job (used to roll back an admission whose
+// queue hand-off failed).
+func (s *store) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	delete(s.jobs, id)
+	for i, o := range s.order {
+		if o == j {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// get looks a job up by ID.
+func (s *store) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list returns the retained jobs in insertion order.
+func (s *store) list() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.order...)
+}
+
+// len reports the number of retained jobs.
+func (s *store) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}

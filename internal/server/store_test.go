@@ -1,0 +1,88 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+// bareJob builds a store-insertable job in the given state without the
+// full admission machinery.
+func bareJob(state State) *Job {
+	return &Job{state: state, done: make(chan struct{})}
+}
+
+func TestStoreAddAssignsSequentialIDs(t *testing.T) {
+	s := newStore(4)
+	a, b := bareJob(StateQueued), bareJob(StateQueued)
+	if err := s.add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "j000001" || b.ID != "j000002" {
+		t.Fatalf("IDs = %q, %q", a.ID, b.ID)
+	}
+	if got, ok := s.get("j000002"); !ok || got != b {
+		t.Fatal("get by ID failed")
+	}
+	if s.len() != 2 {
+		t.Fatalf("len = %d", s.len())
+	}
+}
+
+func TestStoreEvictsOldestTerminal(t *testing.T) {
+	s := newStore(2)
+	oldDone := bareJob(StateDone)
+	live := bareJob(StateRunning)
+	if err := s.add(oldDone); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.add(live); err != nil {
+		t.Fatal(err)
+	}
+	next := bareJob(StateQueued)
+	if err := s.add(next); err != nil {
+		t.Fatalf("add with evictable job: %v", err)
+	}
+	if _, ok := s.get(oldDone.ID); ok {
+		t.Error("terminal job not evicted")
+	}
+	if _, ok := s.get(live.ID); !ok {
+		t.Error("live job evicted")
+	}
+	order := s.list()
+	if len(order) != 2 || order[0] != live || order[1] != next {
+		t.Fatalf("order after eviction = %v", order)
+	}
+}
+
+func TestStoreFullWhenAllLive(t *testing.T) {
+	s := newStore(2)
+	if err := s.add(bareJob(StateRunning)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.add(bareJob(StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	err := s.add(bareJob(StateQueued))
+	if !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("err = %v, want ErrStoreFull", err)
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	s := newStore(4)
+	j := bareJob(StateQueued)
+	if err := s.add(j); err != nil {
+		t.Fatal(err)
+	}
+	s.remove(j.ID)
+	if _, ok := s.get(j.ID); ok {
+		t.Error("job still present after remove")
+	}
+	if s.len() != 0 {
+		t.Fatalf("len = %d after remove", s.len())
+	}
+	s.remove("j999999") // unknown ID is a no-op
+}

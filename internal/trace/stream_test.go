@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func evN(n int) Event {
+	return Event{Type: IterStart, Iter: n, Instance: 0}
+}
+
+func TestStreamReplayThenLive(t *testing.T) {
+	s := NewStream(16)
+	for i := 0; i < 3; i++ {
+		s.Emit(evN(i))
+	}
+	sub := s.Subscribe(8)
+	defer sub.Cancel()
+	// Replay: the three buffered events are already in the channel.
+	for i := 0; i < 3; i++ {
+		ev := <-sub.C
+		if ev.Iter != i {
+			t.Fatalf("replay event %d has iter %d", i, ev.Iter)
+		}
+	}
+	// Live tail.
+	s.Emit(evN(3))
+	if ev := <-sub.C; ev.Iter != 3 {
+		t.Fatalf("live event iter = %d, want 3", ev.Iter)
+	}
+}
+
+func TestStreamRingEviction(t *testing.T) {
+	s := NewStream(4)
+	for i := 0; i < 10; i++ {
+		s.Emit(evN(i))
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := s.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	sub := s.Subscribe(1)
+	defer sub.Cancel()
+	// Replay holds only the newest 4, oldest first.
+	for want := 6; want < 10; want++ {
+		if ev := <-sub.C; ev.Iter != want {
+			t.Fatalf("replay iter = %d, want %d", ev.Iter, want)
+		}
+	}
+}
+
+func TestStreamCloseEndsSubscribers(t *testing.T) {
+	s := NewStream(8)
+	s.Emit(evN(0))
+	sub := s.Subscribe(4)
+	s.Close()
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	// The pre-close event is still delivered, then the channel closes.
+	if ev, ok := <-sub.C; !ok || ev.Iter != 0 {
+		t.Fatalf("pre-close event = %+v ok=%v", ev, ok)
+	}
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel still open after Close")
+	}
+	// Emit after close is dropped silently.
+	s.Emit(evN(1))
+	if s.Len() != 1 {
+		t.Fatalf("Len after post-close emit = %d, want 1", s.Len())
+	}
+	// Close and Cancel stay idempotent.
+	s.Close()
+	sub.Cancel()
+	sub.Cancel()
+}
+
+func TestStreamSubscribeAfterClose(t *testing.T) {
+	s := NewStream(8)
+	s.Emit(evN(0))
+	s.Emit(evN(1))
+	s.Close()
+	sub := s.Subscribe(0)
+	var got []int
+	for ev := range sub.C { // closed channel: loop ends after replay
+		got = append(got, ev.Iter)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("replay after close = %v", got)
+	}
+	sub.Cancel() // must not panic on the already-closed channel
+}
+
+func TestStreamSlowSubscriberDropsNotBlocks(t *testing.T) {
+	s := NewStream(64)
+	sub := s.Subscribe(2) // room for 2 live events, no replay
+	defer sub.Cancel()
+	for i := 0; i < 10; i++ {
+		s.Emit(evN(i)) // must never block even though nobody drains
+	}
+	if got := sub.Dropped(); got != 8 {
+		t.Fatalf("sub.Dropped = %d, want 8", got)
+	}
+	// The two delivered events are the earliest ones.
+	if ev := <-sub.C; ev.Iter != 0 {
+		t.Fatalf("first delivered iter = %d, want 0", ev.Iter)
+	}
+}
+
+func TestStreamCancelDetaches(t *testing.T) {
+	s := NewStream(8)
+	sub := s.Subscribe(4)
+	sub.Cancel()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel open after Cancel")
+	}
+	s.Emit(evN(0)) // must not panic (send on closed channel) post-Cancel
+	s.Close()
+}
+
+func TestStreamConcurrentEmitSubscribe(t *testing.T) {
+	s := NewStream(128)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			s.Emit(evN(i))
+		}
+		s.Close()
+	}()
+	var received int
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			sub := s.Subscribe(16)
+			for range sub.C {
+				received++
+				break // sample one event, then detach
+			}
+			sub.Cancel()
+		}
+	}()
+	wg.Wait()
+	_ = received // the assertions are -race cleanliness and no deadlock
+}
+
+func TestStreamDefaultCapacity(t *testing.T) {
+	s := NewStream(0)
+	if len(s.ring) != streamDefaultBuffer {
+		t.Fatalf("default ring = %d, want %d", len(s.ring), streamDefaultBuffer)
+	}
+}
