@@ -4,9 +4,9 @@
 # docs/OBSERVABILITY.md). statlint sits between vet and race so the
 # repo's determinism / buffer-aliasing / trace-gating invariants are
 # machine-checked on every verify — see docs/LINTING.md.
-.PHONY: verify build test vet race bench statlint fmt fmtcheck
+.PHONY: verify build test vet race bench statlint doclinks fmt fmtcheck
 
-verify: vet build statlint fmtcheck race
+verify: vet build statlint doclinks fmtcheck race
 
 vet:
 	go vet ./...
@@ -19,6 +19,12 @@ build:
 # finding.
 statlint:
 	go run ./cmd/statlint ./...
+
+# doclinks: fail verify when any documentation cross-link is dead — a
+# markdown link or prose docs/*.md mention in README/DESIGN/ROADMAP,
+# docs/*.md or a Go doc comment pointing at a missing file or heading.
+doclinks:
+	go run ./cmd/statlint -docs
 
 # fmt rewrites; fmtcheck only reports (and fails verify on drift).
 fmt:

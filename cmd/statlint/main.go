@@ -43,8 +43,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("statlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the available checks and exit")
+	docs := fs.Bool("docs", false, "run the doclinks documentation cross-link check instead of the package checks")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: statlint [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: statlint [-list] [-docs] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -56,7 +57,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		for _, c := range checks {
 			fmt.Fprintf(stdout, "%-12s %s\n", c.Name(), c.Doc())
 		}
+		fmt.Fprintf(stdout, "%-12s %s\n", "doclinks",
+			"(-docs mode) every documentation cross-link — markdown links, anchors, prose docs/*.md mentions — resolves")
 		return 0
+	}
+	if *docs {
+		return runDocs(stdout, stderr)
 	}
 
 	patterns := fs.Args()
@@ -85,6 +91,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
 			f.Pos.Filename = rel
 		}
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "statlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// runDocs executes the doclinks check from the repository root (the
+// working directory `make verify` runs in).
+func runDocs(stdout, stderr io.Writer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "statlint: %v\n", err)
+		return 2
+	}
+	findings, err := lint.DocLinks(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "statlint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
 		fmt.Fprintln(stdout, f.String())
 	}
 	if len(findings) > 0 {

@@ -56,6 +56,8 @@ func run() int {
 		maxIter  = flag.Int("maxiter", 20000, "iteration safety cap")
 		parallel = flag.Bool("parallel", false, "run SAT instances concurrently (faster, non-reproducible)")
 		srvURL   = flag.String("server", "", "submit the job to a statsatd daemon at this base URL instead of attacking locally")
+		pfWork   = flag.Int("portfolio-workers", 1, "portfolio solver racing: total worker bound (<= 1 = off, byte-identical to sequential)")
+		pfRace   = flag.Int("portfolio-racers", 0, "racing helper configurations per miter solve (0 = default 3)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -86,6 +88,7 @@ func run() int {
 				Ns: *ns, NSatis: *nSatis, NEval: *nEval, NInst: *nInst,
 				ULambda: *uLam, ELambda: *eLam, EpsG: epsGuess,
 				MaxIter: *maxIter, Parallel: *parallel,
+				PortfolioWorkers: *pfWork, PortfolioRacers: *pfRace,
 			},
 		})
 	}
@@ -118,7 +121,10 @@ func run() int {
 	interrupted := false
 	switch *mode {
 	case "sat":
-		res, err := attack.StandardSATOpt(ctx, locked, orc, attack.SATOptions{MaxIter: *maxIter, Tracer: tracer})
+		res, err := attack.StandardSATOpt(ctx, locked, orc, attack.SATOptions{
+			MaxIter: *maxIter, Tracer: tracer,
+			PortfolioWorkers: *pfWork, PortfolioRacers: *pfRace,
+		})
 		if err != nil {
 			if !errors.Is(err, attack.ErrInterrupted) {
 				return fail(err)
@@ -128,7 +134,10 @@ func run() int {
 		}
 		reportBaseline("standard SAT", res, locked, key)
 	case "psat":
-		res, err := attack.PSAT(ctx, locked, orc, attack.PSATOptions{Ns: *ns, MaxIter: *maxIter, Seed: *seed, Tracer: tracer})
+		res, err := attack.PSAT(ctx, locked, orc, attack.PSATOptions{
+			Ns: *ns, MaxIter: *maxIter, Seed: *seed, Tracer: tracer,
+			PortfolioWorkers: *pfWork, PortfolioRacers: *pfRace,
+		})
 		if err != nil {
 			if !errors.Is(err, attack.ErrInterrupted) {
 				return fail(err)
@@ -151,6 +160,7 @@ func run() int {
 			Ns: *ns, NSatis: *nSatis, NEval: *nEval, NInst: *nInst,
 			ULambda: *uLam, ELambda: *eLam, EpsG: guess,
 			MaxTotalIter: *maxIter, Seed: *seed, Parallel: *parallel,
+			PortfolioWorkers: *pfWork, PortfolioRacers: *pfRace,
 			Tracer: tracer,
 		}
 		if *verbose {

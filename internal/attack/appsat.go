@@ -35,6 +35,10 @@ type AppSATOptions struct {
 	MaxIter int
 	// Seed drives the random pattern generator.
 	Seed int64
+	// PortfolioWorkers / PortfolioRacers enable portfolio racing of
+	// the miter solves (internal/portfolio).
+	PortfolioWorkers int
+	PortfolioRacers  int
 }
 
 func (o *AppSATOptions) setDefaults() {
@@ -79,7 +83,10 @@ func AppSAT(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opt
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		scratch: make([]bool, locked.NumGates()),
 	}
-	cfg := engine.Config{Name: "appsat", MaxIter: opts.MaxIter}
+	cfg := engine.Config{
+		Name: "appsat", MaxIter: opts.MaxIter,
+		Attach: portfolioAttach(opts.PortfolioWorkers, opts.PortfolioRacers, eng.Tr, nil),
+	}
 	r, err := finishRun(&res.Result, eng.Run(ctx, cfg, st, &res.Result))
 	if r == nil {
 		return nil, err

@@ -1,0 +1,172 @@
+package attack
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"statsat/internal/gen"
+	"statsat/internal/lock"
+	"statsat/internal/oracle"
+	"statsat/internal/trace"
+)
+
+// normalizeTrace strips the wall-clock fields (timestamps, durations)
+// from a recorded event stream and marshals it, so two runs of the
+// same deterministic attack can be compared byte for byte.
+func normalizeTrace(t *testing.T, events []trace.Event) []byte {
+	t.Helper()
+	out := make([]trace.Event, len(events))
+	for i, ev := range events {
+		ev.TNs = 0
+		if ev.Totals != nil {
+			cp := *ev.Totals
+			cp.DurationNs = 0
+			ev.Totals = &cp
+		}
+		if ev.Eval != nil {
+			cp := *ev.Eval
+			cp.DurationNs = 0
+			ev.Eval = &cp
+		}
+		out[i] = ev
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// antiSATLocked builds a small AntiSAT-locked circuit — the SAT-attack
+// resistant technique the portfolio smoke tests target, since its
+// near-exponential DIP count gives the racers real work.
+func antiSATLocked(t *testing.T, keyBits int) *lock.Locked {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	orig := gen.Random("a", 10, 150, 8, 5)
+	l, err := lock.AntiSAT(orig, keyBits, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func sameKey(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSATPortfolioOffByteIdentical is the off-mode determinism
+// guarantee: -portfolio-workers=1 must leave the standard SAT attack's
+// trace byte-identical to a run without the flag.
+func TestSATPortfolioOffByteIdentical(t *testing.T) {
+	l := antiSATLocked(t, 4)
+	run := func(workers int) ([]trace.Event, *Result) {
+		rec := trace.NewRecorder()
+		res, err := StandardSATOpt(context.Background(), l.Circuit,
+			oracle.NewDeterministic(l.Circuit, l.Key),
+			SATOptions{Tracer: rec, PortfolioWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Events(), res
+	}
+	evOff, resOff := run(0)
+	evOne, resOne := run(1)
+	if !sameKey(resOff.Key, resOne.Key) || resOff.Iterations != resOne.Iterations {
+		t.Fatalf("one-worker result diverged: %v/%d vs %v/%d",
+			resOne.Key, resOne.Iterations, resOff.Key, resOff.Iterations)
+	}
+	a, b := normalizeTrace(t, evOff), normalizeTrace(t, evOne)
+	if string(a) != string(b) {
+		t.Errorf("traces differ between workers=0 and workers=1:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSATPortfolioSameKeyAsSequential is the N-worker determinism
+// guarantee: racing changes wall-clock, never the recovered key or the
+// DIP trajectory.
+func TestSATPortfolioSameKeyAsSequential(t *testing.T) {
+	l := antiSATLocked(t, 6)
+	orc := func() oracle.Oracle { return oracle.NewDeterministic(l.Circuit, l.Key) }
+	seq, err := StandardSATOpt(context.Background(), l.Circuit, orc(), SATOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := StandardSATOpt(context.Background(), l.Circuit, orc(),
+		SATOptions{PortfolioWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameKey(seq.Key, par.Key) {
+		t.Errorf("keys diverged: sequential %v, portfolio %v", seq.Key, par.Key)
+	}
+	if seq.Iterations != par.Iterations || seq.OracleQueries != par.OracleQueries {
+		t.Errorf("trajectory diverged: %d iters/%d queries vs %d/%d",
+			seq.Iterations, seq.OracleQueries, par.Iterations, par.OracleQueries)
+	}
+}
+
+func TestPSATPortfolioSameKeyAsSequential(t *testing.T) {
+	l := antiSATLocked(t, 4)
+	run := func(workers int) *Result {
+		res, err := PSAT(context.Background(), l.Circuit,
+			oracle.NewDeterministic(l.Circuit, l.Key),
+			PSATOptions{Ns: 20, Seed: 3, PortfolioWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(0), run(4)
+	if !sameKey(seq.Key, par.Key) || seq.Iterations != par.Iterations {
+		t.Errorf("PSAT diverged under portfolio: %v/%d vs %v/%d",
+			par.Key, par.Iterations, seq.Key, seq.Iterations)
+	}
+}
+
+func TestAppSATPortfolioSameKeyAsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	orig := gen.Random("s", 10, 150, 8, 5)
+	l, err := lock.SFLLHD(orig, 6, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *AppSATResult {
+		res, err := AppSAT(context.Background(), l.Circuit,
+			oracle.NewDeterministic(l.Circuit, l.Key),
+			AppSATOptions{Seed: 5, PortfolioWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(0), run(4)
+	if !sameKey(seq.Key, par.Key) || seq.Iterations != par.Iterations ||
+		seq.Rounds != par.Rounds || seq.EarlyExit != par.EarlyExit {
+		t.Errorf("AppSAT diverged under portfolio: %+v vs %+v", par, seq)
+	}
+}
+
+// TestPortfolioAttachDisabled pins the hook contract: workers <= 1
+// yields no hook and no option echo.
+func TestPortfolioAttachDisabled(t *testing.T) {
+	oi := &trace.OptionsInfo{}
+	for _, w := range []int{0, 1} {
+		if h := portfolioAttach(w, 0, nil, oi); h != nil {
+			t.Errorf("portfolioAttach(workers=%d) returned a hook", w)
+		}
+	}
+	if oi.PortfolioWorkers != 0 || oi.PortfolioRacers != 0 {
+		t.Errorf("disabled attach echoed options: %+v", oi)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"statsat/internal/oracle"
+	"statsat/internal/trace"
+)
+
+// normalizeTrace strips wall-clock fields so deterministic runs can be
+// compared byte for byte.
+func normalizeTrace(t *testing.T, events []trace.Event) []byte {
+	t.Helper()
+	out := make([]trace.Event, len(events))
+	for i, ev := range events {
+		ev.TNs = 0
+		if ev.Totals != nil {
+			cp := *ev.Totals
+			cp.DurationNs = 0
+			ev.Totals = &cp
+		}
+		if ev.Eval != nil {
+			cp := *ev.Eval
+			cp.DurationNs = 0
+			ev.Eval = &cp
+		}
+		out[i] = ev
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runTraced(t *testing.T, workers int) ([]trace.Event, *Result) {
+	t.Helper()
+	_, l := lockedSmall(t, 2, 10)
+	const eps = 0.01
+	orc := oracle.NewProbabilistic(l.Circuit, l.Key, eps, 20)
+	rec := trace.NewRecorder()
+	opts := quickOpts(eps, 8)
+	opts.Tracer = rec
+	opts.PortfolioWorkers = workers
+	res, err := Attack(context.Background(), l.Circuit, orc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events(), res
+}
+
+// TestAttackPortfolioOffByteIdentical is the headline off-mode
+// guarantee: a noisy StatSAT run (forks and all) with
+// PortfolioWorkers=1 emits a byte-identical trace to a run without the
+// option.
+func TestAttackPortfolioOffByteIdentical(t *testing.T) {
+	evOff, resOff := runTraced(t, 0)
+	evOne, resOne := runTraced(t, 1)
+	a, b := normalizeTrace(t, evOff), normalizeTrace(t, evOne)
+	if string(a) != string(b) {
+		t.Error("traces differ between no-portfolio and one-worker runs")
+	}
+	compareOutcomes(t, resOff, resOne)
+}
+
+// TestAttackPortfolioSameTrajectory is the N-worker guarantee on the
+// full StatSAT engine: with racing on, the fork tree, the per-instance
+// stats and every accepted key (bits and scores) match the sequential
+// run exactly.
+func TestAttackPortfolioSameTrajectory(t *testing.T) {
+	_, seq := runTraced(t, 0)
+	evPar, par := runTraced(t, 4)
+	compareOutcomes(t, seq, par)
+	// The racing run's trace must still be well-formed against its own
+	// result (clause_shared/race_winner events ride along freely).
+	checkTraceInvariants(t, evPar, par)
+}
+
+// compareOutcomes asserts two runs walked the same trajectory: same
+// totals, same fork tree, same keys with the same scores.
+func compareOutcomes(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.TotalIterations != b.TotalIterations || a.OracleQueries != b.OracleQueries ||
+		a.Forks != b.Forks || a.ForceProceeds != b.ForceProceeds ||
+		a.DeadInstances != b.DeadInstances || a.InstancesCreated != b.InstancesCreated ||
+		a.Truncated != b.Truncated {
+		t.Errorf("run totals diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if len(a.Keys) != len(b.Keys) {
+		t.Fatalf("key counts diverged: %d vs %d", len(a.Keys), len(b.Keys))
+	}
+	for i := range a.Keys {
+		ka, kb := a.Keys[i], b.Keys[i]
+		if keyOf(ka.Key) != keyOf(kb.Key) || ka.FM != kb.FM || ka.HD != kb.HD ||
+			ka.Iterations != kb.Iterations || ka.Instance != kb.Instance {
+			t.Errorf("key %d diverged: %+v vs %+v", i, ka, kb)
+		}
+	}
+	if len(a.InstanceStats) != len(b.InstanceStats) {
+		t.Fatalf("instance stats diverged: %d vs %d", len(a.InstanceStats), len(b.InstanceStats))
+	}
+	for i := range a.InstanceStats {
+		sa, sb := a.InstanceStats[i], b.InstanceStats[i]
+		if sa.ID != sb.ID || sa.Parent != sb.Parent || sa.Iterations != sb.Iterations ||
+			sa.DIPs != sb.DIPs || sa.Outcome != sb.Outcome {
+			t.Errorf("instance %d stats diverged: %+v vs %+v", i, sa, sb)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// DocLinks is the documentation cross-link check behind `statlint
+// -docs` (and the `make doclinks` verify step): it fails when a
+// markdown link or a prose `docs/<name>.md` reference points at a file that
+// does not exist, or at a heading anchor that no longer resolves.
+//
+// Scope, matching how the repo's documentation is wired together:
+//
+//   - Referencing files: README.md, DESIGN.md, ROADMAP.md and every
+//     docs/*.md. (PAPER.md, PAPERS.md and CHANGES.md are historical
+//     records and may legitimately mention files that no longer
+//     exist.)
+//   - Go sources: any `docs/<name>.md` mention in a .go file (doc comments
+//     routinely anchor a package to its design document and must not
+//     rot).
+//   - Markdown links [text](target): relative targets must exist;
+//     a #fragment (on another file or standalone) must match a heading
+//     in the target, slugified the way GitHub renders it. http(s) and
+//     mailto targets are not checked (no network in verify).
+//
+// Fenced code blocks are skipped: example links in snippets are
+// illustrations, not contracts.
+
+// mdLink matches [text](target); the first capture is the target.
+// Images (![alt](target)) share the suffix and are matched too.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// proseDoc matches bare docs/<name>.md mentions outside link syntax.
+var proseDoc = regexp.MustCompile(`docs/[A-Za-z0-9_.-]+\.md`)
+
+// DocLinks checks documentation cross-links under root (the repo
+// top-level) and returns one finding per dead reference.
+func DocLinks(root string) ([]Finding, error) {
+	var sources []string // markdown files whose outgoing links are checked
+	for _, name := range []string{"README.md", "DESIGN.md", "ROADMAP.md"} {
+		if _, err := os.Stat(filepath.Join(root, name)); err == nil {
+			sources = append(sources, name)
+		}
+	}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range docs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, rel)
+	}
+	sort.Strings(sources)
+
+	var out []Finding
+	anchors := map[string]map[string]bool{} // md file (root-relative) -> heading slugs
+	slugsOf := func(rel string) (map[string]bool, error) {
+		if a, ok := anchors[rel]; ok {
+			return a, nil
+		}
+		b, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			return nil, err
+		}
+		a := headingSlugs(string(b))
+		anchors[rel] = a
+		return a, nil
+	}
+
+	for _, src := range sources {
+		b, err := os.ReadFile(filepath.Join(root, src))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, checkMarkdown(root, src, string(b), slugsOf)...)
+	}
+
+	goFindings, err := checkGoSources(root)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, goFindings...)
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out, nil
+}
+
+// checkMarkdown validates all outgoing references of one markdown file.
+// src is root-relative; slugsOf lazily loads a target's heading set.
+func checkMarkdown(root, src, content string, slugsOf func(string) (map[string]bool, error)) []Finding {
+	var out []Finding
+	report := func(line int, format string, args ...interface{}) {
+		out = append(out, Finding{
+			Pos:     token.Position{Filename: src, Line: line, Column: 1},
+			Check:   "doclinks",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	inFence := false
+	for i, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		lineNo := i + 1
+
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			var rel string
+			if path == "" {
+				rel = src // intra-file anchor
+			} else {
+				// Resolve relative to the referencing file, normalised
+				// back to a root-relative path.
+				rel = filepath.Join(filepath.Dir(src), path)
+				if _, err := os.Stat(filepath.Join(root, rel)); err != nil {
+					report(lineNo, "dead link %q: %s does not exist", target, rel)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(rel, ".md") {
+				continue // anchors only checked on markdown targets
+			}
+			slugs, err := slugsOf(rel)
+			if err != nil {
+				report(lineNo, "dead link %q: %v", target, err)
+				continue
+			}
+			if !slugs[frag] {
+				report(lineNo, "dead anchor %q: no heading #%s in %s", target, frag, rel)
+			}
+		}
+
+		// Prose references, with link syntax stripped first so a
+		// target (local or external URL) is not double-counted.
+		for _, ref := range proseDoc.FindAllString(mdLink.ReplaceAllString(line, ""), -1) {
+			if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
+				report(lineNo, "dead reference: %s does not exist", ref)
+			}
+		}
+	}
+	return out
+}
+
+// checkGoSources verifies every docs/<name>.md mention in the repo's Go
+// files (doc comments and strings alike — a mention is a promise the
+// file exists).
+func checkGoSources(root string) ([]Finding, error) {
+	var out []Finding
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip hidden trees and the lint fixtures (which may
+			// reference hypothetical docs on purpose).
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		// Non-test sources only: test files hold fixture strings that
+		// reference hypothetical docs on purpose.
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			for _, ref := range proseDoc.FindAllString(line, -1) {
+				if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
+					out = append(out, Finding{
+						Pos:     token.Position{Filename: rel, Line: i + 1, Column: 1},
+						Check:   "doclinks",
+						Message: fmt.Sprintf("dead reference: %s does not exist", ref),
+					})
+				}
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// headingSlugs collects the GitHub-style anchor slugs of every ATX
+// heading in a markdown document (lowercase; punctuation dropped;
+// spaces to hyphens; duplicates suffixed -1, -2, ...).
+func headingSlugs(content string) map[string]bool {
+	slugs := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(content, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == "" || !strings.HasPrefix(text, " ") {
+			continue // not an ATX heading ("#foo" is plain text)
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := counts[slug]; n > 0 {
+			slugs[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			slugs[slug] = true
+		}
+		counts[slug]++
+	}
+	return slugs
+}
+
+// slugify reduces heading text to its GitHub anchor id.
+func slugify(text string) string {
+	// Drop inline markup the way GitHub's renderer does before
+	// anchoring: backticks, emphasis markers and link syntax.
+	text = strings.ReplaceAll(text, "`", "")
+	text = strings.ReplaceAll(text, "*", "")
+	text = mdLink.ReplaceAllStringFunc(text, func(l string) string {
+		return l[1:strings.Index(l, "]")]
+	})
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a fixture repo in a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func findingStrings(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}
+
+func TestDocLinksClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "# Repo\n\nSee [the design](DESIGN.md#layout) and [docs](docs/GOOD.md).\n" +
+			"Prose mention of docs/GOOD.md too.\n",
+		"DESIGN.md":    "# Design\n\n## Layout\n\nBack to [readme](README.md).\n",
+		"docs/GOOD.md": "# Good\n\nIntra-file [hop](#details).\n\n## Details\n\nText.\n",
+		"pkg/ok.go":    "// Package ok is documented in docs/GOOD.md.\npackage ok\n",
+	})
+	fs, err := DocLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("clean tree produced findings:\n%s", strings.Join(findingStrings(fs), "\n"))
+	}
+}
+
+func TestDocLinksDeadTargets(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": strings.Join([]string{
+			"# Repo",
+			"[gone](docs/MISSING.md)",            // dead file link
+			"[bad anchor](DESIGN.md#no-such)",    // dead anchor
+			"[self](#nowhere)",                   // dead intra-file anchor
+			"Prose docs/ALSO-MISSING.md mention", // dead prose reference
+			"[ok](DESIGN.md)",
+		}, "\n") + "\n",
+		"DESIGN.md":   "# Design\n",
+		"pkg/bad.go":  "// See docs/GONE.md for details.\npackage bad\n",
+		"docs/OK.md":  "# Fine\n",
+		"CHANGES.md":  "Historical docs/REMOVED.md mention: not scanned.\n",
+		"pkg/t.go.md": "ignored: not a scanned location\n",
+	})
+	fs, err := DocLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(findingStrings(fs), "\n")
+	for _, want := range []string{
+		"docs/MISSING.md does not exist",
+		"no heading #no-such in DESIGN.md",
+		"no heading #nowhere in README.md",
+		"docs/ALSO-MISSING.md does not exist",
+		"docs/GONE.md does not exist",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing finding %q in:\n%s", want, got)
+		}
+	}
+	if len(fs) != 5 {
+		t.Errorf("got %d findings, want 5:\n%s", len(fs), got)
+	}
+	if strings.Contains(got, "REMOVED") {
+		t.Errorf("CHANGES.md should not be scanned:\n%s", got)
+	}
+}
+
+func TestDocLinksSkipsFencesAndExternal(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": strings.Join([]string{
+			"# Repo",
+			"[external](https://example.com/docs/NOPE.md)",
+			"[mail](mailto:x@example.com)",
+			"```",
+			"[fenced](docs/NOT-REAL.md) and prose docs/NOT-REAL.md",
+			"```",
+			"[anchored code](docs/D.md#in-code) is dead: the heading is fenced",
+		}, "\n") + "\n",
+		"docs/D.md": "# D\n\n```\n## In code\n```\n",
+	})
+	fs, err := DocLinks(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(findingStrings(fs), "\n")
+	if strings.Contains(got, "NOT-REAL") || strings.Contains(got, "NOPE") {
+		t.Errorf("fenced/external content was checked:\n%s", got)
+	}
+	if !strings.Contains(got, "no heading #in-code") {
+		t.Errorf("fenced heading treated as an anchor:\n%s", got)
+	}
+}
+
+func TestHeadingSlugs(t *testing.T) {
+	slugs := headingSlugs(strings.Join([]string{
+		"# The `Solve` Loop!",
+		"## VSIDS & phase-saving",
+		"## Repeat",
+		"## Repeat",
+		"#not-a-heading",
+		"## With [a link](x.md) inside",
+	}, "\n"))
+	for _, want := range []string{
+		"the-solve-loop",
+		"vsids--phase-saving",
+		"repeat",
+		"repeat-1",
+		"with-a-link-inside",
+	} {
+		if !slugs[want] {
+			t.Errorf("missing slug %q in %v", want, slugs)
+		}
+	}
+	if slugs["not-a-heading"] || slugs["#not-a-heading"] {
+		t.Error("#not-a-heading should not anchor")
+	}
+}

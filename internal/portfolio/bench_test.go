@@ -1,0 +1,49 @@
+package portfolio
+
+import (
+	"context"
+	"testing"
+
+	"statsat/internal/sat"
+)
+
+// benchSolve runs one fresh random 3-CNF solve per iteration, raced
+// (workers >= 2) or sequential (workers <= 1, where the portfolio is
+// structurally absent). The 500/120 clause/variable ratio sits near
+// the phase transition, so the solves actually search and the two
+// variants are comparable end to end — solver construction included,
+// identically in both.
+func benchSolve(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base := sat.New()
+		randomCNF(base, 120, 500, int64(i))
+		sb := New(Options{Workers: workers}, nil).Root(0, base)
+		if sb != nil {
+			sb.Solve(context.Background())
+		} else {
+			base.SolveCtx(context.Background())
+		}
+	}
+}
+
+func BenchmarkSolveSequential(b *testing.B) { benchSolve(b, 1) }
+func BenchmarkSolveRaced4(b *testing.B)     { benchSolve(b, 4) }
+
+// BenchmarkHelperSync measures the lazy helper's journal replay: the
+// base adds a clause between races, and the next race brings one
+// helper back in sync before solving a trivially satisfiable formula.
+func BenchmarkHelperSync(b *testing.B) {
+	base := sat.New()
+	base.NewVars(2)
+	base.AddClause(sat.PosLit(0))
+	p := New(Options{Workers: 2, Racers: 1}, nil)
+	sb := p.Root(0, base)
+	v := base.NewVar()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base.AddClause(sat.PosLit(v)) // journaled; replayed at next race
+		sb.Solve(context.Background())
+	}
+}

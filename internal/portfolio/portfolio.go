@@ -1,0 +1,302 @@
+// Package portfolio races diverse solver configurations on the live
+// StatSAT instances and exchanges learnt clauses between them through
+// internal/sat's shared clause pool (docs/SOLVER.md).
+//
+// Each registered instance (a "sibling" in the fork tree) keeps its
+// base miter solver exactly as in sequential mode and gains up to K
+// helper solvers: clones configured with different VSIDS decay,
+// restart schedules and phase initialisation, all publishing and
+// importing learnts through the pool. On every miter solve the base
+// runs on the calling goroutine while helpers race it on a bounded
+// worker pool with first-winner cancellation over the existing
+// SolveCtx plumbing.
+//
+// Determinism is the design constraint, enforced structurally:
+//
+//   - Base solvers never import shared clauses and are the only
+//     solvers whose models are ever read, so the DIP sequence — and
+//     with it the oracle query order, the fork tree and the accepted
+//     keys — is the same for any worker count.
+//   - Helpers may decide a race only by proving UNSAT. An UNSAT
+//     verdict is model-free and canonical (any sound solver returns
+//     the same one), so taking it early changes wall-clock time, not
+//     the trajectory.
+//
+// With Workers <= 1 the portfolio is entirely absent (New returns nil)
+// and every attack's output is byte-identical to sequential mode.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+
+	"statsat/internal/sat"
+	"statsat/internal/trace"
+)
+
+// Options parameterises a portfolio.
+type Options struct {
+	// Workers bounds the solver goroutines added by racing (the base
+	// solves don't count: they ride the engine's own goroutines).
+	// Values <= 1 disable the portfolio entirely.
+	Workers int
+	// Racers is the number of helper configurations raced per instance
+	// solve, capped by free worker slots at launch (default 3).
+	Racers int
+	// MaxShareLen / MaxShareLBD filter which learnts are exported to
+	// the pool (defaults 30 literals / LBD 8).
+	MaxShareLen int
+	MaxShareLBD int
+	// PoolCap bounds the shared pool (default sat.DefaultPoolCap).
+	PoolCap int
+}
+
+func (o *Options) setDefaults() {
+	if o.Racers <= 0 {
+		o.Racers = 3
+	}
+	if o.MaxShareLen <= 0 {
+		o.MaxShareLen = 30
+	}
+	if o.MaxShareLBD <= 0 {
+		o.MaxShareLBD = 8
+	}
+}
+
+// raceConfigs is the palette of helper search strategies, cycled in
+// order as helpers are created. The base solver keeps the stock
+// configuration (VarDecay 0.95, RestartBase 100, phase false).
+var raceConfigs = []sat.Config{
+	{VarDecay: 0.85, RestartBase: 50},                   // agile: fast decay, rapid restarts
+	{VarDecay: 0.99, RestartBase: 300, PhaseTrue: true}, // focused: slow decay, long runs, inverted phase
+	{VarDecay: 0.95, RestartBase: 100, PhaseTrue: true}, // stock schedule, inverted phase
+	{VarDecay: 0.90, RestartBase: 200},                  // middle decay, longer restarts
+	{VarDecay: 0.80, RestartBase: 150, PhaseTrue: true}, // aggressive decay, inverted phase
+}
+
+// Portfolio owns the shared clause pool and the helper worker slots
+// for one attack run. Create one per run with New; nil (from Workers
+// <= 1) is a valid "disabled" portfolio for callers that pass it
+// around unconditionally.
+type Portfolio struct {
+	opts Options
+	pool *sat.Pool
+	sem  chan struct{} // helper slots (Workers - 1)
+	tr   *trace.Emitter
+}
+
+// New builds a portfolio, or returns nil when opts.Workers <= 1 —
+// sequential mode needs no portfolio at all, which is what keeps
+// off-mode runs byte-identical.
+func New(opts Options, tr *trace.Emitter) *Portfolio {
+	if opts.Workers <= 1 {
+		return nil
+	}
+	opts.setDefaults()
+	return &Portfolio{
+		opts: opts,
+		pool: sat.NewPool(opts.PoolCap),
+		sem:  make(chan struct{}, opts.Workers-1),
+		tr:   tr,
+	}
+}
+
+// Enabled reports whether p actually races (nil-safe).
+func (p *Portfolio) Enabled() bool { return p != nil }
+
+// Pool exposes the shared clause pool (tests and diagnostics).
+func (p *Portfolio) Pool() *sat.Pool { return p.pool }
+
+// Root registers an instance's base miter solver with the portfolio
+// and returns its sibling handle. The solver starts journaling its
+// clause additions so lazily created helpers can be kept in sync.
+// Nil-safe: a disabled portfolio returns a nil sibling, whose use as
+// an engine override is in turn nil (no override).
+func (p *Portfolio) Root(id int, base *sat.Solver) *Sibling {
+	if p == nil {
+		return nil
+	}
+	p.pool.RegisterRoot(id)
+	return p.newSibling(id, base)
+}
+
+func (p *Portfolio) newSibling(id int, base *sat.Solver) *Sibling {
+	client := p.pool.Attach(id)
+	base.EnableLog()
+	base.SetExporter(client.Export, p.opts.MaxShareLen, int32(p.opts.MaxShareLBD))
+	// The base never imports: its trajectory (including every model it
+	// produces) must not depend on what other solvers learned.
+	return &Sibling{p: p, id: id, base: base, client: client}
+}
+
+// Sibling is one registered instance: the untouched base solver plus
+// its racing helpers. Methods must be called from the goroutine
+// driving the instance (helpers are launched and always drained within
+// one Solve call, so the sibling itself needs no locking).
+type Sibling struct {
+	p       *Portfolio
+	id      int
+	base    *sat.Solver
+	client  *sat.PoolClient
+	helpers []*helper
+
+	// lastExported/lastImported track emitted clause_shared deltas.
+	lastExported int64
+	lastImported int64
+}
+
+// helper is one racing solver: a clone of the base at creation time,
+// kept in sync by replaying the base's clause journal before each
+// race.
+type helper struct {
+	name   string
+	s      *sat.Solver
+	client *sat.PoolClient
+	synced int // base journal cursor
+}
+
+// ID returns the sibling's instance id.
+func (sb *Sibling) ID() int { return sb.id }
+
+// Fork registers a fork child: bumps the global epoch (adopted by both
+// bases so the diverging key-bit pins are watermarked correctly) and
+// returns the child's sibling. MUST be called after the child's
+// solvers are cloned and BEFORE either side adds its pin — core's
+// handleRepeat sits exactly between the two.
+func (sb *Sibling) Fork(childID int, childBase *sat.Solver) *Sibling {
+	e := sb.p.pool.Fork(sb.id, childID)
+	sb.base.SetEpoch(e)
+	childBase.SetEpoch(e)
+	return sb.p.newSibling(childID, childBase)
+}
+
+// Solve runs one raced miter solve: the base on the calling goroutine,
+// helpers (as many as free worker slots allow) on their own. The first
+// UNSAT — from anyone — cancels the rest. Only the base may return
+// Sat; a helper's Sat is discarded (its model is not the base
+// trajectory's model). Implements engine.MiterSolver.
+func (sb *Sibling) Solve(ctx context.Context) sat.Status {
+	p := sb.p
+	var running []*helper
+acquire:
+	for i := 0; i < p.opts.Racers && i < len(raceConfigs); i++ {
+		select {
+		case p.sem <- struct{}{}:
+			running = append(running, sb.helper(i))
+		default:
+			break acquire // no free slot: race with what we have
+		}
+	}
+	if len(running) == 0 {
+		return sb.base.SolveCtx(ctx)
+	}
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan sat.Status, len(running))
+	for _, h := range running {
+		go func(h *helper) {
+			st := h.s.SolveCtx(rctx)
+			if st == sat.Unsat {
+				cancel() // first winner: tear the race down
+			}
+			<-p.sem
+			results <- st
+		}(h)
+	}
+
+	base := sb.base.SolveCtx(rctx)
+	cancel()
+	// Drain every helper before returning: their solvers are reused on
+	// the next race and must not be running when we sync them.
+	helperUnsat := false
+	for range running {
+		if <-results == sat.Unsat {
+			helperUnsat = true
+		}
+	}
+
+	st := base
+	if base == sat.Unknown && ctx.Err() == nil && helperUnsat {
+		// The base was cancelled by a winning helper, not by the caller
+		// or its budget: adopt the helper's (canonical) UNSAT verdict.
+		st = sat.Unsat
+		p.tr.Emit(trace.Event{
+			Type: trace.RaceWinner, Instance: sb.id,
+			Race: &trace.RaceInfo{
+				Winner: sb.winnerName(running), Status: sat.Unsat.String(),
+				Racers: len(running) + 1,
+			},
+		})
+	}
+	sb.emitShare()
+	return st
+}
+
+// winnerName reports which helper proved UNSAT. Solvers are quiescent
+// here (the race is drained), so reading their Okay state is safe; if
+// several finished UNSAT the first in config order is credited.
+func (sb *Sibling) winnerName(running []*helper) string {
+	for _, h := range running {
+		if !h.s.Okay() {
+			return h.name
+		}
+	}
+	// UNSAT under assumptions (or after cancelUntil) can leave Okay
+	// true; fall back to the generic label.
+	return "helper"
+}
+
+// helper returns the i-th racing helper, creating it on first use and
+// syncing it with the base's clause journal.
+func (sb *Sibling) helper(i int) *helper {
+	for len(sb.helpers) <= i {
+		j := len(sb.helpers)
+		cfg := raceConfigs[j%len(raceConfigs)]
+		h := &helper{name: fmt.Sprintf("cfg%d", j), s: sb.base.Clone()}
+		h.s.SetConfig(cfg)
+		h.client = sb.p.pool.Attach(sb.id)
+		h.s.SetExporter(h.client.Export, sb.p.opts.MaxShareLen, int32(sb.p.opts.MaxShareLBD))
+		h.s.SetImporter(h.client.Imports)
+		h.synced = sb.base.LogLen()
+		sb.helpers = append(sb.helpers, h)
+	}
+	h := sb.helpers[i]
+	sb.sync(h)
+	return h
+}
+
+// sync replays the base's journal into a helper: missing variables
+// first, then the recorded clauses with their original epochs.
+func (sb *Sibling) sync(h *helper) {
+	if n := sb.base.NumVars() - h.s.NumVars(); n > 0 {
+		h.s.NewVars(n)
+	}
+	for _, e := range sb.base.LogSince(h.synced) {
+		h.s.AddClauseEpoch(e.Epoch, e.Lits...)
+	}
+	h.synced = sb.base.LogLen()
+}
+
+// emitShare emits a clause_shared event when this sibling's solvers
+// moved clauses since the last solve.
+func (sb *Sibling) emitShare() {
+	if !sb.p.tr.Enabled() {
+		return
+	}
+	exp, imp := sb.client.Stats()
+	for _, h := range sb.helpers {
+		he, hi := h.client.Stats()
+		exp += he
+		imp += hi
+	}
+	dExp, dImp := exp-sb.lastExported, imp-sb.lastImported
+	if dExp == 0 && dImp == 0 {
+		return
+	}
+	sb.lastExported, sb.lastImported = exp, imp
+	sb.p.tr.Emit(trace.Event{
+		Type: trace.ClauseShared, Instance: sb.id,
+		Share: &trace.ShareInfo{Exported: dExp, Imported: dImp, Pool: sb.p.pool.Size()},
+	})
+}

@@ -1,0 +1,226 @@
+package portfolio
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"statsat/internal/sat"
+	"statsat/internal/trace"
+)
+
+func TestDisabledPortfolio(t *testing.T) {
+	for _, w := range []int{-1, 0, 1} {
+		if p := New(Options{Workers: w}, nil); p != nil {
+			t.Errorf("New(Workers=%d) = %v, want nil", w, p)
+		}
+	}
+	var p *Portfolio
+	if p.Enabled() {
+		t.Error("nil portfolio claims enabled")
+	}
+	if sb := p.Root(0, sat.New()); sb != nil {
+		t.Errorf("nil portfolio Root = %v, want nil", sb)
+	}
+}
+
+// randomCNF loads a random 3-CNF into s and returns the clause list.
+func randomCNF(s *sat.Solver, nVars, nClauses int, seed int64) [][]sat.Lit {
+	rng := rand.New(rand.NewSource(seed))
+	s.NewVars(nVars)
+	out := make([][]sat.Lit, 0, nClauses)
+	for i := 0; i < nClauses; i++ {
+		c := make([]sat.Lit, 3)
+		for j := range c {
+			c[j] = sat.MkLit(sat.Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+		}
+		s.AddClause(c...)
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestRacedSatMatchesBaseModel(t *testing.T) {
+	// Satisfiable formula: no sound helper can prove UNSAT, so the base
+	// always finishes and its model must equal an un-raced control's.
+	base := sat.New()
+	clauses := randomCNF(base, 40, 120, 7) // ratio 3: satisfiable
+	control := base.Clone()
+
+	p := New(Options{Workers: 4}, nil)
+	sb := p.Root(0, base)
+	st := sb.Solve(context.Background())
+	if want := control.Solve(); st != want {
+		t.Fatalf("raced Solve = %v, control = %v", st, want)
+	}
+	if st != sat.Sat {
+		t.Fatalf("formula expected satisfiable, got %v", st)
+	}
+	for v := sat.Var(0); v < 40; v++ {
+		if base.ModelValue(v) != control.ModelValue(v) {
+			t.Fatalf("raced model diverged from sequential at var %d", v)
+		}
+	}
+	_ = clauses
+}
+
+func TestRacedUnsat(t *testing.T) {
+	// All eight sign patterns over three vars: UNSAT however you race.
+	base := sat.New()
+	base.NewVars(3)
+	for m := 0; m < 8; m++ {
+		lits := make([]sat.Lit, 3)
+		for j := 0; j < 3; j++ {
+			lits[j] = sat.MkLit(sat.Var(j), m&(1<<j) != 0)
+		}
+		base.AddClause(lits...)
+	}
+	p := New(Options{Workers: 4}, nil)
+	sb := p.Root(0, base)
+	if st := sb.Solve(context.Background()); st != sat.Unsat {
+		t.Fatalf("Solve = %v, want Unsat", st)
+	}
+	// The sibling stays usable after an UNSAT race (helpers drained).
+	if st := sb.Solve(context.Background()); st != sat.Unsat {
+		t.Fatalf("second Solve = %v, want Unsat", st)
+	}
+}
+
+func TestRaceCancelledContext(t *testing.T) {
+	base := sat.New()
+	randomCNF(base, 60, 255, 3)
+	p := New(Options{Workers: 3}, nil)
+	sb := p.Root(0, base)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if st := sb.Solve(ctx); st != sat.Unknown {
+		t.Fatalf("cancelled Solve = %v, want Unknown", st)
+	}
+	// A later solve with a live context recovers.
+	if st := sb.Solve(context.Background()); st == sat.Unknown {
+		t.Fatal("sibling unusable after cancelled race")
+	}
+}
+
+func TestForkEpochPinning(t *testing.T) {
+	base := sat.New()
+	randomCNF(base, 20, 60, 5)
+	p := New(Options{Workers: 2}, nil)
+	root := p.Root(0, base)
+	if root.ID() != 0 {
+		t.Fatalf("root ID = %d", root.ID())
+	}
+	childBase := base.Clone()
+	child := root.Fork(1, childBase)
+	if child.ID() != 1 {
+		t.Fatalf("child ID = %d", child.ID())
+	}
+	if base.Epoch() != 1 || childBase.Epoch() != 1 {
+		t.Fatalf("epochs after fork = %d/%d, want 1/1", base.Epoch(), childBase.Epoch())
+	}
+	if p.Pool().Epoch() != 1 {
+		t.Fatalf("pool epoch = %d, want 1", p.Pool().Epoch())
+	}
+}
+
+// TestConcurrentShareUnderCancellation is the -race workout: siblings
+// race helpers (concurrent pool export/import against the base's own
+// exports) while the caller cancels at random points. Verdicts that do
+// land must stay consistent — a formula cannot be both Sat and Unsat.
+func TestConcurrentShareUnderCancellation(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		p := New(Options{Workers: 4}, nil)
+		var sawSat, sawUnsat bool
+		var siblings []*Sibling
+		for i := 0; i < 2; i++ {
+			base := sat.New()
+			randomCNF(base, 120, 500, int64(40+round)) // same formula per round
+			siblings = append(siblings, p.Root(i, base))
+		}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i, sb := range siblings {
+			wg.Add(1)
+			go func(i int, sb *Sibling) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(11 + round*10 + i)))
+				for k := 0; k < 3; k++ {
+					ctx, cancel := context.WithTimeout(context.Background(),
+						time.Duration(rng.Int63n(3)+1)*time.Millisecond)
+					st := sb.Solve(ctx)
+					cancel()
+					mu.Lock()
+					switch st {
+					case sat.Sat:
+						sawSat = true
+					case sat.Unsat:
+						sawUnsat = true
+					}
+					mu.Unlock()
+				}
+				// One undisturbed solve so every round decides.
+				st := sb.Solve(context.Background())
+				mu.Lock()
+				switch st {
+				case sat.Sat:
+					sawSat = true
+				case sat.Unsat:
+					sawUnsat = true
+				}
+				mu.Unlock()
+			}(i, sb)
+		}
+		wg.Wait()
+		if sawSat && sawUnsat {
+			t.Fatalf("round %d: same formula decided both Sat and Unsat", round)
+		}
+		if !sawSat && !sawUnsat {
+			t.Fatalf("round %d: no solve ever decided", round)
+		}
+	}
+}
+
+func TestShareEventEmission(t *testing.T) {
+	rec := trace.NewRecorder()
+	em := trace.NewEmitter(rec)
+	base := sat.New()
+	randomCNF(base, 80, 330, 9)
+	p := New(Options{Workers: 4, MaxShareLen: 50, MaxShareLBD: 50}, em)
+	sb := p.Root(0, base)
+	for k := 0; k < 4; k++ {
+		sb.Solve(context.Background())
+	}
+	exp, _ := int64(0), 0
+	for _, h := range sb.helpers {
+		he, _ := h.client.Stats()
+		exp += he
+	}
+	be, _ := sb.client.Stats()
+	exp += be
+	if exp == 0 {
+		t.Skip("no learnts exported on this formula; nothing to assert")
+	}
+	var shared int64
+	for _, ev := range rec.Events() {
+		if ev.Type == trace.ClauseShared {
+			if ev.Share == nil {
+				t.Fatal("clause_shared without payload")
+			}
+			shared += ev.Share.Exported
+		}
+	}
+	if shared != exp {
+		t.Errorf("clause_shared deltas sum to %d, clients exported %d", shared, exp)
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{Workers: 2}
+	o.setDefaults()
+	if o.Racers != 3 || o.MaxShareLen != 30 || o.MaxShareLBD != 8 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,388 @@
+package sat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// litsOf builds a clause literal slice from signed ints (+v / -v, 1-based).
+func litsOf(vs ...int) []Lit {
+	out := make([]Lit, len(vs))
+	for i, v := range vs {
+		if v > 0 {
+			out[i] = PosLit(Var(v - 1))
+		} else {
+			out[i] = NegLit(Var(-v - 1))
+		}
+	}
+	return out
+}
+
+// forkTree builds the test lineage: root 0, children 1 and 2, and 3
+// forked from 1 (epochs 1, 2, 3).
+func forkTree(t *testing.T) *Pool {
+	t.Helper()
+	p := NewPool(0)
+	p.RegisterRoot(0)
+	e1 := p.Fork(0, 1)
+	e2 := p.Fork(0, 2)
+	e3 := p.Fork(1, 3)
+	if e1 != 1 || e2 != 2 || e3 != 3 {
+		t.Fatalf("fork epochs = %d,%d,%d, want 1,2,3", e1, e2, e3)
+	}
+	if p.Epoch() != 3 {
+		t.Fatalf("Epoch() = %d, want 3", p.Epoch())
+	}
+	return p
+}
+
+func TestPoolForkDivergenceMatrix(t *testing.T) {
+	// A fresh pool per case: importer cursors start at the pool's
+	// beginning, so entries must not leak between cases.
+	cases := []struct {
+		name     string
+		origin   int
+		epoch    int32
+		eligible map[int]bool // importer origin -> should receive
+	}{
+		{"pre-fork from root", 0, 0, map[int]bool{1: true, 2: true, 3: true}},
+		{"post-fork-1 from root", 0, 1, map[int]bool{1: false, 2: true, 3: false}},
+		{"post-fork-2 from child 1", 1, 2, map[int]bool{0: false, 2: false, 3: true}},
+		{"newest from child 1", 1, 3, map[int]bool{0: false, 2: false, 3: false}},
+	}
+	for _, tc := range cases {
+		p := forkTree(t)
+		pub := p.Attach(tc.origin)
+		pub.Export(litsOf(1, 2), 2, tc.epoch)
+		for dst, want := range tc.eligible {
+			imp := p.Attach(dst)
+			got := len(imp.Imports()) > 0
+			if got != want {
+				t.Errorf("%s: origin %d epoch %d -> instance %d: imported=%v, want %v",
+					tc.name, tc.origin, tc.epoch, dst, got, want)
+			}
+		}
+		// Same instance is always eligible, watermark regardless.
+		same := p.Attach(tc.origin)
+		if len(same.Imports()) == 0 {
+			t.Errorf("%s: same-origin import blocked", tc.name)
+		}
+		// The publisher never re-imports its own clause.
+		if n := len(pub.Imports()); n != 0 {
+			t.Errorf("%s: publisher re-imported %d own clauses", tc.name, n)
+		}
+	}
+}
+
+func TestPoolDivergeChains(t *testing.T) {
+	root := []forkPoint{{0, 0}}
+	c1 := []forkPoint{{0, 0}, {1, 1}}
+	c2 := []forkPoint{{0, 0}, {2, 2}}
+	c3 := []forkPoint{{0, 0}, {1, 1}, {3, 3}}
+	for _, tc := range []struct {
+		a, b []forkPoint
+		want int32
+	}{
+		{root, root, math.MaxInt32}, // identical lineage never diverges
+		{root, c1, 1},
+		{c1, root, 1},
+		{root, c3, 1},
+		{c1, c2, 1}, // sibling subtrees split at the earlier fork
+		{c1, c3, 3},
+		{c2, c3, 1},
+	} {
+		if got := diverge(tc.a, tc.b); got != tc.want {
+			t.Errorf("diverge(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPoolCapacityBound(t *testing.T) {
+	p := NewPool(2)
+	c := p.Attach(0)
+	for i := 0; i < 5; i++ {
+		c.Export(litsOf(1), 1, 0)
+	}
+	if p.Size() != 2 {
+		t.Errorf("Size() = %d, want 2", p.Size())
+	}
+	if p.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", p.Dropped())
+	}
+	exp, _ := c.Stats()
+	if exp != 2 {
+		t.Errorf("client exported = %d, want 2 (drops don't count)", exp)
+	}
+}
+
+func TestPoolImportCursor(t *testing.T) {
+	p := NewPool(0)
+	pub, sub := p.Attach(0), p.Attach(0)
+	pub.Export(litsOf(1, 2), 2, 0)
+	if n := len(sub.Imports()); n != 1 {
+		t.Fatalf("first Imports() = %d clauses, want 1", n)
+	}
+	if n := len(sub.Imports()); n != 0 {
+		t.Errorf("repeated Imports() = %d clauses, want 0 (cursor advanced)", n)
+	}
+	pub.Export(litsOf(2, 3), 2, 0)
+	if n := len(sub.Imports()); n != 1 {
+		t.Errorf("incremental Imports() = %d clauses, want 1", n)
+	}
+	if _, imp := sub.Stats(); imp != 2 {
+		t.Errorf("client imported = %d, want 2", imp)
+	}
+}
+
+// TestPoolShareSoundnessRandom is the clause-sharing soundness property
+// test: on randomized formulas, fork two siblings with opposite unit
+// pins (the StatSAT eq. 5 shape), let sibling A learn and export under
+// random probing, and check that everything the pool offers sibling B
+//
+//	(a) is logically implied by B's pre-fork formula alone, and
+//	(b) never flips B's SAT/UNSAT answer, plain or under assumptions,
+//	    against an import-free control clone.
+func TestPoolShareSoundnessRandom(t *testing.T) {
+	const (
+		nVars    = 30
+		nClauses = 105 // ratio 3.5: mostly SAT, still conflict-rich
+		seeds    = 8
+	)
+	totalImports := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := make([][]Lit, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			c := make([]Lit, 3)
+			for j := range c {
+				c[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			}
+			base = append(base, c)
+		}
+		probe := func(r *rand.Rand) []Lit {
+			a := make([]Lit, 3)
+			for j := range a {
+				a[j] = MkLit(Var(r.Intn(nVars)), r.Intn(2) == 1)
+			}
+			return a
+		}
+
+		pool := NewPool(0)
+		sA := New()
+		sA.NewVars(nVars)
+		for _, c := range base {
+			sA.AddClause(c...)
+		}
+		clientA := pool.Attach(0)
+		sA.SetExporter(clientA.Export, 50, 50)
+
+		// Pre-fork probing: epoch-0 learnts flow to the pool.
+		probeRng := rand.New(rand.NewSource(seed + 1000))
+		for k := 0; k < 4 && sA.Okay(); k++ {
+			sA.Solve(probe(probeRng)...)
+		}
+		if !sA.Okay() {
+			continue // formula died at the root; nothing to share
+		}
+
+		// Fork: clone, bump the epoch, then pin opposite key-bit values.
+		sB := sA.Clone()
+		e := pool.Fork(0, 1)
+		sA.SetEpoch(e)
+		sB.SetEpoch(e)
+		pin := Var(rng.Intn(nVars))
+		sA.AddClause(PosLit(pin))
+		sB.AddClause(NegLit(pin))
+
+		// Post-fork probing on A: learnts touching the pin carry
+		// watermark e and must not cross to B.
+		for k := 0; k < 6 && sA.Okay(); k++ {
+			sA.Solve(probe(probeRng)...)
+		}
+
+		// (a) Every clause eligible for B is implied by the shared
+		// pre-fork formula: asserting its negation must be UNSAT.
+		checker := New()
+		checker.NewVars(nVars)
+		for _, c := range base {
+			checker.AddClause(c...)
+		}
+		verifier := pool.Attach(1)
+		offered := verifier.Imports()
+		for _, im := range offered {
+			if im.Epoch >= e {
+				t.Fatalf("seed %d: import watermark %d >= divergence %d", seed, im.Epoch, e)
+			}
+			neg := make([]Lit, len(im.Lits))
+			for i, l := range im.Lits {
+				neg[i] = l.Not()
+			}
+			if checker.Okay() && checker.Solve(neg...) != Unsat {
+				t.Fatalf("seed %d: eligible clause %v not implied by pre-fork formula", seed, im.Lits)
+			}
+		}
+		totalImports += len(offered)
+
+		// A same-origin client sees at least as much as the fork
+		// sibling (lineage filtering only ever removes clauses).
+		sameOrigin := pool.Attach(0)
+		if n := len(sameOrigin.Imports()); n < len(offered) {
+			t.Errorf("seed %d: same-origin sees %d < sibling's %d", seed, n, len(offered))
+		}
+
+		// (b) Importing never flips B's verdicts vs an import-free
+		// control on the same probe sequence.
+		control := sB.Clone()
+		clientB := pool.Attach(1)
+		sB.SetImporter(clientB.Imports)
+		verdictRng := rand.New(rand.NewSource(seed + 2000))
+		if got, want := sB.Solve(), control.Solve(); got != want {
+			t.Fatalf("seed %d: plain verdict flipped: %v vs control %v", seed, got, want)
+		}
+		for k := 0; k < 8; k++ {
+			as := probe(verdictRng)
+			got, want := sB.Solve(as...), control.Solve(as...)
+			if got != want {
+				t.Fatalf("seed %d probe %d: verdict flipped under %v: %v vs control %v",
+					seed, k, as, got, want)
+			}
+		}
+	}
+	if totalImports == 0 {
+		t.Fatal("property test vacuous: no clause ever crossed the pool")
+	}
+}
+
+// TestImportSkipsUnknownVars checks that a pooled clause mentioning
+// variables the importer has not allocated yet is deferred, not
+// mis-applied.
+func TestImportSkipsUnknownVars(t *testing.T) {
+	p := NewPool(0)
+	pub := p.Attach(0)
+	pub.Export(litsOf(40, -41), 2, 0) // vars 39/40: beyond the importer
+	pub.Export(litsOf(1, 2), 2, 0)
+
+	s := New()
+	s.NewVars(3)
+	s.AddClause(litsOf(-1, 2)...)
+	sub := p.Attach(0)
+	s.SetImporter(sub.Imports)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("Solve = %v, want Sat", st)
+	}
+	if s.Stats.Imported != 1 {
+		t.Errorf("Imported = %d, want 1 (out-of-range clause skipped)", s.Stats.Imported)
+	}
+}
+
+func TestSetConfigKnobs(t *testing.T) {
+	s := New()
+	s.NewVars(3)
+	if s.Solve() != Sat {
+		t.Fatal("empty formula unsat?")
+	}
+	for v := Var(0); v < 3; v++ {
+		if s.ModelValue(v) {
+			t.Fatalf("default phase should pick false for var %d", v)
+		}
+	}
+
+	inv := New()
+	inv.NewVars(3)
+	inv.SetConfig(Config{PhaseTrue: true})
+	if inv.Solve() != Sat {
+		t.Fatal("empty formula unsat?")
+	}
+	for v := Var(0); v < 3; v++ {
+		if !inv.ModelValue(v) {
+			t.Fatalf("PhaseTrue should pick true for var %d", v)
+		}
+	}
+	// New variables allocated after SetConfig inherit the phase too.
+	nv := inv.NewVar()
+	if inv.Solve() != Sat || !inv.ModelValue(nv) {
+		t.Error("PhaseTrue not applied to later vars")
+	}
+
+	// Zero-valued fields keep defaults; set fields stick.
+	tuned := New()
+	tuned.SetConfig(Config{VarDecay: 0.85, RestartBase: 50})
+	tuned.SetConfig(Config{}) // no-op
+	if tuned.varDecay != 0.85 || tuned.restartBase != 50 {
+		t.Errorf("config lost: decay=%v base=%d", tuned.varDecay, tuned.restartBase)
+	}
+}
+
+func TestClauseJournal(t *testing.T) {
+	s := New()
+	s.NewVars(4)
+	s.AddClause(litsOf(1, 2)...) // pre-log: not journaled
+	s.EnableLog()
+	s.AddClause(litsOf(-1, 3)...)
+	s.SetEpoch(5)
+	s.AddClause(litsOf(2, 4)...)
+	s.SetEpoch(3) // backwards: ignored
+	if s.Epoch() != 5 {
+		t.Errorf("Epoch() = %d, want 5 (forward-only)", s.Epoch())
+	}
+	if s.LogLen() != 2 {
+		t.Fatalf("LogLen() = %d, want 2", s.LogLen())
+	}
+	log := s.LogSince(0)
+	if log[0].Epoch != 0 || log[1].Epoch != 5 {
+		t.Errorf("journal epochs = %d,%d, want 0,5", log[0].Epoch, log[1].Epoch)
+	}
+	if len(s.LogSince(1)) != 1 {
+		t.Errorf("LogSince(1) = %d entries, want 1", len(s.LogSince(1)))
+	}
+
+	// Replaying the journal into a clone of the pre-log solver yields
+	// the same formula.
+	r := New()
+	r.NewVars(4)
+	r.AddClause(litsOf(1, 2)...)
+	for _, e := range s.LogSince(0) {
+		r.AddClauseEpoch(e.Epoch, e.Lits...)
+	}
+	if r.NumClauses() != s.NumClauses() {
+		t.Errorf("replayed %d clauses, original has %d", r.NumClauses(), s.NumClauses())
+	}
+}
+
+// BenchmarkPoolExportImport is the shared pool's steady-state
+// publish/drain cycle: one publisher exports a ternary clause, one
+// subscriber (same instance, so always eligible) picks it up.
+func BenchmarkPoolExportImport(b *testing.B) {
+	pool := NewPool(b.N + 1) // never hit the capacity drop path
+	pub := pool.Attach(0)
+	sub := pool.Attach(0)
+	lits := litsOf(1, -2, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pub.Export(lits, 2, 0)
+		if got := sub.Imports(); len(got) != 1 {
+			b.Fatalf("imports = %d, want 1", len(got))
+		}
+	}
+}
+
+// BenchmarkPoolImportsFiltered measures the lineage filter on the
+// import path: the subscriber sits on a forked sibling, so every
+// post-fork entry is walked and rejected by the divergence check.
+func BenchmarkPoolImportsFiltered(b *testing.B) {
+	pool := NewPool(b.N + 1)
+	epoch := pool.Fork(0, 1)
+	pub := pool.Attach(0)
+	sub := pool.Attach(1)
+	lits := litsOf(1, -2, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pub.Export(lits, 2, epoch) // post-fork watermark: ineligible in 1
+		if got := sub.Imports(); len(got) != 0 {
+			b.Fatalf("imports = %d, want 0", len(got))
+		}
+	}
+}

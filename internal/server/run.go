@@ -58,6 +58,7 @@ func (j *Job) runAttack(ctx context.Context) (*Outcome, error) {
 			Ns: o.Ns, NSatis: o.NSatis, NEval: o.NEval, NInst: o.NInst,
 			ULambda: o.ULambda, ELambda: o.ELambda, EpsG: epsG,
 			MaxTotalIter: o.MaxIter, Seed: j.Spec.Seed, Parallel: o.Parallel,
+			PortfolioWorkers: o.PortfolioWorkers, PortfolioRacers: o.PortfolioRacers,
 			Tracer: j.tracer(),
 		}
 		res, err := statsat.AttackCtx(ctx, mat.locked, mat.orc, opts)
@@ -86,6 +87,7 @@ func (j *Job) runAttack(ctx context.Context) (*Outcome, error) {
 	case "sat":
 		res, err := statsat.StandardSATOptCtx(ctx, mat.locked, mat.orc, statsat.SATOptions{
 			MaxIter: o.MaxIter, Tracer: j.tracer(),
+			PortfolioWorkers: o.PortfolioWorkers, PortfolioRacers: o.PortfolioRacers,
 		})
 		if res == nil {
 			return nil, err
@@ -94,6 +96,7 @@ func (j *Job) runAttack(ctx context.Context) (*Outcome, error) {
 	case "psat":
 		res, err := statsat.PSATCtx(ctx, mat.locked, mat.orc, statsat.PSATOptions{
 			Ns: o.Ns, MaxIter: o.MaxIter, Seed: j.Spec.Seed, Tracer: j.tracer(),
+			PortfolioWorkers: o.PortfolioWorkers, PortfolioRacers: o.PortfolioRacers,
 		})
 		if res == nil {
 			return nil, err
@@ -104,6 +107,7 @@ func (j *Job) runAttack(ctx context.Context) (*Outcome, error) {
 		// point); its jobs stream no per-iteration events.
 		res, err := statsat.AppSATCtx(ctx, mat.locked, mat.orc, statsat.AppSATOptions{
 			MaxIter: o.MaxIter, Seed: j.Spec.Seed,
+			PortfolioWorkers: o.PortfolioWorkers, PortfolioRacers: o.PortfolioRacers,
 		})
 		if res == nil {
 			return nil, err
