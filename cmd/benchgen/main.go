@@ -43,11 +43,14 @@ func main() {
 	}
 
 	if *list {
-		fmt.Printf("%-10s %-8s %8s %8s %8s\n", "Name", "Source", "Inputs", "Gates", "Outputs")
+		fmt.Printf("%-10s %-9s %8s %8s %8s\n", "Name", "Source", "Inputs", "Gates", "Outputs")
 		for _, b := range gen.TableI {
-			fmt.Printf("%-10s %-8s %8d %8d %8d\n", b.Name, b.Source, b.Inputs, b.Gates, b.Outputs)
+			fmt.Printf("%-10s %-9s %8d %8d %8d\n", b.Name, b.Source, b.Inputs, b.Gates, b.Outputs)
 		}
-		fmt.Printf("%-10s %-8s %8d %8d %8d\n", "c17", "ISCAS85", 5, 6, 2)
+		for _, b := range gen.Extra {
+			fmt.Printf("%-10s %-9s %8d %8d %8d\n", b.Name, b.Source, b.Inputs, b.Gates, b.Outputs)
+		}
+		fmt.Printf("%-10s %-9s %8d %8d %8d\n", "c17", "ISCAS85", 5, 6, 2)
 		return
 	}
 

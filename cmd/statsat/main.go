@@ -96,7 +96,7 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	locked, err := netio.ReadFile(*in, forced)
+	locked, err := netio.ReadFileStreaming(*in, forced)
 	if err != nil {
 		return fail(err)
 	}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"statsat/internal/circuit"
+)
+
+// streamParityCases are netlists both parsers must handle identically:
+// comments, key inputs out of numeric order, forward references, DFF
+// scan conversion, aliases and mixed case.
+var streamParityCases = []struct {
+	name string
+	src  string
+}{
+	{"c17", c17Bench},
+	{"keyinputs unsorted", `# lockme
+INPUT(a)
+INPUT(keyinput10)
+INPUT(keyinput2)
+INPUT(b)
+OUTPUT(y)
+t = XOR(a, keyinput2)
+u = XNOR(t, keyinput10)
+y = AND(u, b)
+`},
+	{"forward refs", `INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(m, n)
+m = OR(a, n)
+n = NOT(b)
+`},
+	{"dff scan chain", `INPUT(a)
+OUTPUT(y)
+s = DFF(d)
+d = XOR(a, s)
+y = NOT(s)
+`},
+	{"aliases and case", `INPUT(a)
+INPUT(b)
+OUTPUT(y)
+u = buff(a)
+v = inv(b)
+y = nand(u, v)
+`},
+	{"mux", `INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = MUX(s, a, b)
+`},
+}
+
+// TestParseStreamingMatchesParse checks the streaming front end
+// produces a structurally identical circuit — same gate list, same
+// PI/key/PO layout — for every parity case.
+func TestParseStreamingMatchesParse(t *testing.T) {
+	for _, tc := range streamParityCases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := Parse(strings.NewReader(tc.src))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			got, err := ParseStreaming(strings.NewReader(tc.src))
+			if err != nil {
+				t.Fatalf("ParseStreaming: %v", err)
+			}
+			if Format(got) != Format(want) {
+				t.Errorf("parsers disagree:\n--- Parse ---\n%s--- ParseStreaming ---\n%s", Format(want), Format(got))
+			}
+			if got.Name != want.Name {
+				t.Errorf("circuit name %q, want %q", got.Name, want.Name)
+			}
+		})
+	}
+}
+
+// TestParseStreamingErrors re-runs the Parse error table through the
+// streaming parser: same rejections, same line numbers.
+func TestParseStreamingErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown keyword", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"},
+		{"undefined signal", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"},
+		{"undefined output", "INPUT(a)\nOUTPUT(nope)\n"},
+		{"bad arity not", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n"},
+		{"bad arity mux", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX(a, b)\n"},
+		{"garbage line", "INPUT(a)\nwhat is this\n"},
+		{"empty operand", "INPUT(a)\nOUTPUT(y)\ny = AND(a, )\n"},
+		{"trailing comma", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b,)\n"},
+		{"missing paren", "INPUT a\n"},
+		{"empty input name", "INPUT()\n"},
+		{"double definition", "INPUT(a)\nINPUT(a)\n"},
+		{"gate redefines input", "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n"},
+		{"cycle", "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n"},
+		{"empty assign target", "INPUT(a)\n = NOT(a)\n"},
+		{"dff two inputs", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ns = DFF(a, b)\ny = NOT(s)\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, errStream := ParseStreaming(strings.NewReader(tc.src))
+			if errStream == nil {
+				t.Fatalf("want parse error for %q", tc.src)
+			}
+			_, errParse := Parse(strings.NewReader(tc.src))
+			if errParse == nil {
+				return // streaming-only case (Parse table covers the rest)
+			}
+			pa, aok := errParse.(*ParseError)
+			ps, sok := errStream.(*ParseError)
+			if aok && sok && pa.Line != ps.Line {
+				t.Errorf("error lines differ: Parse %d, ParseStreaming %d", pa.Line, ps.Line)
+			}
+		})
+	}
+}
+
+// TestParseStreamingRandomRoundTrip writes generated circuits and
+// re-reads them with the streaming parser: functional equivalence on
+// sampled inputs.
+func TestParseStreamingRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		c := randomNetlist(rng, 12, 80)
+		got, err := ParseStreaming(strings.NewReader(Format(c)))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, Format(c))
+		}
+		for sample := 0; sample < 32; sample++ {
+			x := c.RandomInputs(rng)
+			want := c.Eval(x, nil, nil)
+			have := got.Eval(x, nil, nil)
+			for i := range want {
+				if want[i] != have[i] {
+					t.Fatalf("trial %d: output %d differs on %v", trial, i, x)
+				}
+			}
+		}
+	}
+}
+
+func randomNetlist(rng *rand.Rand, nin, ngates int) *circuit.Circuit {
+	c := circuit.New("rand")
+	ids := make([]int, 0, nin+ngates)
+	for i := 0; i < nin; i++ {
+		ids = append(ids, c.AddInput(""))
+	}
+	types := []circuit.GateType{circuit.And, circuit.Nand, circuit.Or, circuit.Nor, circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf}
+	for i := 0; i < ngates; i++ {
+		ty := types[rng.Intn(len(types))]
+		n := 2
+		if ty == circuit.Not || ty == circuit.Buf {
+			n = 1
+		}
+		fan := make([]int, n)
+		for j := range fan {
+			fan[j] = ids[rng.Intn(len(ids))]
+		}
+		ids = append(ids, c.AddGate(ty, "", fan...))
+	}
+	for i := 0; i < 4; i++ {
+		c.AddOutput(ids[len(ids)-1-i], "")
+	}
+	return c
+}

@@ -44,6 +44,7 @@ func (c *Circuit) EvalNoisyBatchInto(out []uint64, pi, key []bool, eps float64, 
 	if eps < 0 || eps > 1 {
 		panic(fmt.Sprintf("circuit %q: eps %v out of [0,1]", c.Name, eps))
 	}
+	p := c.program()
 	var w []uint64
 	if cap(scratch) >= len(c.Gates) {
 		w = scratch[:len(c.Gates)]
@@ -56,61 +57,63 @@ func (c *Circuit) EvalNoisyBatchInto(out []uint64, pi, key []bool, eps float64, 
 	for i, id := range c.Keys {
 		w[id] = broadcast(key[i])
 	}
+	for _, id := range p.const0 {
+		w[id] = 0
+	}
+	for _, id := range p.const1 {
+		w[id] = ^uint64(0)
+	}
 	// Geometric-skipping state shared across all gates: we walk a
 	// virtual stream of lane slots (64 per gate) and jump between flip
-	// positions. log1m caches log(1-eps).
+	// positions. The stream advances once per compiled op, in schedule
+	// order — the same order EvalNoisyBlockInto pre-draws its mask
+	// columns in, which keeps the two paths bit-identical.
 	skip := newFlipStream(eps, rng)
 
-	for _, id := range c.MustTopoOrder() {
-		g := &c.Gates[id]
+	fanin := p.fanin
+	for i := range p.ops {
+		op := &p.ops[i]
+		fan := fanin[op.off : op.off+op.nfan]
 		var v uint64
-		switch g.Type {
-		case Input, Key:
-			continue
-		case Const0:
-			w[id] = 0
-			continue
-		case Const1:
-			w[id] = ^uint64(0)
-			continue
+		switch op.typ {
 		case Buf:
-			v = w[g.Fanin[0]]
+			v = w[fan[0]]
 		case Not:
-			v = ^w[g.Fanin[0]]
+			v = ^w[fan[0]]
 		case And, Nand:
 			v = ^uint64(0)
-			for _, f := range g.Fanin {
+			for _, f := range fan {
 				v &= w[f]
 			}
-			if g.Type == Nand {
+			if op.typ == Nand {
 				v = ^v
 			}
 		case Or, Nor:
 			v = 0
-			for _, f := range g.Fanin {
+			for _, f := range fan {
 				v |= w[f]
 			}
-			if g.Type == Nor {
+			if op.typ == Nor {
 				v = ^v
 			}
 		case Xor, Xnor:
 			v = 0
-			for _, f := range g.Fanin {
+			for _, f := range fan {
 				v ^= w[f]
 			}
-			if g.Type == Xnor {
+			if op.typ == Xnor {
 				v = ^v
 			}
 		case Mux:
-			s := w[g.Fanin[0]]
-			v = (^s & w[g.Fanin[1]]) | (s & w[g.Fanin[2]])
+			s := w[fan[0]]
+			v = (^s & w[fan[1]]) | (s & w[fan[2]])
 		default:
-			panic(fmt.Sprintf("circuit %q: unsupported gate type %v", c.Name, g.Type))
+			panic(fmt.Sprintf("circuit %q: unsupported gate type %v", c.Name, op.typ))
 		}
 		if eps > 0 {
 			v ^= skip.nextMask()
 		}
-		w[id] = v
+		w[op.out] = v
 	}
 	if cap(out) >= len(c.POs) {
 		out = out[:len(c.POs)]
@@ -160,7 +163,9 @@ func newFlipStream(eps float64, rng *rand.Rand) flipStream {
 }
 
 // draw samples a geometric gap (number of non-flipped lanes before the
-// next flipped one).
+// next flipped one). drawFlipMasks open-codes this same arithmetic on
+// its hot path; the two must stay step-identical (the block/batch
+// parity tests enforce it).
 func (fs *flipStream) draw() int64 {
 	u := fs.rng.Float64()
 	for u == 0 {

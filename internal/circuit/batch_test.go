@@ -197,13 +197,20 @@ func TestMuxBatchSemantics(t *testing.T) {
 	}
 }
 
-func BenchmarkEvalNoisyBatch2k(b *testing.B) {
+func BenchmarkEvalNoisyBatch2k(b *testing.B) { benchEvalNoisyBatch2k(b, 0.01) }
+
+// BenchmarkEvalNoisyBatch2kLowEps is the single-word baseline for the
+// blocked LowEps pair in block_test.go (same regime, 64 samples/op).
+func BenchmarkEvalNoisyBatch2kLowEps(b *testing.B) { benchEvalNoisyBatch2k(b, 0.001) }
+
+func benchEvalNoisyBatch2k(b *testing.B, eps float64) {
 	c := randomCircuit(1, 50, 2000, 20)
 	rng := rand.New(rand.NewSource(2))
 	pi := c.RandomInputs(rng)
 	scratch := make([]uint64, c.NumGates())
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.EvalNoisyBatch(pi, nil, 0.01, rng, scratch)
+		c.EvalNoisyBatch(pi, nil, eps, rng, scratch)
 	}
 }

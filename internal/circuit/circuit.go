@@ -188,7 +188,8 @@ type Circuit struct {
 	// fall back to the driver gate's name.
 	PONames []string
 
-	topo []int // cached topological order; nil until built
+	topo []int     // cached topological order; nil until built
+	prog *evalProg // cached evaluation schedule; nil until built
 }
 
 // New returns an empty circuit with the given name.
@@ -221,6 +222,7 @@ func (c *Circuit) addGate(g Gate) int {
 	id := len(c.Gates)
 	c.Gates = append(c.Gates, g)
 	c.topo = nil
+	c.prog = nil
 	return id
 }
 

@@ -16,62 +16,76 @@ type sval struct {
 func constV(v bool) sval { return sval{isConst: true, cval: v} }
 func wireV(id int) sval  { return sval{id: id} }
 
+// maxFlatten caps the fanin width produced by AND/OR/XOR flattening.
+// Wider gates would still encode fine (Tseitin handles n-ary gates)
+// but very wide conjunctions defeat sharing and bloat single clauses.
+const maxFlatten = 16
+
+// simplifyMaxPasses bounds the outer rewrite fixed-point. Rewrites
+// (De Morgan, inverter absorption, flattening) can expose new merges
+// for the next pass; in practice two passes reach the fixed point and
+// the bound only guards against pathological ping-ponging.
+const simplifyMaxPasses = 4
+
 // Simplify returns a functionally equivalent copy of the circuit with
 // standard netlist clean-ups applied:
 //
-//   - constant propagation (Const0/Const1 folded through gates),
+//   - constant propagation (Const0/Const1 folded through gates, and
+//     re-propagated when later merges expose new constants),
 //   - identity folding (BUF collapsed, single-input AND/OR/XOR
-//     reduced, duplicate AND/OR fanins deduplicated, XOR pairs
-//     cancelled, constant-selected MUXes resolved),
-//   - common-subexpression elimination (structurally identical gates
-//     merged; commutative gates canonicalised by sorted fanin),
-//   - dead-gate sweep (gates outside every output's fanin cone drop).
+//     reduced, duplicate AND/OR fanins deduplicated, XOR pairs and
+//     complement pairs cancelled, constant-selected MUXes resolved),
+//   - structural hashing (structurally identical gates merged via an
+//     integer strash table; commutative gates canonicalised by sorted
+//     fanin),
+//   - rewriting (double-negation elimination, inverter absorption
+//     into the dual gate, De Morgan normalisation, bounded AND/OR/XOR
+//     flattening), iterated to a bounded fixed point,
+//   - dead-gate sweep (gates outside every output's fanin cone drop;
+//     the reachability walk is iterative, so 100k-gate cones do not
+//     risk stack growth).
 //
 // The interface is preserved exactly: all primary/key inputs remain
 // (in order) even if unused, and outputs keep their order and names.
 // Locking flows use it to emulate the light resynthesis a foundry
 // netlist would have seen.
 func Simplify(c *Circuit) (*Circuit, error) {
+	var out *Circuit
+	cur := c
+	for pass := 0; pass < simplifyMaxPasses; pass++ {
+		next, err := simplifyOnce(cur)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil && next.NumLogicGates() >= out.NumLogicGates() {
+			break // fixed point: the rewrite pass stopped shrinking
+		}
+		out = next
+		cur = next
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("circuit: Simplify produced invalid netlist: %w", err)
+	}
+	return out, nil
+}
+
+// simplifyOnce is one full fold + strash + rewrite + sweep pass.
+func simplifyOnce(c *Circuit) (*Circuit, error) {
 	order, err := c.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
-	n := New(c.Name)
+	sm := &simplifier{
+		n:       New(c.Name),
+		buckets: make(map[uint64][]int32, len(c.Gates)),
+	}
 	val := make([]sval, len(c.Gates))
 
-	cse := map[string]int{}
-	emit := func(t GateType, name string, fanin ...int) int {
-		sig := signature(t, fanin)
-		if id, ok := cse[sig]; ok {
-			return id
-		}
-		id := n.AddGate(t, name, fanin...)
-		cse[sig] = id
-		return id
-	}
-	var constGate [2]int
-	haveConst := [2]bool{}
-	materialize := func(v sval) int {
-		if !v.isConst {
-			return v.id
-		}
-		idx := 0
-		ty := Const0
-		if v.cval {
-			idx, ty = 1, Const1
-		}
-		if !haveConst[idx] {
-			constGate[idx] = n.AddGate(ty, fmt.Sprintf("const%d", idx))
-			haveConst[idx] = true
-		}
-		return constGate[idx]
-	}
-
 	for _, id := range c.PIs {
-		val[id] = wireV(n.AddInput(c.Gates[id].Name))
+		val[id] = wireV(sm.n.AddInput(c.Gates[id].Name))
 	}
 	for _, id := range c.Keys {
-		val[id] = wireV(n.AddKey(c.Gates[id].Name))
+		val[id] = wireV(sm.n.AddKey(c.Gates[id].Name))
 	}
 
 	fan := make([]sval, 0, 8)
@@ -84,7 +98,7 @@ func Simplify(c *Circuit) (*Circuit, error) {
 		for _, f := range g.Fanin {
 			fan = append(fan, val[f])
 		}
-		val[id] = foldGate(g, fan, emit)
+		val[id] = sm.foldGate(g, fan)
 	}
 
 	for i, po := range c.POs {
@@ -95,24 +109,163 @@ func Simplify(c *Circuit) (*Circuit, error) {
 		if name == "" {
 			name = c.Gates[po].Name
 		}
-		n.AddOutput(materialize(val[po]), name)
+		sm.n.AddOutput(sm.materialize(val[po]), name)
 	}
 
-	pruned := Prune(n)
-	if err := pruned.Validate(); err != nil {
-		return nil, fmt.Errorf("circuit: Simplify produced invalid netlist: %w", err)
-	}
-	return pruned, nil
+	return Prune(sm.n), nil
 }
 
-// foldGate computes the simplified value of one gate.
-func foldGate(g *Gate, fan []sval, emit func(GateType, string, ...int) int) sval {
-	notOf := func(v sval) sval {
-		if v.isConst {
-			return constV(!v.cval)
-		}
-		return wireV(emit(Not, g.Name+"_n", v.id))
+// simplifier builds the simplified copy of a circuit. Its strash
+// table maps (type, canonical fanin) to the existing gate id in the
+// new circuit, keyed by an integer hash — no per-gate string
+// signatures, which were the dominant allocation of the old CSE map.
+type simplifier struct {
+	n         *Circuit
+	buckets   map[uint64][]int32
+	absorb    []bool // per-operand drop marks, reused across emits
+	constGate [2]int
+	haveConst [2]bool
+}
+
+func strashHash(t GateType, fanin []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(t)) * prime64
+	for _, f := range fanin {
+		h = (h ^ uint64(f)) * prime64
 	}
+	return h
+}
+
+// lookup returns the id of an existing gate with this exact type and
+// (canonically ordered) fanin, or -1. It never inserts.
+func (sm *simplifier) lookup(t GateType, fanin []int) int {
+	for _, cand := range sm.buckets[strashHash(t, fanin)] {
+		g := &sm.n.Gates[cand]
+		if g.Type != t || len(g.Fanin) != len(fanin) {
+			continue
+		}
+		same := true
+		for i, f := range g.Fanin {
+			if f != fanin[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return int(cand)
+		}
+	}
+	return -1
+}
+
+// strash returns the existing structurally identical gate or inserts
+// a new one. fanin must already be in canonical order.
+func (sm *simplifier) strash(t GateType, name string, fanin []int) int {
+	if id := sm.lookup(t, fanin); id >= 0 {
+		return id
+	}
+	id := sm.n.AddGate(t, name, fanin...)
+	h := strashHash(t, fanin)
+	sm.buckets[h] = append(sm.buckets[h], int32(id))
+	return id
+}
+
+// strashPolar is strash with polarity-dual reuse: when the dual gate
+// over the same operands already exists (NAND vs AND, NOR vs OR,
+// XNOR vs XOR), return a NOT of it instead of a fresh gate. Gate
+// count is unchanged (one NOT replaces one dual gate) but inverters
+// are free in the CNF encoding — a literal flip — so both polarities
+// share a single Tseitin variable.
+func (sm *simplifier) strashPolar(t GateType, name string, fanin []int) int {
+	if id := sm.lookup(t, fanin); id >= 0 {
+		return id
+	}
+	if d := sm.lookup(dualType(t), fanin); d >= 0 {
+		one := [1]int{d}
+		return sm.strash(Not, name+"_n", one[:])
+	}
+	return sm.strash(t, name, fanin)
+}
+
+func (sm *simplifier) materialize(v sval) int {
+	if !v.isConst {
+		return v.id
+	}
+	idx := 0
+	ty := Const0
+	if v.cval {
+		idx, ty = 1, Const1
+	}
+	if !sm.haveConst[idx] {
+		sm.constGate[idx] = sm.n.AddGate(ty, fmt.Sprintf("const%d", idx))
+		sm.haveConst[idx] = true
+	}
+	return sm.constGate[idx]
+}
+
+func dualType(t GateType) GateType {
+	switch t {
+	case And:
+		return Nand
+	case Nand:
+		return And
+	case Or:
+		return Nor
+	case Nor:
+		return Or
+	case Xor:
+		return Xnor
+	case Xnor:
+		return Xor
+	}
+	panic("circuit: dualType: " + t.String())
+}
+
+// compID returns the id of a gate in the new circuit that computes
+// the complement of wire id, or -1 when none exists yet. It only ever
+// looks up — complements are recognised, never created — so using it
+// for cancellation cannot grow the netlist.
+func (sm *simplifier) compID(id int) int {
+	g := &sm.n.Gates[id]
+	switch g.Type {
+	case Not:
+		return g.Fanin[0]
+	case And, Nand, Or, Nor, Xor, Xnor:
+		if d := sm.lookup(dualType(g.Type), g.Fanin); d >= 0 {
+			return d
+		}
+	}
+	one := [1]int{id}
+	return sm.lookup(Not, one[:])
+}
+
+// notOf complements a value with inverter absorption: the complement
+// of an AND/OR/XOR-family gate is its dual gate, and double negation
+// cancels. Only source wires (inputs, keys, MUX outputs) get a real
+// NOT gate, which is what keeps NOT chains out of the new circuit and
+// lets XOR cancellation see through them.
+func (sm *simplifier) notOf(v sval, name string) sval {
+	if v.isConst {
+		return constV(!v.cval)
+	}
+	g := &sm.n.Gates[v.id]
+	switch g.Type {
+	case Not:
+		return wireV(g.Fanin[0])
+	case And, Nand, Or, Nor, Xor, Xnor:
+		return sm.emit(dualType(g.Type), name, append([]int(nil), g.Fanin...))
+	}
+	one := [1]int{v.id}
+	return wireV(sm.strash(Not, name, one[:]))
+}
+
+// foldGate computes the simplified value of one gate: constant-level
+// folding over sval operands, then emit for the structural rules.
+func (sm *simplifier) foldGate(g *Gate, fan []sval) sval {
 	switch g.Type {
 	case Const0:
 		return constV(false)
@@ -121,7 +274,7 @@ func foldGate(g *Gate, fan []sval, emit func(GateType, string, ...int) int) sval
 	case Buf:
 		return fan[0]
 	case Not:
-		return notOf(fan[0])
+		return sm.notOf(fan[0], g.Name+"_n")
 	case And, Nand, Or, Nor:
 		isOr := g.Type == Or || g.Type == Nor
 		neg := g.Type == Nand || g.Type == Nor
@@ -135,27 +288,15 @@ func foldGate(g *Gate, fan []sval, emit func(GateType, string, ...int) int) sval
 			}
 			wires = append(wires, v.id)
 		}
-		wires = dedupSorted(wires)
-		switch len(wires) {
-		case 0:
-			return constV(!isOr != neg) // AND()=1, OR()=0, then negate
-		case 1:
-			v := wireV(wires[0])
-			if neg {
-				return notOf(v)
-			}
-			return v
+		base := And
+		if isOr {
+			base = Or
 		}
-		t := And
-		switch {
-		case isOr && neg:
-			t = Nor
-		case isOr:
-			t = Or
-		case neg:
-			t = Nand
+		t := base
+		if neg {
+			t = dualType(base)
 		}
-		return wireV(emit(t, g.Name, wires...))
+		return sm.emit(t, g.Name, wires)
 	case Xor, Xnor:
 		parity := g.Type == Xnor
 		var wires []int
@@ -168,81 +309,310 @@ func foldGate(g *Gate, fan []sval, emit func(GateType, string, ...int) int) sval
 			}
 			wires = append(wires, v.id)
 		}
-		wires = cancelPairsSorted(wires)
-		switch len(wires) {
-		case 0:
-			return constV(parity)
-		case 1:
-			v := wireV(wires[0])
-			if parity {
-				return notOf(v)
-			}
-			return v
-		}
 		t := Xor
 		if parity {
 			t = Xnor
 		}
-		return wireV(emit(t, g.Name, wires...))
+		return sm.emit(t, g.Name, wires)
 	case Mux:
-		sel, a, b := fan[0], fan[1], fan[2]
-		if sel.isConst {
-			if sel.cval {
-				return b
-			}
-			return a
-		}
-		if a.isConst && b.isConst {
-			switch {
-			case a.cval == b.cval:
-				return a
-			case b.cval: // mux(s,0,1) = s
-				return sel
-			default: // mux(s,1,0) = ¬s
-				return notOf(sel)
-			}
-		}
-		if !a.isConst && !b.isConst && a.id == b.id {
-			return a
-		}
-		// Lower constant arms: mux(s,a,1) = ¬s·a + s = s ∨ a ... keep
-		// it simple and only fold the fully symbolic case.
-		sid := sel.id
-		aid, bid := -1, -1
-		if a.isConst || b.isConst {
-			// Materialise the constant arm through emit-able constant
-			// gates is not available here; keep a MUX with NOT/AND/OR
-			// decomposition instead.
-			// mux(s,a,b) = (¬s ∧ a) ∨ (s ∧ b); constant arms fold:
-			ns := emit(Not, g.Name+"_ns", sid)
-			var terms []int
-			if a.isConst {
-				if a.cval {
-					terms = append(terms, ns)
-				}
-			} else {
-				terms = append(terms, emit(And, g.Name+"_ta", ns, a.id))
-			}
-			if b.isConst {
-				if b.cval {
-					terms = append(terms, sid)
-				}
-			} else {
-				terms = append(terms, emit(And, g.Name+"_tb", sid, b.id))
-			}
-			switch len(terms) {
-			case 0:
-				return constV(false)
-			case 1:
-				return wireV(terms[0])
-			default:
-				return wireV(emit(Or, g.Name+"_or", terms...))
-			}
-		}
-		aid, bid = a.id, b.id
-		return wireV(emit(Mux, g.Name, sid, aid, bid))
+		return sm.foldMux(g, fan)
 	}
 	panic("circuit: foldGate: unreachable gate type " + g.Type.String())
+}
+
+func (sm *simplifier) foldMux(g *Gate, fan []sval) sval {
+	sel, a, b := fan[0], fan[1], fan[2]
+	if sel.isConst {
+		if sel.cval {
+			return b
+		}
+		return a
+	}
+	// An inverted select swaps the arms: mux(¬s,a,b) = mux(s,b,a).
+	if ng := &sm.n.Gates[sel.id]; ng.Type == Not {
+		sel = wireV(ng.Fanin[0])
+		a, b = b, a
+	}
+	if a.isConst && b.isConst {
+		switch {
+		case a.cval == b.cval:
+			return a
+		case b.cval: // mux(s,0,1) = s
+			return sel
+		default: // mux(s,1,0) = ¬s
+			return sm.notOf(sel, g.Name+"_n")
+		}
+	}
+	if !a.isConst && !b.isConst {
+		if a.id == b.id {
+			return a
+		}
+		// Complementary arms are a disguised parity gate:
+		// mux(s,a,¬a) = s⊕a and mux(s,¬b,b) = ¬(s⊕b).
+		if sm.compID(a.id) == b.id {
+			return sm.emit(Xor, g.Name, []int{sel.id, a.id})
+		}
+		if sm.compID(b.id) == a.id {
+			return sm.emit(Xnor, g.Name, []int{sel.id, b.id})
+		}
+	}
+	sid := sel.id
+	if a.isConst || b.isConst {
+		// mux(s,a,b) = (¬s ∧ a) ∨ (s ∧ b); constant arms fold the
+		// corresponding term away (or reduce it to the select).
+		ns := sm.notOf(sel, g.Name+"_ns")
+		var terms []sval
+		if a.isConst {
+			if a.cval {
+				terms = append(terms, ns)
+			}
+		} else {
+			terms = append(terms, sm.emit(And, g.Name+"_ta", []int{sm.materialize(ns), a.id}))
+		}
+		if b.isConst {
+			if b.cval {
+				terms = append(terms, wireV(sid))
+			}
+		} else {
+			terms = append(terms, sm.emit(And, g.Name+"_tb", []int{sid, b.id}))
+		}
+		var wires []int
+		for _, t := range terms {
+			if t.isConst {
+				if t.cval {
+					return constV(true)
+				}
+				continue
+			}
+			wires = append(wires, t.id)
+		}
+		return sm.emit(Or, g.Name+"_or", wires)
+	}
+	return wireV(sm.strash(Mux, g.Name, []int{sid, a.id, b.id}))
+}
+
+// emit creates (or finds) the gate computing t over the given wires,
+// after applying the structural rewrite rules:
+//
+//   - bounded same-polarity flattening (AND inside AND/NAND, OR
+//     inside OR/NOR, XOR/XNOR inside XOR/XNOR with parity folding),
+//   - canonical sort + duplicate handling (idempotent for AND/OR,
+//     pairwise cancellation for XOR),
+//   - complement-pair detection (x∧¬x=0, x∨¬x=1, x⊕¬x=1) against
+//     already-built gates via the strash table,
+//   - De Morgan normalisation when every operand is inverted,
+//   - degenerate-width collapse (empty and single-operand gates).
+//
+// It returns an sval because rules can resolve the gate to a constant
+// or an existing wire; callers then re-propagate those constants.
+func (sm *simplifier) emit(t GateType, name string, wires []int) sval {
+	switch t {
+	case And, Nand, Or, Nor:
+		return sm.emitAndOr(t, name, wires)
+	case Xor, Xnor:
+		return sm.emitXor(t, name, wires)
+	}
+	panic("circuit: emit: unexpected gate type " + t.String())
+}
+
+func (sm *simplifier) emitAndOr(t GateType, name string, wires []int) sval {
+	base := And
+	if t == Or || t == Nor {
+		base = Or
+	}
+	neg := t == Nand || t == Nor
+	isOr := base == Or
+
+	wires = sm.flatten(base, wires)
+	wires = dedupSorted(wires)
+
+	// x ∧ ¬x (or x ∨ ¬x) collapses to the absorbing constant.
+	for _, w := range wires {
+		if c := sm.compID(w); c >= 0 && containsSorted(wires, c) {
+			return constV(isOr != neg)
+		}
+	}
+
+	// Absorption: x ∧ (x ∨ y) = x and x ∨ (x ∧ y) = x — a dual-base
+	// operand containing another operand is redundant. All drops are
+	// decided against the unmodified operand list before compacting;
+	// absorption chains always bottom out at a surviving operand
+	// because containment follows strictly decreasing gate ids.
+	// Dropping operands never grows the netlist.
+	dual := Or
+	if isOr {
+		dual = And
+	}
+	sm.absorb = sm.absorb[:0]
+	for _, w := range wires {
+		g := &sm.n.Gates[w]
+		absorbed := false
+		if g.Type == dual {
+			for _, f := range g.Fanin {
+				if f != w && containsSorted(wires, f) {
+					absorbed = true
+					break
+				}
+			}
+		}
+		sm.absorb = append(sm.absorb, absorbed)
+	}
+	kept := wires[:0]
+	for i, w := range wires {
+		if !sm.absorb[i] {
+			kept = append(kept, w)
+		}
+	}
+	wires = kept
+
+	switch len(wires) {
+	case 0:
+		return constV(!isOr != neg) // AND()=1, OR()=0, then negate
+	case 1:
+		if neg {
+			return sm.notOf(wireV(wires[0]), name+"_n")
+		}
+		return wireV(wires[0])
+	}
+
+	// De Morgan normalisation: a gate whose operands are all inverted
+	// becomes the dual gate over the uninverted operands, which both
+	// drops the inverters from the cone and lets the dual merge with
+	// gates built directly over the plain wires.
+	allNot := true
+	for _, w := range wires {
+		if sm.n.Gates[w].Type != Not {
+			allNot = false
+			break
+		}
+	}
+	if allNot {
+		stripped := make([]int, len(wires))
+		for i, w := range wires {
+			stripped[i] = sm.n.Gates[w].Fanin[0]
+		}
+		// ∧¬xᵢ = ¬(∨xᵢ) and ∨¬xᵢ = ¬(∧xᵢ); the outer negation flips
+		// with the gate's own polarity.
+		dual := Or
+		if isOr {
+			dual = And
+		}
+		ndual := dual
+		if !neg {
+			ndual = dualType(dual)
+		}
+		return sm.emit(ndual, name, stripped)
+	}
+
+	return wireV(sm.strashPolar(t, name, wires))
+}
+
+func (sm *simplifier) emitXor(t GateType, name string, wires []int) sval {
+	parity := t == Xnor
+
+	// Flatten nested parity gates transitively under the width cap; an
+	// XNOR operand contributes its fanins plus one inversion. Parity
+	// gates are materialised as 2-input chains (below), so splicing
+	// must iterate to see through a whole chain.
+	flat := append(make([]int, 0, len(wires)+4), wires...)
+	for i := 0; i < len(flat); {
+		g := &sm.n.Gates[flat[i]]
+		if (g.Type == Xor || g.Type == Xnor) && len(flat)+len(g.Fanin)-1 <= maxFlatten {
+			if g.Type == Xnor {
+				parity = !parity
+			}
+			rest := append(make([]int, 0, len(g.Fanin)+len(flat)-i-1), g.Fanin...)
+			rest = append(rest, flat[i+1:]...)
+			flat = append(flat[:i], rest...)
+			continue // re-examine position i (may have spliced in a chain link)
+		}
+		i++
+	}
+	wires = cancelPairsSorted(flat) // x ⊕ x = 0
+
+	// x ⊕ ¬x = 1: cancel complement pairs, flipping parity per pair.
+	for i := 0; i < len(wires); i++ {
+		c := sm.compID(wires[i])
+		if c < 0 {
+			continue
+		}
+		for j := range wires {
+			if j == i || wires[j] != c {
+				continue
+			}
+			if i > j {
+				i, j = j, i
+			}
+			wires = append(wires[:j], wires[j+1:]...)
+			wires = append(wires[:i], wires[i+1:]...)
+			parity = !parity
+			i = -1 // restart the scan over the shrunken list
+			break
+		}
+	}
+
+	switch len(wires) {
+	case 0:
+		return constV(parity)
+	case 1:
+		if parity {
+			return sm.notOf(wireV(wires[0]), name+"_n")
+		}
+		return wireV(wires[0])
+	}
+	// Materialise as a chain of 2-input XORs over the sorted operands
+	// rather than one wide gate: parity gates cost one CNF variable
+	// per pair either way, but chained pairs strash, so gates whose
+	// flattened operand lists share a prefix share the encoding too
+	// (a wide gate re-derives the whole chain privately). A trailing
+	// inversion folds into the final link as an XNOR — emitted
+	// directly, not via notOf, which would recurse into this function.
+	acc := wires[0]
+	for i, w := range wires[1:] {
+		lt := Xor
+		if parity && i == len(wires)-2 {
+			lt = Xnor
+		}
+		pair := [2]int{w, acc} // acc is always the newer (larger) id
+		if acc < w {
+			pair = [2]int{acc, w}
+		}
+		acc = sm.strashPolar(lt, name, pair[:])
+	}
+	return wireV(acc)
+}
+
+// flatten splices operands that are themselves base-type gates (AND
+// into AND/NAND, OR into OR/NOR), all-or-nothing under the maxFlatten
+// width cap. It creates no gates, so it can only shrink the netlist
+// (spliced inner gates die when nothing else uses them).
+func (sm *simplifier) flatten(base GateType, wires []int) []int {
+	splice, total := false, 0
+	for _, w := range wires {
+		if g := &sm.n.Gates[w]; g.Type == base {
+			splice = true
+			total += len(g.Fanin)
+		} else {
+			total++
+		}
+	}
+	if !splice || total > maxFlatten {
+		return wires
+	}
+	flat := make([]int, 0, total)
+	for _, w := range wires {
+		if g := &sm.n.Gates[w]; g.Type == base {
+			flat = append(flat, g.Fanin...)
+			continue
+		}
+		flat = append(flat, w)
+	}
+	return flat
+}
+
+func containsSorted(ws []int, x int) bool {
+	i := sort.SearchInts(ws, x)
+	return i < len(ws) && ws[i] == x
 }
 
 func dedupSorted(ws []int) []int {
@@ -270,19 +640,6 @@ func cancelPairsSorted(ws []int) []int {
 		i++
 	}
 	return out
-}
-
-func signature(t GateType, fanin []int) string {
-	f := append([]int(nil), fanin...)
-	switch t {
-	case And, Nand, Or, Nor, Xor, Xnor:
-		sort.Ints(f)
-	}
-	sig := fmt.Sprintf("%d:", t)
-	for _, x := range f {
-		sig += fmt.Sprintf("%d,", x)
-	}
-	return sig
 }
 
 // Prune returns a copy of the circuit without gates outside every

@@ -62,6 +62,81 @@ type Options struct {
 	KeyLits []sat.Lit
 	// FixedKeys, if non-nil, hardwires the key inputs to constants.
 	FixedKeys []bool
+	// Share, if non-nil, memoizes the wires of key-independent gates
+	// across Encode calls: a gate whose fanin cone contains no Key
+	// input computes the same function in every copy that binds the
+	// primary inputs identically, so later copies reuse the first
+	// copy's encoding instead of emitting fresh variables and clauses.
+	// All copies sharing a cache must target the same solver and the
+	// same PI binding (identical PILits or identical FixedPIs); the
+	// miter constructors manage those lifetimes.
+	Share *ShareCache
+	// Scratch, if non-nil, provides reusable clause-literal buffers
+	// for the gate encoders so repeated copies (one per DIP, two per
+	// miter) stop allocating per-gate temporaries.
+	Scratch *Scratch
+}
+
+// ShareCache memoizes encoded wires of a circuit's key-independent
+// cone. The zero value is not usable; create with NewShareCache. The
+// key-dependence marking is computed once per circuit on first use
+// and survives Reset; the memoized wires are per PI binding and are
+// cleared by Reset.
+type ShareCache struct {
+	s     *sat.Solver // bound on first use; guards cross-solver reuse
+	dep   []bool      // gate cone contains a Key input
+	wires []Wire
+	has   []bool
+}
+
+// NewShareCache returns an empty cache. One cache serves one
+// (solver, circuit, PI binding) combination at a time; call Reset
+// when moving to a new PI binding in the same solver.
+func NewShareCache() *ShareCache { return &ShareCache{} }
+
+// Reset forgets the memoized wires but keeps the (binding-
+// independent) key-dependence marking.
+func (sc *ShareCache) Reset() {
+	for i := range sc.has {
+		sc.has[i] = false
+	}
+}
+
+func (sc *ShareCache) bind(s *sat.Solver, c *circuit.Circuit, order []int) {
+	if sc.s == nil {
+		sc.s = s
+	} else if sc.s != s {
+		panic("cnf: ShareCache reused across solvers")
+	}
+	if sc.dep != nil {
+		return
+	}
+	dep := make([]bool, len(c.Gates))
+	for _, id := range order {
+		g := &c.Gates[id]
+		if g.Type == circuit.Key {
+			dep[id] = true
+			continue
+		}
+		for _, f := range g.Fanin {
+			if dep[f] {
+				dep[id] = true
+				break
+			}
+		}
+	}
+	sc.dep = dep
+	sc.wires = make([]Wire, len(c.Gates))
+	sc.has = make([]bool, len(c.Gates))
+}
+
+// Scratch holds reusable buffers for the gate encoders. The zero
+// value is ready for use; a Scratch is not safe for concurrent use.
+type Scratch struct {
+	fan  []Wire
+	neg  []Wire
+	lits []sat.Lit
+	big  []sat.Lit
 }
 
 // Copy is one CNF instantiation of a circuit.
@@ -120,7 +195,15 @@ func Encode(s *sat.Solver, c *circuit.Circuit, opts Options) (*Copy, error) {
 		cp.Keys[i] = wires[id]
 	}
 
-	var fan []Wire
+	share := opts.Share
+	if share != nil {
+		share.bind(s, c, order)
+	}
+	sc := opts.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	fan := sc.fan[:0]
 	for _, id := range order {
 		g := &c.Gates[id]
 		switch g.Type {
@@ -133,36 +216,45 @@ func Encode(s *sat.Solver, c *circuit.Circuit, opts Options) (*Copy, error) {
 			wires[id] = ConstWire(true)
 			continue
 		}
+		if share != nil && !share.dep[id] && share.has[id] {
+			wires[id] = share.wires[id]
+			continue
+		}
 		fan = fan[:0]
 		for _, f := range g.Fanin {
 			fan = append(fan, wires[f])
 		}
-		w, err := encodeGate(s, g.Type, fan)
+		w, err := encodeGateScratch(s, g.Type, fan, sc)
 		if err != nil {
 			return nil, fmt.Errorf("cnf: gate %d (%s): %w", id, g.Name, err)
 		}
 		wires[id] = w
+		if share != nil && !share.dep[id] {
+			share.wires[id] = w
+			share.has[id] = true
+		}
 	}
+	sc.fan = fan[:0]
 	for i, po := range c.POs {
 		cp.Outs[i] = wires[po]
 	}
 	return cp, nil
 }
 
-func encodeGate(s *sat.Solver, t circuit.GateType, fan []Wire) (Wire, error) {
+func encodeGateScratch(s *sat.Solver, t circuit.GateType, fan []Wire, sc *Scratch) (Wire, error) {
 	switch t {
 	case circuit.Buf:
 		return fan[0], nil
 	case circuit.Not:
 		return fan[0].Not(), nil
 	case circuit.And:
-		return And(s, fan...), nil
+		return andScratch(s, fan, sc), nil
 	case circuit.Nand:
-		return And(s, fan...).Not(), nil
+		return andScratch(s, fan, sc).Not(), nil
 	case circuit.Or:
-		return Or(s, fan...), nil
+		return orScratch(s, fan, sc), nil
 	case circuit.Nor:
-		return Or(s, fan...).Not(), nil
+		return orScratch(s, fan, sc).Not(), nil
 	case circuit.Xor:
 		return XorN(s, fan...), nil
 	case circuit.Xnor:
@@ -175,7 +267,14 @@ func encodeGate(s *sat.Solver, t circuit.GateType, fan []Wire) (Wire, error) {
 
 // And encodes an n-ary conjunction with constant folding.
 func And(s *sat.Solver, in ...Wire) Wire {
-	lits := make([]sat.Lit, 0, len(in))
+	return andScratch(s, in, &Scratch{})
+}
+
+// andScratch is And over caller-owned scratch buffers. The solver
+// copies every clause it is handed, so reusing sc across gates (and
+// across Encode calls) is safe.
+func andScratch(s *sat.Solver, in []Wire, sc *Scratch) Wire {
+	lits := sc.lits[:0]
 	for _, w := range in {
 		if w.Const {
 			if !w.Val {
@@ -185,6 +284,7 @@ func And(s *sat.Solver, in ...Wire) Wire {
 		}
 		lits = append(lits, w.Lit)
 	}
+	sc.lits = lits[:0]
 	switch len(lits) {
 	case 0:
 		return ConstWire(true)
@@ -193,23 +293,30 @@ func And(s *sat.Solver, in ...Wire) Wire {
 	}
 	z := FreshLit(s)
 	// z → each lit; (all lits) → z.
-	big := make([]sat.Lit, 0, len(lits)+1)
+	big := sc.big[:0]
 	for _, l := range lits {
 		s.AddClause(z.Not(), l)
 		big = append(big, l.Not())
 	}
 	big = append(big, z)
 	s.AddClause(big...)
+	sc.big = big[:0]
 	return LitWire(z)
 }
 
 // Or encodes an n-ary disjunction with constant folding.
 func Or(s *sat.Solver, in ...Wire) Wire {
-	neg := make([]Wire, len(in))
-	for i, w := range in {
-		neg[i] = w.Not()
+	return orScratch(s, in, &Scratch{})
+}
+
+func orScratch(s *sat.Solver, in []Wire, sc *Scratch) Wire {
+	neg := sc.neg[:0]
+	for _, w := range in {
+		neg = append(neg, w.Not())
 	}
-	return And(s, neg...).Not()
+	out := andScratch(s, neg, sc).Not()
+	sc.neg = neg[:0]
+	return out
 }
 
 // Xor2 encodes a binary XOR with constant folding.
@@ -342,23 +449,48 @@ type Miter struct {
 	KeyB []sat.Lit
 	OutA []Wire
 	OutB []Wire
+
+	// dipShare memoizes the key-independent cone across the two copies
+	// of one AddDIPCopies call; scratch backs the per-gate encoder
+	// buffers. Both are lazily (re)created, so cloned miters start
+	// fresh instead of racing on the parent's caches.
+	dipShare *ShareCache
+	scratch  *Scratch
 }
 
 // NewMiter builds the miter for locked circuit c in a fresh solver.
+//
+// Two formula-size reductions are applied. First, the circuit is run
+// through circuit.Simplify — interface-preserving, so distinguishing
+// inputs and recovered keys transfer verbatim to the original locked
+// netlist — which strips the redundancy (buffer chains, duplicate
+// cones, constant logic) that synthetic and resynthesised benchmarks
+// carry. Second, the two symbolic copies share the primary-input
+// variables AND the entire key-independent cone: a gate with no Key
+// input in its fanin cone computes the same function of the shared
+// PIs in both copies, so copy B reuses copy A's encoding for it. The
+// per-DIP copies added later reuse the same simplified netlist.
 func NewMiter(c *circuit.Circuit) (*Miter, error) {
+	c, err := circuit.Simplify(c)
+	if err != nil {
+		return nil, err
+	}
 	s := sat.New()
 	pis := FreshLits(s, c.NumPIs())
 	keyA := FreshLits(s, c.NumKeys())
 	keyB := FreshLits(s, c.NumKeys())
-	ca, err := Encode(s, c, Options{PILits: pis, KeyLits: keyA})
+	share := NewShareCache()
+	scratch := &Scratch{}
+	ca, err := Encode(s, c, Options{PILits: pis, KeyLits: keyA, Share: share, Scratch: scratch})
 	if err != nil {
 		return nil, err
 	}
-	cb, err := Encode(s, c, Options{PILits: pis, KeyLits: keyB})
+	cb, err := Encode(s, c, Options{PILits: pis, KeyLits: keyB, Share: share, Scratch: scratch})
 	if err != nil {
 		return nil, err
 	}
-	m := &Miter{S: s, C: c, PIs: pis, KeyA: keyA, KeyB: keyB, OutA: ca.Outs, OutB: cb.Outs}
+	m := &Miter{S: s, C: c, PIs: pis, KeyA: keyA, KeyB: keyB, OutA: ca.Outs, OutB: cb.Outs,
+		scratch: scratch}
 	NotEqualAny(s, ca.Outs, cb.Outs)
 	return m, nil
 }
@@ -390,11 +522,21 @@ func modelOf(s *sat.Solver, lits []sat.Lit) []bool {
 // returns their output wires so the caller can constrain individual
 // bits (StatSAT specifies bits incrementally).
 func (m *Miter) AddDIPCopies(x []bool) (outA, outB []Wire, err error) {
-	ca, err := Encode(m.S, m.C, Options{FixedPIs: x, KeyLits: m.KeyA})
+	if m.dipShare == nil {
+		m.dipShare = NewShareCache()
+	}
+	if m.scratch == nil {
+		m.scratch = &Scratch{}
+	}
+	// Both copies fix the PIs to the same x, so the key-independent
+	// cone is shareable within this call; Reset drops the previous
+	// DIP's binding.
+	m.dipShare.Reset()
+	ca, err := Encode(m.S, m.C, Options{FixedPIs: x, KeyLits: m.KeyA, Share: m.dipShare, Scratch: m.scratch})
 	if err != nil {
 		return nil, nil, err
 	}
-	cb, err := Encode(m.S, m.C, Options{FixedPIs: x, KeyLits: m.KeyB})
+	cb, err := Encode(m.S, m.C, Options{FixedPIs: x, KeyLits: m.KeyB, Share: m.dipShare, Scratch: m.scratch})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -408,18 +550,31 @@ type KeySolver struct {
 	S    *sat.Solver
 	C    *circuit.Circuit
 	Keys []sat.Lit
+
+	scratch *Scratch // lazily created; not carried across Clone
 }
 
-// NewKeySolver builds an empty key-constraint solver for c.
+// NewKeySolver builds an empty key-constraint solver for c. Like
+// NewMiter it works on the simplified netlist (interface-preserving,
+// so keys transfer verbatim); when simplification fails the original
+// circuit is used — per-DIP encoding tolerates any valid netlist.
 func NewKeySolver(c *circuit.Circuit) *KeySolver {
+	if sc, err := circuit.Simplify(c); err == nil {
+		c = sc
+	}
 	s := sat.New()
 	return &KeySolver{S: s, C: c, Keys: FreshLits(s, c.NumKeys())}
 }
 
 // AddDIPCopy instantiates a copy with PIs fixed to x over the shared
-// key vector and returns its output wires.
+// key vector and returns its output wires. Each call has a distinct
+// PI binding, so there is no cone to share — only the encoder
+// scratch buffers are reused.
 func (k *KeySolver) AddDIPCopy(x []bool) ([]Wire, error) {
-	cp, err := Encode(k.S, k.C, Options{FixedPIs: x, KeyLits: k.Keys})
+	if k.scratch == nil {
+		k.scratch = &Scratch{}
+	}
+	cp, err := Encode(k.S, k.C, Options{FixedPIs: x, KeyLits: k.Keys, Scratch: k.scratch})
 	if err != nil {
 		return nil, err
 	}

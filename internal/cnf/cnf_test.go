@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"statsat/internal/circuit"
+	"statsat/internal/gen"
+	"statsat/internal/lock"
 	"statsat/internal/sat"
 )
 
@@ -472,6 +474,208 @@ func BenchmarkMiterBuild500(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := NewMiter(c); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestEncodeShareCacheSoundness: two copies over shared PI literals
+// and a shared cone cache must each still evaluate exactly like the
+// simulator under independent keys — sharing may only merge gates
+// that genuinely compute the same function.
+func TestEncodeShareCacheSoundness(t *testing.T) {
+	for seed := int64(50); seed < 60; seed++ {
+		c := randomCircuit(seed, 6, 3, 60, 5)
+		s := sat.New()
+		pis := FreshLits(s, c.NumPIs())
+		keyA := FreshLits(s, c.NumKeys())
+		keyB := FreshLits(s, c.NumKeys())
+		share := NewShareCache()
+		ca, err := Encode(s, c, Options{PILits: pis, KeyLits: keyA, Share: share})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cb, err := Encode(s, c, Options{PILits: pis, KeyLits: keyB, Share: share})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed + 2000))
+		for trial := 0; trial < 12; trial++ {
+			pi := c.RandomInputs(rng)
+			ka := c.RandomKey(rng)
+			kb := c.RandomKey(rng)
+			var assumps []sat.Lit
+			for i, l := range pis {
+				assumps = append(assumps, mkAssump(l, pi[i]))
+			}
+			for i, l := range keyA {
+				assumps = append(assumps, mkAssump(l, ka[i]))
+			}
+			for i, l := range keyB {
+				assumps = append(assumps, mkAssump(l, kb[i]))
+			}
+			if got := s.Solve(assumps...); got != sat.Sat {
+				t.Fatalf("seed %d trial %d: unsat under full assignment: %v", seed, trial, got)
+			}
+			wantA := c.Eval(pi, ka, nil)
+			wantB := c.Eval(pi, kb, nil)
+			for i := range wantA {
+				gotA, gotB := wireVal(s, ca.Outs[i]), wireVal(s, cb.Outs[i])
+				if gotA != wantA[i] || gotB != wantB[i] {
+					t.Fatalf("seed %d trial %d output %d: copyA %v/%v copyB %v/%v",
+						seed, trial, i, gotA, wantA[i], gotB, wantB[i])
+				}
+			}
+		}
+	}
+}
+
+func wireVal(s *sat.Solver, w Wire) bool {
+	if w.Const {
+		return w.Val
+	}
+	return s.ModelLit(w.Lit)
+}
+
+// TestShareCacheSolverGuard: reusing a cache in a different solver
+// would splice dangling literals into the new formula; it must panic.
+func TestShareCacheSolverGuard(t *testing.T) {
+	c := randomCircuit(3, 4, 2, 20, 3)
+	share := NewShareCache()
+	s1 := sat.New()
+	if _, err := Encode(s1, c, Options{Share: share}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on cross-solver cache reuse")
+		}
+	}()
+	s2 := sat.New()
+	Encode(s2, c, Options{Share: share}) //nolint:errcheck // panics first
+}
+
+// TestMiterSharingReducesVars measures the simplified, shared-cone
+// miter on the c880 stand-in locked with 32 key bits (Table V's
+// configuration). The new NewMiter (structural-hash rewriting +
+// shared key-independent cone + polarity-dual variable reuse) must
+// allocate at least 30% fewer solver variables than the pre-sharing
+// construction: two independent encodings of the raw netlist, as the
+// encoder produced before ShareCache existed. The new miter must
+// also still drive a noiseless DIP loop to convergence.
+func TestMiterSharingReducesVars(t *testing.T) {
+	bm, ok := gen.ByName("c880")
+	if !ok {
+		t.Fatal("c880 benchmark missing")
+	}
+	orig := bm.Build()
+	lk, err := lock.RLL(orig, 32, rand.New(rand.NewSource(880)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked := lk.Circuit
+
+	// New encoding: NewMiter (simplify + shared cone).
+	m, err := NewMiter(locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedVars := m.S.NumVars()
+
+	// Reference encoding: the miter as built before this
+	// optimisation — raw netlist, two full independent copies.
+	s := sat.New()
+	pis := FreshLits(s, locked.NumPIs())
+	ca, err := Encode(s, locked, Options{PILits: pis, KeyLits: FreshLits(s, locked.NumKeys())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Encode(s, locked, Options{PILits: pis, KeyLits: FreshLits(s, locked.NumKeys())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	NotEqualAny(s, ca.Outs, cb.Outs)
+	refVars := s.NumVars()
+
+	t.Logf("c880/RLL32 miter: new=%d vars, ref=%d vars, %.1f%% reduction",
+		sharedVars, refVars, 100*float64(refVars-sharedVars)/float64(refVars))
+	if 10*sharedVars > 7*refVars {
+		t.Errorf("sharing saved too little: %d vs %d vars (want ≥30%% reduction)",
+			sharedVars, refVars)
+	}
+
+	// The leaner miter must still converge on the same workload.
+	oracle := func(x []bool) []bool { return locked.Eval(x, lk.Key, nil) }
+	const maxIter = 400
+	iters := 0
+	for ; iters < maxIter && m.S.Solve() == sat.Sat; iters++ {
+		x := m.Input()
+		y := oracle(x)
+		outA, outB, err := m.AddDIPCopies(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range y {
+			Equal(m.S, outA[j], y[j])
+			Equal(m.S, outB[j], y[j])
+		}
+	}
+	if iters == maxIter {
+		t.Fatalf("attack did not converge within %d iterations", maxIter)
+	}
+	t.Logf("noiseless DIP loop converged after %d DIPs, %d vars total", iters, m.S.NumVars())
+}
+
+// TestMiterSharedAttackLoop re-runs the c17 attack loop of
+// TestMiterFullAttackLoop semantics on a locked random circuit to
+// check end-to-end behaviour with shared cones and DIP-copy caches:
+// the recovered key must be functionally correct.
+func TestMiterSharedAttackLoop(t *testing.T) {
+	bm := gen.Benchmark{Name: "t", Inputs: 10, Gates: 120, Outputs: 6, Seed: 7}
+	orig := bm.Build()
+	lk, err := lock.RLL(orig, 8, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked := lk.Circuit
+	m, err := NewMiter(locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := NewKeySolver(locked)
+	oracle := func(x []bool) []bool { return locked.Eval(x, lk.Key, nil) }
+	for iter := 0; iter < 200; iter++ {
+		if m.S.Solve() != sat.Sat {
+			break // no distinguishing input left
+		}
+		x := m.Input()
+		y := oracle(x)
+		outA, outB, err := m.AddDIPCopies(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := ks.AddDIPCopy(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range y {
+			Equal(m.S, outA[j], y[j])
+			Equal(m.S, outB[j], y[j])
+			Equal(ks.S, outs[j], y[j])
+		}
+	}
+	if ks.S.Solve() != sat.Sat {
+		t.Fatal("key solver unsat after attack loop")
+	}
+	key := ks.Key()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		x := locked.RandomInputs(rng)
+		want := oracle(x)
+		got := locked.Eval(x, key, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("recovered key wrong on input %v output %d", x, i)
+			}
 		}
 	}
 }

@@ -47,6 +47,25 @@ func (o *lockedOracle) Queries() int64 {
 	return o.inner.Queries()
 }
 
+// blockLockedOracle extends lockedOracle with the blocked sampling
+// view, so instances sharing the chip keep the wide-pass fast path
+// (oracle.SignalProbs prefers BlockQuerier when present).
+type blockLockedOracle struct {
+	*lockedOracle
+	block oracle.BlockQuerier
+}
+
+func (o *blockLockedOracle) QueryBlock(x []bool, words int) []uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	// Copy under the lock for the same reason QueryBatch does: the
+	// inner oracle's block buffer is reused across calls, and the
+	// caller reads the words after the lock is released.
+	return append([]uint64(nil), o.block.QueryBlock(x, words)...)
+}
+
+func (o *blockLockedOracle) BlockWords() int { return o.block.BlockWords() }
+
 // scalarLockedOracle is the wrapper for oracles without QueryBatch; it
 // deliberately lacks the BatchQuerier method so SignalProbs falls back
 // to the scalar path.
@@ -57,10 +76,14 @@ func (o scalarLockedOracle) NumInputs() int        { return o.lo.NumInputs() }
 func (o scalarLockedOracle) NumOutputs() int       { return o.lo.NumOutputs() }
 func (o scalarLockedOracle) Queries() int64        { return o.lo.Queries() }
 
-// wrapOracle returns a goroutine-safe view of orc, preserving batch
-// sampling capability when present.
+// wrapOracle returns a goroutine-safe view of orc, preserving blocked
+// and batch sampling capability when present.
 func wrapOracle(orc oracle.Oracle) oracle.Oracle {
 	lo := &lockedOracle{inner: orc}
+	if blk, ok := orc.(oracle.BlockQuerier); ok {
+		lo.batch = blk
+		return &blockLockedOracle{lockedOracle: lo, block: blk}
+	}
 	if bq, ok := orc.(oracle.BatchQuerier); ok {
 		lo.batch = bq
 		return lo

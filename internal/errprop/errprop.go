@@ -21,26 +21,57 @@ import (
 // MaxEnumFanin bounds the exact flip-pattern enumeration per gate.
 const MaxEnumFanin = 16
 
-// Estimator carries the per-circuit scratch (deterministic wire
-// values and per-wire error probabilities) that WireErrorProbs needs,
-// so the per-DIP BER estimation loop — N_satis candidate keys per
-// distinguishing input — reuses two buffers instead of allocating
-// them for every key. An Estimator is bound to one circuit and is NOT
-// safe for concurrent use; give each goroutine its own (they are
-// cheap: two NumGates-sized slices).
-type Estimator struct {
-	c    *circuit.Circuit
-	vals []bool
-	p    []float64
+// estOp is one logic gate of the estimator's flattened schedule: the
+// gate type and output ID plus an offset into the shared flat fanin
+// array, laid out in topological order so the propagation loop
+// streams three dense arrays instead of chasing Gate pointers.
+type estOp struct {
+	typ  circuit.GateType
+	out  int32
+	off  int32
+	nfan int32
 }
 
-// NewEstimator returns an estimator for c with pre-sized scratch.
+// Estimator carries the per-circuit scratch (deterministic wire
+// values and per-wire error probabilities) and a flattened gate
+// schedule that WireErrorProbs needs, so the per-DIP BER estimation
+// loop — N_satis candidate keys per distinguishing input — reuses its
+// buffers and topological order instead of rebuilding them for every
+// key. An Estimator is bound to one circuit and is NOT safe for
+// concurrent use; give each goroutine its own (they are cheap: a few
+// NumGates-sized slices).
+type Estimator struct {
+	c     *circuit.Circuit
+	vals  []bool
+	p     []float64
+	ops   []estOp
+	fanin []int32
+}
+
+// NewEstimator returns an estimator for c with pre-sized scratch and
+// a pre-flattened propagation schedule.
 func NewEstimator(c *circuit.Circuit) *Estimator {
-	return &Estimator{
+	est := &Estimator{
 		c:    c,
 		vals: make([]bool, c.NumGates()),
 		p:    make([]float64, c.NumGates()),
 	}
+	for _, id := range c.MustTopoOrder() {
+		g := &c.Gates[id]
+		if g.Type.IsInputType() {
+			continue // inputs and constants are noise-free: p stays 0
+		}
+		est.ops = append(est.ops, estOp{
+			typ:  g.Type,
+			out:  int32(id),
+			off:  int32(len(est.fanin)),
+			nfan: int32(len(g.Fanin)),
+		})
+		for _, f := range g.Fanin {
+			est.fanin = append(est.fanin, int32(f))
+		}
+	}
+	return est
 }
 
 // WireErrorProbs returns, for every gate ID, the probability that the
@@ -63,18 +94,15 @@ func (est *Estimator) WireErrorProbs(x, k []bool, eps float64) ([]float64, error
 	var faninVals [MaxEnumFanin]bool
 	var faninErrs [MaxEnumFanin]float64
 	var flipped [MaxEnumFanin]bool
-	for _, id := range c.MustTopoOrder() {
-		g := &c.Gates[id]
-		if g.Type.IsInputType() {
-			p[id] = 0 // inputs and constants are noise-free
-			continue
-		}
-		n := len(g.Fanin)
+	for oi := range est.ops {
+		op := &est.ops[oi]
+		id := int(op.out)
+		n := int(op.nfan)
 		if n > MaxEnumFanin {
 			return nil, fmt.Errorf("errprop: gate %d (%s) fanin %d exceeds enumeration limit %d",
-				id, g.Name, n, MaxEnumFanin)
+				id, c.Gates[id].Name, n, MaxEnumFanin)
 		}
-		for i, f := range g.Fanin {
+		for i, f := range est.fanin[op.off : op.off+op.nfan] {
 			faninVals[i] = vals[f]
 			faninErrs[i] = p[f]
 		}
@@ -97,7 +125,7 @@ func (est *Estimator) WireErrorProbs(x, k []bool, eps float64) ([]float64, error
 			if prob == 0 {
 				continue
 			}
-			if g.Type.Eval(flipped[:n]) != correct {
+			if op.typ.Eval(flipped[:n]) != correct {
 				q += prob
 			}
 		}

@@ -154,9 +154,23 @@ var TableI = []Benchmark{
 	{Name: "c880", Source: "ISCAS85", Inputs: 60, Gates: 383, Outputs: 26, Seed: 880},
 }
 
-// ByName looks a benchmark up by name.
+// Extra holds presets beyond the paper's tables: scaling targets the
+// attack must handle even though no published experiment uses them.
+// synth100k is the ROADMAP's "100k-gate circuits at interactive
+// latency" workload — the CI smoke job and BENCH_pr7 measurements
+// build it by name.
+var Extra = []Benchmark{
+	{Name: "synth100k", Source: "synthetic", Inputs: 256, Gates: 100000, Outputs: 128, Seed: 100001},
+}
+
+// ByName looks a benchmark up by name, in TableI first, then Extra.
 func ByName(name string) (Benchmark, bool) {
 	for _, b := range TableI {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	for _, b := range Extra {
 		if b.Name == name {
 			return b, true
 		}

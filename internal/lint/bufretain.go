@@ -21,7 +21,8 @@ type BufRetain struct{}
 func (BufRetain) Name() string { return "bufretain" }
 
 func (BufRetain) Doc() string {
-	return "flags storing a SignalProbsInto/UncertaintiesInto/EvalNoisyBatchInto result " +
+	return "flags storing a SignalProbsInto/UncertaintiesInto/EvalNoisyBatchInto/" +
+		"EvalNoisyBlockInto/QueryBatch/QueryBlock result " +
 		"into a struct field, global, composite literal or retained append target " +
 		"without copying; these buffers are invalid after the next call"
 }
@@ -30,11 +31,17 @@ func (BufRetain) Applies(string) bool { return true }
 
 // bufReturningFuncs name the functions/methods whose results alias
 // reusable internal buffers. Matching is by name across the module so
-// interface methods (BatchQuerier implementations) are covered too.
+// interface methods (BatchQuerier/BlockQuerier implementations) are
+// covered too. The blocked-evaluation APIs carry the same contract as
+// their single-word ancestors: one scratch per owner, aliases invalid
+// after the next call.
 var bufReturningFuncs = map[string]bool{
 	"SignalProbsInto":    true,
 	"UncertaintiesInto":  true,
 	"EvalNoisyBatchInto": true,
+	"EvalNoisyBlockInto": true,
+	"QueryBatch":         true,
+	"QueryBlock":         true,
 }
 
 func (c BufRetain) Run(p *Package) []Finding {

@@ -19,6 +19,14 @@ func (q *querier) EvalNoisyBatchInto(out []uint64) []uint64 {
 	return q.out
 }
 
+func (q *querier) EvalNoisyBlockInto(out []uint64, words int) []uint64 {
+	return q.out
+}
+
+func (q *querier) QueryBlock(x []bool, words int) []uint64 {
+	return q.out
+}
+
 func UncertaintiesInto(probs, dst []float64) []float64 {
 	return probs
 }
@@ -49,6 +57,18 @@ func badAppendFirstArg(h *holder, q *querier) {
 
 func badCompositeLit(q *querier) holder {
 	return holder{buf: q.SignalProbsInto(nil)} // want `\[bufretain\] result of SignalProbsInto .* composite literal`
+}
+
+func badBlockFieldStore(h *holder, q *querier) {
+	h.batchAlias = q.EvalNoisyBlockInto(nil, 4) // want `\[bufretain\] result of EvalNoisyBlockInto .* struct field batchAlias`
+}
+
+func badQueryBlockStore(h *holder, q *querier) {
+	h.batchAlias = q.QueryBlock(nil, 4) // want `\[bufretain\] result of QueryBlock .* struct field batchAlias`
+}
+
+func goodBlockCopy(h *holder, q *querier) {
+	h.batchAlias = append(h.batchAlias[:0], q.QueryBlock(nil, 4)...)
 }
 
 func goodLocalReuse(q *querier) float64 {

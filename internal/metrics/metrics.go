@@ -70,9 +70,10 @@ type BERStats struct {
 // MeasureBER samples the probabilistic oracle ns times on each of
 // nInputs random vectors and reports the average and maximum
 // per-(input, output) bit error ratio relative to the deterministic
-// reference behaviour. Sampling is bit-parallel (circuit.BatchLanes
-// samples per pass), so ns is rounded up to a whole number of passes
-// — never fewer samples than requested.
+// reference behaviour. Sampling is bit-parallel in blocked passes of
+// up to BlockWords×circuit.BatchLanes samples, so ns is rounded up to
+// a whole number of 64-lane words — never fewer samples than
+// requested, and the sampled bits are block-width independent.
 func MeasureBER(c *circuit.Circuit, key []bool, eps float64, nInputs, ns int, seed int64) BERStats {
 	rng := rand.New(rand.NewSource(seed))
 	det := oracle.NewDeterministic(c, key)
@@ -88,14 +89,21 @@ func MeasureBER(c *circuit.Circuit, key []bool, eps float64, nInputs, ns int, se
 		for i := range wrong {
 			wrong[i] = 0
 		}
-		for p := 0; p < passes; p++ {
-			words := prob.QueryBatch(x)
-			for i, w := range words {
-				if ref[i] {
-					w = ^w // mismatching lanes
-				}
-				wrong[i] += bits.OnesCount64(w)
+		for left := passes; left > 0; {
+			wblk := prob.BlockWords()
+			if left < wblk {
+				wblk = left
 			}
+			words := prob.QueryBlock(x, wblk)
+			for i := range wrong {
+				for _, w := range words[i*wblk : (i+1)*wblk] {
+					if ref[i] {
+						w = ^w // mismatching lanes
+					}
+					wrong[i] += bits.OnesCount64(w)
+				}
+			}
+			left -= wblk
 		}
 		for i := range wrong {
 			ber := float64(wrong[i]) / float64(total)
@@ -176,11 +184,14 @@ func KeysEquivalent(locked *circuit.Circuit, keyA, keyB []bool) (bool, error) {
 	}
 	s := sat.New()
 	pis := cnf.FreshLits(s, locked.NumPIs())
-	ca, err := cnf.Encode(s, locked, cnf.Options{PILits: pis, FixedKeys: keyA})
+	// Both copies bind the PIs to the same literals, so the
+	// key-independent cone is encoded once and shared.
+	share := cnf.NewShareCache()
+	ca, err := cnf.Encode(s, locked, cnf.Options{PILits: pis, FixedKeys: keyA, Share: share})
 	if err != nil {
 		return false, err
 	}
-	cb, err := cnf.Encode(s, locked, cnf.Options{PILits: pis, FixedKeys: keyB})
+	cb, err := cnf.Encode(s, locked, cnf.Options{PILits: pis, FixedKeys: keyB, Share: share})
 	if err != nil {
 		return false, err
 	}

@@ -63,6 +63,23 @@ func ReadFrom(r io.Reader, f Format) (*circuit.Circuit, error) {
 	return nil, fmt.Errorf("netio: unknown format %q", f)
 }
 
+// ReadFromStreaming is ReadFrom through the bounded-memory .bench
+// front end (bench.ParseStreaming): names interned once, gate records
+// packed into flat arrays, no per-gate string slices — the right entry
+// point for 100k-gate netlists, where the classic parser's
+// intermediate roughly doubles peak RSS. Verilog has no streaming
+// front end (its grammar needs lookahead) and falls back to the
+// regular parser.
+func ReadFromStreaming(r io.Reader, f Format) (*circuit.Circuit, error) {
+	switch f {
+	case Verilog:
+		return verilog.Parse(r)
+	case Bench, "":
+		return bench.ParseStreaming(r)
+	}
+	return nil, fmt.Errorf("netio: unknown format %q", f)
+}
+
 // Read parses a netlist from r in the given format. Deprecated alias
 // kept for existing callers: use ReadFrom.
 func Read(r io.Reader, f Format) (*circuit.Circuit, error) {
@@ -88,6 +105,16 @@ func Write(w io.Writer, c *circuit.Circuit, f Format) error {
 // ReadFile loads a netlist, inferring the format from the path unless
 // explicit is non-empty.
 func ReadFile(path string, explicit Format) (*circuit.Circuit, error) {
+	return readFileWith(path, explicit, ReadFrom)
+}
+
+// ReadFileStreaming is ReadFile through the bounded-memory front end
+// (see ReadFromStreaming).
+func ReadFileStreaming(path string, explicit Format) (*circuit.Circuit, error) {
+	return readFileWith(path, explicit, ReadFromStreaming)
+}
+
+func readFileWith(path string, explicit Format, read func(io.Reader, Format) (*circuit.Circuit, error)) (*circuit.Circuit, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -97,7 +124,7 @@ func ReadFile(path string, explicit Format) (*circuit.Circuit, error) {
 	if format == "" {
 		format = FormatForPath(path)
 	}
-	c, err := ReadFrom(f, format)
+	c, err := read(f, format)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -78,8 +78,9 @@ type Probabilistic struct {
 	eps          float64
 	rng          *rand.Rand
 	scratch      []bool
-	wscratch     []uint64
-	outBuf       []uint64
+	blockWords   int
+	bscratch     circuit.BlockScratch
+	blockBuf     []uint64
 	queries      int64
 	batchQueries int64
 }
@@ -94,6 +95,30 @@ type Probabilistic struct {
 // allocation-free. Callers that retain the words must copy them.
 type BatchQuerier interface {
 	QueryBatch(x []bool) []uint64
+}
+
+// BlockQuerier generalises BatchQuerier to whole evaluation blocks:
+// one QueryBlock call draws words×circuit.BatchLanes independent
+// samples, so an Ns-sample probability estimate costs
+// ceil(Ns/(64·words)) circuit passes instead of ceil(Ns/64). Word
+// column k of a block is bit-identical to the k-th of `words`
+// successive QueryBatch calls over the same noise stream
+// (circuit.EvalNoisyBlockInto's determinism contract), so sampling
+// results — and therefore attack trajectories — are independent of the
+// block width.
+//
+// The returned slice holds NumOutputs rows of `words` words (output
+// j's word k at [j*words+k]) and is only valid until the next
+// QueryBlock or QueryBatch call on the same oracle; callers that
+// retain it must copy.
+type BlockQuerier interface {
+	BatchQuerier
+	// QueryBlock draws words×circuit.BatchLanes samples in one blocked
+	// pass; words must be in [1, BlockWords()]. Each call counts as
+	// words×circuit.BatchLanes queries.
+	QueryBlock(x []bool, words int) []uint64
+	// BlockWords reports the widest block one QueryBlock call accepts.
+	BlockWords() int
 }
 
 // QueryBreakdown is implemented by oracles that can split their total
@@ -117,11 +142,12 @@ func NewProbabilistic(c *circuit.Circuit, key []bool, eps float64, seed int64) *
 		panic(fmt.Sprintf("oracle: gate error probability %v out of [0,1]", eps))
 	}
 	return &Probabilistic{
-		c:       c,
-		key:     append([]bool(nil), key...),
-		eps:     eps,
-		rng:     rand.New(rand.NewSource(seed)),
-		scratch: make([]bool, c.NumGates()),
+		c:          c,
+		key:        append([]bool(nil), key...),
+		eps:        eps,
+		rng:        rand.New(rand.NewSource(seed)),
+		scratch:    make([]bool, c.NumGates()),
+		blockWords: circuit.DefaultBlockWords(c.NumGates()),
 	}
 }
 
@@ -134,19 +160,39 @@ func (o *Probabilistic) Query(x []bool) []bool {
 // QueryBatch implements BatchQuerier: circuit.BatchLanes independent
 // noisy evaluations in one bit-parallel pass (one word per output,
 // one sample per bit lane). The returned slice is reused across calls
-// (see BatchQuerier); copy it to retain the words.
+// (see BatchQuerier); copy it to retain the words. It is the
+// single-word block, so the noise stream is shared with QueryBlock.
 func (o *Probabilistic) QueryBatch(x []bool) []uint64 {
-	o.queries += circuit.BatchLanes
-	o.batchQueries += circuit.BatchLanes
-	if o.wscratch == nil {
-		o.wscratch = make([]uint64, o.c.NumGates())
+	return o.QueryBlock(x, 1)
+}
+
+// QueryBlock implements BlockQuerier: words×circuit.BatchLanes
+// independent noisy evaluations in one blocked bit-parallel pass. The
+// returned slice is reused across calls (see BlockQuerier); copy it
+// to retain the words.
+func (o *Probabilistic) QueryBlock(x []bool, words int) []uint64 {
+	if words < 1 || words > o.blockWords {
+		panic(fmt.Sprintf("oracle: block width %d out of [1,%d]", words, o.blockWords))
 	}
-	if o.outBuf == nil {
-		o.outBuf = make([]uint64, o.c.NumPOs())
+	n := int64(words) * circuit.BatchLanes
+	o.queries += n
+	o.batchQueries += n
+	//lint:ignore bufretain o.blockBuf IS the reusable scratch the contract is about: the oracle owns it and hands out aliases; callers, not the owner, must copy
+	o.blockBuf = o.c.EvalNoisyBlockInto(o.blockBuf, x, o.key, o.eps, o.rng, words, &o.bscratch)
+	return o.blockBuf
+}
+
+// BlockWords implements BlockQuerier: the default is
+// circuit.DefaultBlockWords for the activated circuit's size.
+func (o *Probabilistic) BlockWords() int { return o.blockWords }
+
+// SetBlockWords overrides the block width cap (parity experiments and
+// cache tuning; the sampled bits are width-independent either way).
+func (o *Probabilistic) SetBlockWords(w int) {
+	if w < 1 || w > circuit.MaxBlockWords {
+		panic(fmt.Sprintf("oracle: block width %d out of [1,%d]", w, circuit.MaxBlockWords))
 	}
-	//lint:ignore bufretain o.outBuf IS the reusable scratch the contract is about: the oracle owns it and hands out aliases; callers, not the owner, must copy
-	o.outBuf = o.c.EvalNoisyBatchInto(o.outBuf, x, o.key, o.eps, o.rng, o.wscratch)
-	return o.outBuf
+	o.blockWords = w
 }
 
 // NumInputs implements Oracle.
@@ -201,7 +247,31 @@ func SignalProbsInto(ctx context.Context, o Oracle, x []bool, ns int, dst []floa
 		dst[j] = 0
 	}
 	total := 0
-	if bq, ok := o.(BatchQuerier); ok {
+	if blq, ok := o.(BlockQuerier); ok {
+		// Blocked sampling: same whole-word rounding as the batch path
+		// (ceil(ns/64) words), consumed up to BlockWords() words per
+		// circuit pass. Word columns are drawn in the same stream order
+		// as successive batch passes, so counts — and the query total —
+		// are bit-identical at every block width.
+		left := (ns + circuit.BatchLanes - 1) / circuit.BatchLanes
+		wmax := blq.BlockWords()
+		for left > 0 && ctx.Err() == nil {
+			wblk := wmax
+			if left < wblk {
+				wblk = left
+			}
+			words := blq.QueryBlock(x, wblk)
+			for j := range dst {
+				ones := 0
+				for _, w := range words[j*wblk : (j+1)*wblk] {
+					ones += bits.OnesCount64(w)
+				}
+				dst[j] += float64(ones)
+			}
+			total += wblk * circuit.BatchLanes
+			left -= wblk
+		}
+	} else if bq, ok := o.(BatchQuerier); ok {
 		passes := (ns + circuit.BatchLanes - 1) / circuit.BatchLanes
 		for p := 0; p < passes && ctx.Err() == nil; p++ {
 			words := bq.QueryBatch(x)
@@ -262,7 +332,29 @@ func PatternCounts(ctx context.Context, o Oracle, x []bool, ns int) map[string]i
 	counts := make(map[string]int)
 	buf := make([]byte, o.NumOutputs())
 	remaining := ns
-	if bq, ok := o.(BatchQuerier); ok {
+	if blq, ok := o.(BlockQuerier); ok {
+		wmax := blq.BlockWords()
+		for remaining >= circuit.BatchLanes && ctx.Err() == nil {
+			wblk := remaining / circuit.BatchLanes
+			if wblk > wmax {
+				wblk = wmax
+			}
+			words := blq.QueryBlock(x, wblk)
+			for k := 0; k < wblk; k++ {
+				for lane := 0; lane < circuit.BatchLanes; lane++ {
+					for j := range buf {
+						if words[j*wblk+k]>>uint(lane)&1 == 1 {
+							buf[j] = '1'
+						} else {
+							buf[j] = '0'
+						}
+					}
+					counts[string(buf)]++
+				}
+			}
+			remaining -= wblk * circuit.BatchLanes
+		}
+	} else if bq, ok := o.(BatchQuerier); ok {
 		for remaining >= circuit.BatchLanes && ctx.Err() == nil {
 			words := bq.QueryBatch(x)
 			for lane := 0; lane < circuit.BatchLanes; lane++ {

@@ -236,8 +236,25 @@ func TestSignalProbsBatchMatchesScalar(t *testing.T) {
 	}
 }
 
-// scalarOnly hides the BatchQuerier interface of the wrapped oracle.
-type scalarOnly struct{ *Probabilistic }
+// scalarOnly hides the BatchQuerier/BlockQuerier interfaces of the
+// wrapped oracle. Explicit delegation, not embedding: an embedded
+// *Probabilistic would promote QueryBatch and defeat the hiding.
+type scalarOnly struct{ p *Probabilistic }
+
+func (s scalarOnly) Query(x []bool) []bool { return s.p.Query(x) }
+func (s scalarOnly) NumInputs() int        { return s.p.NumInputs() }
+func (s scalarOnly) NumOutputs() int       { return s.p.NumOutputs() }
+func (s scalarOnly) Queries() int64        { return s.p.Queries() }
+
+// batchOnly exposes QueryBatch but hides QueryBlock, pinning the
+// single-word batch path for parity tests.
+type batchOnly struct{ p *Probabilistic }
+
+func (b batchOnly) Query(x []bool) []bool        { return b.p.Query(x) }
+func (b batchOnly) QueryBatch(x []bool) []uint64 { return b.p.QueryBatch(x) }
+func (b batchOnly) NumInputs() int               { return b.p.NumInputs() }
+func (b batchOnly) NumOutputs() int              { return b.p.NumOutputs() }
+func (b batchOnly) Queries() int64               { return b.p.Queries() }
 
 func TestPatternCountsBatchTotals(t *testing.T) {
 	l := lockedC17(t)
@@ -363,5 +380,110 @@ func BenchmarkSignalProbs500Into(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dst = SignalProbsInto(context.Background(), o, x, 500, dst)
+	}
+}
+
+func TestQueryBlockCountsQueries(t *testing.T) {
+	l := lockedC17(t)
+	p := NewProbabilistic(l.Circuit, l.Key, 0.05, 31)
+	x := []bool{true, true, false, false, true}
+	p.QueryBlock(x, 2)
+	if want := int64(2 * circuit.BatchLanes); p.Queries() != want {
+		t.Errorf("queries = %d, want %d", p.Queries(), want)
+	}
+	if p.ScalarQueries() != 0 || p.BatchQueries() != p.Queries() {
+		t.Errorf("breakdown %d/%d, want 0/%d", p.ScalarQueries(), p.BatchQueries(), p.Queries())
+	}
+}
+
+func TestBlockWordsBoundsPanics(t *testing.T) {
+	l := lockedC17(t)
+	p := NewProbabilistic(l.Circuit, l.Key, 0.05, 31)
+	for _, w := range []int{0, circuit.MaxBlockWords + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetBlockWords(%d) did not panic", w)
+				}
+			}()
+			p.SetBlockWords(w)
+		}()
+	}
+	p.SetBlockWords(2)
+	if p.BlockWords() != 2 {
+		t.Fatalf("BlockWords = %d after SetBlockWords(2)", p.BlockWords())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("QueryBlock wider than BlockWords did not panic")
+			}
+		}()
+		p.QueryBlock([]bool{true, true, false, false, true}, 3)
+	}()
+}
+
+// TestSignalProbsBlockWidthParity is the oracle-level face of the
+// determinism contract: the estimated probabilities AND the recorded
+// query counts must be byte-identical at every block width and on the
+// pre-block single-word batch path, given the same noise seed. The
+// comparisons are exact — identical one-counts divided by identical
+// totals — not statistical.
+func TestSignalProbsBlockWidthParity(t *testing.T) {
+	l := lockedC17(t)
+	x := []bool{true, false, true, true, false}
+	const ns = 1000 // 16 words: exercises full and partial blocks at every width
+	const eps, seed = 0.07, 93
+
+	refOracle := NewProbabilistic(l.Circuit, l.Key, eps, seed)
+	ref := SignalProbs(context.Background(), batchOnly{refOracle}, x, ns)
+	refQueries := refOracle.Queries()
+
+	for _, w := range []int{1, 2, 4, 8} {
+		p := NewProbabilistic(l.Circuit, l.Key, eps, seed)
+		p.SetBlockWords(w)
+		got := SignalProbs(context.Background(), p, x, ns)
+		if p.Queries() != refQueries {
+			t.Errorf("W=%d: %d queries, want %d", w, p.Queries(), refQueries)
+		}
+		for j := range ref {
+			//lint:ignore floateq identical integer one-counts over identical totals must divide to identical float64s — approximate equality would hide a lost sample
+			if got[j] != ref[j] {
+				t.Errorf("W=%d output %d: %v, want %v", w, j, got[j], ref[j])
+			}
+		}
+	}
+}
+
+// TestPatternCountsBlockWidthParity checks the blocked PatternCounts
+// path tallies exactly the same patterns as the single-word batch
+// path, including the scalar remainder that follows the whole-word
+// blocks (the rng hand-off between blocked and scalar sampling must
+// be width-independent too).
+func TestPatternCountsBlockWidthParity(t *testing.T) {
+	l := lockedC17(t)
+	x := []bool{false, true, true, false, true}
+	const ns = 2*circuit.BatchLanes + 22 // blocks + scalar tail
+	const eps, seed = 0.09, 77
+
+	refOracle := NewProbabilistic(l.Circuit, l.Key, eps, seed)
+	ref := PatternCounts(context.Background(), batchOnly{refOracle}, x, ns)
+	refQueries := refOracle.Queries()
+
+	for _, w := range []int{1, 2, 4, 8} {
+		p := NewProbabilistic(l.Circuit, l.Key, eps, seed)
+		p.SetBlockWords(w)
+		got := PatternCounts(context.Background(), p, x, ns)
+		if p.Queries() != refQueries {
+			t.Errorf("W=%d: %d queries, want %d", w, p.Queries(), refQueries)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("W=%d: %d distinct patterns, want %d", w, len(got), len(ref))
+		}
+		for pat, n := range ref {
+			if got[pat] != n {
+				t.Errorf("W=%d pattern %q: %d, want %d", w, pat, got[pat], n)
+			}
+		}
 	}
 }

@@ -17,6 +17,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"statsat"
 	"statsat/internal/netio"
@@ -230,8 +231,9 @@ func (sp *Spec) buildBenchmark() (*statsat.Circuit, []bool, error) {
 }
 
 // decodeNetlist parses an uploaded netlist straight from memory (no
-// temp files — netio.ReadString) and checks the supplied key against
-// its interface.
+// temp files) through the streaming front end — uploads can be
+// 100k-gate netlists, and the JSON payload already holds one copy of
+// the text — and checks the supplied key against its interface.
 func (sp *Spec) decodeNetlist() (*statsat.Circuit, []bool, error) {
 	if sp.Lock != "" || sp.KeyBits != 0 || sp.Scale != 0 {
 		return nil, nil, specErrf("netlist mode does not take lock, key_bits or scale fields")
@@ -240,7 +242,7 @@ func (sp *Spec) decodeNetlist() (*statsat.Circuit, []bool, error) {
 	if err != nil {
 		return nil, nil, specErrf("%v", err)
 	}
-	locked, err := netio.ReadString(sp.Netlist, format)
+	locked, err := netio.ReadFromStreaming(strings.NewReader(sp.Netlist), format)
 	if err != nil {
 		return nil, nil, specErrf("decoding netlist: %v", err)
 	}
