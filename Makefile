@@ -4,9 +4,9 @@
 # docs/OBSERVABILITY.md). statlint sits between vet and race so the
 # repo's determinism / buffer-aliasing / trace-gating invariants are
 # machine-checked on every verify — see docs/LINTING.md.
-.PHONY: verify build test vet race bench statlint doclinks fmt fmtcheck
+.PHONY: verify build test vet race bench statlint suppressions doclinks fmt fmtcheck
 
-verify: vet build statlint doclinks fmtcheck race
+verify: vet build statlint suppressions doclinks fmtcheck race
 
 vet:
 	go vet ./...
@@ -15,10 +15,16 @@ build:
 	go build ./...
 
 # statlint: the stdlib-only project linter (globalrand, walltime,
-# bufretain, tracegate, floateq, ctxflow). Nonzero exit on any
-# finding.
+# bufretain, tracegate, floateq, ctxflow, goleak, lockscope,
+# seedflow). Nonzero exit on any finding.
 statlint:
 	go run ./cmd/statlint ./...
+
+# suppressions: print the //lint:ignore inventory (reviewed, not
+# forgotten) and fail on malformed directives or ones naming a check
+# that no longer exists — the staleness gate for check renames.
+suppressions:
+	go run ./cmd/statlint -suppressions
 
 # doclinks: fail verify when any documentation cross-link is dead — a
 # markdown link or prose docs/*.md mention in README/DESIGN/ROADMAP,

@@ -8,9 +8,10 @@
 //
 // Usage:
 //
-//	go run ./cmd/statlint ./...          # the make verify invocation
-//	go run ./cmd/statlint -list          # catalogue of checks
-//	go run ./cmd/statlint internal/core  # one package
+//	go run ./cmd/statlint ./...           # the make verify invocation
+//	go run ./cmd/statlint -list           # catalogue of checks
+//	go run ./cmd/statlint -suppressions   # //lint:ignore inventory + staleness gate
+//	go run ./cmd/statlint internal/core   # one package
 //
 // Findings print as `file:line:col: [check] message`; the exit code is
 // 1 if there is any finding, 2 on a usage or load error, 0 when
@@ -44,8 +45,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the available checks and exit")
 	docs := fs.Bool("docs", false, "run the doclinks documentation cross-link check instead of the package checks")
+	suppressions := fs.Bool("suppressions", false, "print every //lint:ignore directive (file:line, check, reason) and fail on entries naming a check that no longer exists")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: statlint [-list] [-docs] [packages]")
+		fmt.Fprintln(stderr, "usage: statlint [-list] [-docs] [-suppressions] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +86,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "statlint: interrupted")
 		return 2
 	}
+	if *suppressions {
+		return runSuppressions(pkgs, checks, cwd, stdout, stderr)
+	}
 	findings := lint.RunChecks(pkgs, checks)
 	for _, f := range findings {
 		// Print module-relative paths: stable across machines, and
@@ -95,6 +100,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "statlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// runSuppressions prints the //lint:ignore inventory — every directive
+// with its file:line, check name and reason, so the suppression set is
+// reviewed rather than forgotten — and exits 1 when any directive is
+// malformed or names a check that no longer exists.
+func runSuppressions(pkgs []*lint.Package, checks []lint.Check, cwd string, stdout, stderr io.Writer) int {
+	entries, bad := lint.SuppressionReport(pkgs, checks)
+	rel := func(name string) string {
+		if r, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(r) {
+			return r
+		}
+		return name
+	}
+	for _, s := range entries {
+		s.Pos.Filename = rel(s.Pos.Filename)
+		fmt.Fprintln(stdout, s.String())
+	}
+	fmt.Fprintf(stdout, "%d suppression(s)\n", len(entries))
+	for _, f := range bad {
+		f.Pos.Filename = rel(f.Pos.Filename)
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(stderr, "statlint: %d stale or malformed suppression(s)\n", len(bad))
 		return 1
 	}
 	return 0

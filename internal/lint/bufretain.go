@@ -44,7 +44,20 @@ var bufReturningFuncs = map[string]bool{
 	"QueryBlock":         true,
 }
 
-func (c BufRetain) Run(p *Package) []Finding {
+// aliasesBuf reports whether a call returns a buffer alias: a direct
+// call to one of the named contract functions, or — through the module
+// summaries — a wrapper whose return value is such an alias.
+func aliasesBuf(m *Module, f *types.Func) bool {
+	if bufReturningFuncs[f.Name()] {
+		return true
+	}
+	if s := m.SummaryOf(f); s != nil && s.ReturnsBufAlias {
+		return true
+	}
+	return false
+}
+
+func (c BufRetain) Run(p *Package, m *Module) []Finding {
 	var out []Finding
 	report := func(call *ast.CallExpr, fname, target string) {
 		out = append(out, Finding{
@@ -61,7 +74,7 @@ func (c BufRetain) Run(p *Package) []Finding {
 			return
 		}
 		f := funcObj(p.Info, call)
-		if f == nil || !bufReturningFuncs[f.Name()] {
+		if f == nil || !aliasesBuf(m, f) {
 			return
 		}
 		fname := f.Name()
@@ -81,8 +94,7 @@ func (c BufRetain) Run(p *Package) []Finding {
 				// slice-of-slices (the slice header itself is stored).
 				// append(dst, buf...) however COPIES the elements —
 				// that is the sanctioned copy idiom — so the spread
-				// position is safe. Any other call consumes the value
-				// behind an API boundary we don't second-guess.
+				// position is safe.
 				if id, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok && id.Name == "append" {
 					if _, builtin := p.Info.Uses[id].(*types.Builtin); builtin {
 						spread := parent.Ellipsis.IsValid() && len(parent.Args) > 0 &&
@@ -90,6 +102,22 @@ func (c BufRetain) Run(p *Package) []Finding {
 						if !spread {
 							val = parent
 							continue
+						}
+						return
+					}
+				}
+				// Any other call consumes the value behind an API
+				// boundary — which the module summaries let us see
+				// through: if the callee retains that argument position,
+				// the alias escapes just as surely as a direct store.
+				if g := funcObj(p.Info, parent); g != nil {
+					if gs := m.SummaryOf(g); gs != nil {
+						for argIdx, arg := range parent.Args {
+							if sameExpr(arg, val) && gs.RetainsParam[argIdx] {
+								report(call, fname, "an argument of "+g.Name()+
+									", which retains it")
+								return
+							}
 						}
 					}
 				}

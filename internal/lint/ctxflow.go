@@ -38,7 +38,7 @@ func (CtxFlow) Applies(pkgPath string) bool {
 		"statsat/internal/server")
 }
 
-func (c CtxFlow) Run(p *Package) []Finding {
+func (c CtxFlow) Run(p *Package, _ *Module) []Finding {
 	out := c.freshContexts(p)
 	out = append(out, c.droppedParams(p)...)
 	return out

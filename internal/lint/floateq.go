@@ -27,7 +27,7 @@ func (FloatEq) Applies(pkgPath string) bool {
 	return inScope(pkgPath, "statsat/internal/metrics", "statsat/internal/errprop")
 }
 
-func (c FloatEq) Run(p *Package) []Finding {
+func (c FloatEq) Run(p *Package, _ *Module) []Finding {
 	var out []Finding
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {

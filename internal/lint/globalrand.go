@@ -6,14 +6,17 @@ import (
 )
 
 // GlobalRand forbids the process-global math/rand source inside
-// internal/. Every random decision in the attack and the experiment
-// harness must flow from an explicit seeded *rand.Rand (parameter or
-// struct field) derived from run coordinates, or the scheduler's
-// byte-identical-output-at-any-worker-count guarantee silently breaks:
-// the global source is shared mutable state whose consumption order
-// depends on goroutine interleaving. Additionally, rand.New must be
-// seeded right at the call site (rand.New(rand.NewSource(seed))) so
-// the seed provenance is auditable.
+// internal/ and examples/. Every random decision in the attack and the
+// experiment harness must flow from an explicit seeded *rand.Rand
+// (parameter or struct field) derived from run coordinates, or the
+// scheduler's byte-identical-output-at-any-worker-count guarantee
+// silently breaks: the global source is shared mutable state whose
+// consumption order depends on goroutine interleaving. Additionally,
+// rand.New must be seeded right at the call site
+// (rand.New(rand.NewSource(seed))) so the seed provenance is
+// auditable. Examples are in scope because they are the copy-paste
+// templates users start from: a global-rand example teaches the exact
+// anti-pattern the check exists to keep out.
 type GlobalRand struct{}
 
 func (GlobalRand) Name() string { return "globalrand" }
@@ -25,7 +28,7 @@ func (GlobalRand) Doc() string {
 }
 
 func (GlobalRand) Applies(pkgPath string) bool {
-	return inScope(pkgPath, "statsat/internal")
+	return inScope(pkgPath, "statsat/internal", "statsat/examples")
 }
 
 // randConstructors are the package-level functions that do NOT touch
@@ -39,7 +42,7 @@ func isRandPkg(path string) bool {
 	return path == "math/rand" || path == "math/rand/v2"
 }
 
-func (c GlobalRand) Run(p *Package) []Finding {
+func (c GlobalRand) Run(p *Package, _ *Module) []Finding {
 	var out []Finding
 	seededNew := map[*ast.Ident]bool{} // rand.New idents whose arg is rand.NewSource(...)
 

@@ -65,8 +65,11 @@ type Check interface {
 	// generic.
 	Applies(pkgPath string) bool
 	// Run inspects p and returns raw findings; suppression directives
-	// are applied by the framework, not by individual checks.
-	Run(p *Package) []Finding
+	// are applied by the framework, not by individual checks. m is the
+	// module-wide view (call graph + per-function summaries) built once
+	// over every loaded package; per-package pattern checks may ignore
+	// it.
+	Run(p *Package, m *Module) []Finding
 }
 
 // DefaultChecks returns the full catalogue in a stable order.
@@ -78,6 +81,9 @@ func DefaultChecks() []Check {
 		TraceGate{},
 		FloatEq{},
 		CtxFlow{},
+		GoLeak{},
+		LockScope{},
+		SeedFlow{},
 	}
 }
 
@@ -171,6 +177,7 @@ func suppressed(f Finding, dirs []*ignoreDirective) bool {
 // Malformed and unused //lint:ignore directives are reported under the
 // pseudo-check "lint".
 func RunChecks(pkgs []*Package, checks []Check) []Finding {
+	m := NewModule(pkgs)
 	var out []Finding
 	for _, p := range pkgs {
 		var dirs []*ignoreDirective
@@ -184,7 +191,7 @@ func RunChecks(pkgs []*Package, checks []Check) []Finding {
 			if !c.Applies(p.Path) {
 				continue
 			}
-			raw = append(raw, c.Run(p)...)
+			raw = append(raw, c.Run(p, m)...)
 		}
 		for _, f := range raw {
 			if !suppressed(f, dirs) {

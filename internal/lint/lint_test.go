@@ -39,7 +39,7 @@ func TestCheckMetadata(t *testing.T) {
 		}
 		seen[c.Name()] = true
 	}
-	for _, name := range []string{"globalrand", "walltime", "bufretain", "tracegate", "floateq", "ctxflow"} {
+	for _, name := range []string{"globalrand", "walltime", "bufretain", "tracegate", "floateq", "ctxflow", "goleak", "lockscope", "seedflow"} {
 		if !seen[name] {
 			t.Errorf("catalogue is missing check %q", name)
 		}
@@ -143,6 +143,63 @@ func TestWallTimeScope(t *testing.T) {
 	for _, path := range []string{"statsat", "statsat/internal/exp", "statsat/internal/gen", "statsat/cmd/experiments"} {
 		if !c.Applies(path) {
 			t.Errorf("walltime should apply to %s", path)
+		}
+	}
+}
+
+// TestExampleScope pins the examples-as-templates rule: the seed and
+// randomness provenance checks cover examples/ (they are what users
+// copy first), while the concurrency checks stay internal-only —
+// examples are single-goroutine mains.
+func TestExampleScope(t *testing.T) {
+	const ex = "statsat/examples/quickstart"
+	for _, c := range []Check{GlobalRand{}, SeedFlow{}} {
+		if !c.Applies(ex) {
+			t.Errorf("%s should apply to %s", c.Name(), ex)
+		}
+	}
+	for _, c := range []Check{GoLeak{}, LockScope{}, TraceGate{}, CtxFlow{}} {
+		if c.Applies(ex) {
+			t.Errorf("%s should not apply to %s", c.Name(), ex)
+		}
+	}
+}
+
+// TestExpandIncludesExamples: the recursive walk from the module root
+// reaches the examples tree, so the scoping asserted by
+// TestExampleScope is actually exercised by `statlint ./...`.
+func TestExpandIncludesExamples(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.Expand(l.modRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range dirs {
+		if strings.HasSuffix(d, filepath.Join("examples", "quickstart")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Expand(./...) from the module root missed examples/quickstart; got %d dirs", len(dirs))
+	}
+}
+
+// TestGoLeakScope pins the concurrent-subsystem scope of the goroutine
+// leak check.
+func TestGoLeakScope(t *testing.T) {
+	c := GoLeak{}
+	for _, path := range []string{"statsat/internal/server", "statsat/internal/portfolio", "statsat/internal/core", "statsat/internal/trace"} {
+		if !c.Applies(path) {
+			t.Errorf("goleak should apply to %s", path)
+		}
+	}
+	for _, path := range []string{"statsat", "statsat/internal/gen", "statsat/cmd/statsatd"} {
+		if c.Applies(path) {
+			t.Errorf("goleak should not apply to %s", path)
 		}
 	}
 }

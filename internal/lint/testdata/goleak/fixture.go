@@ -1,0 +1,161 @@
+// Package fixture exercises the goleak check: every go statement
+// needs a bounded exit — a WaitGroup join, a ctx.Done or
+// closed-channel receive, a channel join with the spawner, or provable
+// termination — judged transitively through the module summaries.
+// Expected findings are marked with `// want`.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// leakForever spins sending into a channel nobody drains here: no
+// join, no cancellation, no closed channel.
+func leakForever(ch chan int) {
+	go func() { // want `\[goleak\] goroutine has no bounded exit`
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// joined is the sanctioned WaitGroup shape, Done deferred inside the
+// goroutine.
+func joined(items []int) int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+// semJoined releases a worker-slot semaphore and the WaitGroup from a
+// deferred literal — the deferred-FuncLit idiom the summaries must see
+// through.
+func semJoined(sem chan struct{}, work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-sem
+			wg.Done()
+		}()
+		work()
+	}()
+	wg.Wait()
+}
+
+// watcher observes cancellation: the select on ctx.Done bounds the
+// loop.
+func watcher(ctx context.Context, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticks:
+			}
+		}
+	}()
+}
+
+// pool spawns a worker ranging over a channel the spawner close()s —
+// the pull-queue shape, bounded through the module-wide closed-channel
+// set.
+func pool(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		jobs <- i
+	}
+	close(jobs)
+}
+
+// queue is drained by a named worker; shutdown close()s it, so drain's
+// range is bounded even though spawn and close sit in different
+// functions.
+var queue = make(chan int, 16)
+
+func startWorker() {
+	go drain()
+}
+
+func drain() {
+	for range queue {
+	}
+}
+
+func shutdown() {
+	close(queue)
+}
+
+// chanJoin hands its result back over a channel the spawner receives
+// from.
+func chanJoin() int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+// spin calls a named function that loops forever with no exit evidence
+// at all: the select has a default, so it never blocks, never observes
+// anything, never returns — the summary propagates the leak through
+// the call.
+func spin(stop chan struct{}) {
+	go ticker(stop) // want `\[goleak\] goroutine has no bounded exit`
+}
+
+func ticker(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+		default:
+		}
+	}
+}
+
+// indirect is transitively bounded: the goroutine body only calls a
+// helper, and the helper polls ctx.Err — evidence one call away.
+func indirect(ctx context.Context, ticks chan int) {
+	go func() {
+		loopUntilCancelled(ctx, ticks)
+	}()
+}
+
+func loopUntilCancelled(ctx context.Context, ticks chan int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-ticks:
+		default:
+			return
+		}
+	}
+}
+
+// fireAndForget terminates provably: nothing in the body blocks or
+// loops unconditionally, so no join is required.
+func fireAndForget(dst []int) {
+	go func() {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}()
+}

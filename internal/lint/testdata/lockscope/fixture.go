@@ -1,0 +1,196 @@
+// Package fixture exercises the lockscope check: nothing may block
+// while a sync.Mutex/RWMutex is held, and every path out of a function
+// must release what it acquired (deferred Unlock counts for all paths
+// at once). Expected findings are marked with `// want`.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+	ch chan int
+}
+
+// good: the plain acquire/mutate/release shape.
+func good(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// goodDefer: a deferred Unlock satisfies every exit path.
+func goodDefer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// goodDeferLit: the Unlock may sit inside a deferred literal.
+func goodDeferLit(c *counter) {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// goodRead: RWMutex read-side discipline.
+func goodRead(c *counter) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.n
+}
+
+// goodTry: TryLock in an if condition holds only in the taken branch.
+func goodTry(c *counter) bool {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// negTry: the negated polarity — the early return leaves unheld, the
+// fallthrough holds and releases.
+func negTry(c *counter) {
+	if !c.mu.TryLock() {
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// goodReleaseAroundSend: release before the blocking operation.
+func goodReleaseAroundSend(c *counter) {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+func sendWhileLocked(c *counter) {
+	c.mu.Lock()
+	c.ch <- c.n // want `\[lockscope\] channel send while holding c\.mu`
+	c.mu.Unlock()
+}
+
+func recvWhileLocked(c *counter) int {
+	c.mu.Lock()
+	v := <-c.ch // want `\[lockscope\] channel receive while holding c\.mu`
+	c.mu.Unlock()
+	return v
+}
+
+func leakyReturn(c *counter, bad bool) {
+	c.mu.Lock()
+	if bad {
+		return // want `\[lockscope\] return while holding c\.mu with no deferred Unlock`
+	}
+	c.mu.Unlock()
+}
+
+func neverUnlocks(c *counter) {
+	c.mu.Lock() // want `\[lockscope\] function ends holding c\.mu`
+	c.n++
+}
+
+func conditional(c *counter, p bool) {
+	if p { // want `\[lockscope\] c\.mu is conditionally held after this if`
+		c.mu.Lock()
+	}
+	c.n++
+}
+
+func switchAsym(c *counter, k int) {
+	switch k { // want `\[lockscope\] c\.mu is conditionally held after this switch/select`
+	case 1:
+		c.mu.Lock()
+	default:
+	}
+}
+
+func selectUnder(c *counter) {
+	c.mu.Lock()
+	select { // want `\[lockscope\] select without default while holding c\.mu`
+	case <-c.ch:
+	}
+	c.mu.Unlock()
+}
+
+func rangeUnder(c *counter) {
+	c.mu.Lock()
+	for range c.ch { // want `\[lockscope\] range over a channel while holding c\.mu`
+	}
+	c.mu.Unlock()
+}
+
+func loopAsym(c *counter) {
+	for i := 0; i < 3; i++ { // want `\[lockscope\] lock state of c\.mu changes across a loop iteration`
+		c.mu.Lock()
+	}
+}
+
+func waitUnder(c *counter, wg *sync.WaitGroup) {
+	c.mu.Lock()
+	wg.Wait() // want `\[lockscope\] sync\.WaitGroup\.Wait while holding c\.mu`
+	c.mu.Unlock()
+}
+
+// SolveStep stands in for solver work: anything Solve-prefixed is
+// presumed long-running.
+func SolveStep(c *counter) int {
+	return c.n
+}
+
+func solveUnder(c *counter) int {
+	c.mu.Lock()
+	v := SolveStep(c) // want `\[lockscope\] call to SolveStep \(solver work\) while holding c\.mu`
+	c.mu.Unlock()
+	return v
+}
+
+// waitForItem blocks on a channel receive; the summary carries that to
+// its callers.
+func waitForItem(c *counter) int {
+	return <-c.ch
+}
+
+func underCalleeBlock(c *counter) {
+	c.mu.Lock()
+	waitForItem(c) // want `\[lockscope\] call to waitForItem, which may block \(channel receive\) while holding c\.mu`
+	c.mu.Unlock()
+}
+
+// tracer is a minimal method-shaped emitter for the
+// Emit-with-allocating-payload rule.
+type tracer struct{ enabled bool }
+
+func (t *tracer) Enabled() bool { return t.enabled }
+
+func (t *tracer) Emit(payload []int) {}
+
+func snapshot(c *counter) []int { return []int{c.n} }
+
+// emitUnderLock: the payload is guarded (so tracegate is satisfied),
+// but fan-out of a built payload still must not happen under the lock.
+func emitUnderLock(c *counter, tr *tracer) {
+	c.mu.Lock()
+	if tr.Enabled() {
+		tr.Emit(snapshot(c)) // want `\[lockscope\] Emit with an allocating payload \(call to snapshot\) while holding c\.mu`
+	}
+	c.mu.Unlock()
+}
+
+// emitAfterUnlock: the same emit is fine once the lock is released.
+func emitAfterUnlock(c *counter, tr *tracer) {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	if tr.Enabled() {
+		tr.Emit([]int{v})
+	}
+}

@@ -31,7 +31,7 @@ func (TraceGate) Applies(pkgPath string) bool {
 	return inScope(pkgPath, "statsat/internal/core")
 }
 
-func (c TraceGate) Run(p *Package) []Finding {
+func (c TraceGate) Run(p *Package, _ *Module) []Finding {
 	var out []Finding
 	walkStack(p, func(n ast.Node, stack []ast.Node) {
 		call, ok := n.(*ast.CallExpr)

@@ -45,7 +45,7 @@ func (WallTime) Applies(pkgPath string) bool {
 
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
-func (c WallTime) Run(p *Package) []Finding {
+func (c WallTime) Run(p *Package, _ *Module) []Finding {
 	var out []Finding
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {

@@ -135,6 +135,7 @@ func (s *Stream) Subscribe(buf int) *StreamSub {
 	defer s.mu.Unlock()
 	ch := make(chan Event, s.count+buf)
 	for i := 0; i < s.count; i++ {
+		//lint:ignore lockscope ch is freshly made with capacity count+buf, so this replay fill of count events can never block
 		ch <- s.ring[(s.start+i)%len(s.ring)]
 	}
 	sub := &StreamSub{C: ch, s: s, ch: ch}
