@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"statsat/internal/server"
 	"statsat/internal/trace"
@@ -77,50 +79,116 @@ func runServer(ctx context.Context, co clientOptions) int {
 	return reportStatus(st)
 }
 
-// submitJob POSTs the spec and returns the assigned job ID.
+// retryDelays is the jitterless backoff schedule between connect
+// attempts: three tries total, doubling the pause. Deterministic on
+// purpose — the client is a CLI talking to one daemon, so reproducible
+// timing beats thundering-herd folklore at this scale.
+var retryDelays = []time.Duration{250 * time.Millisecond, 500 * time.Millisecond}
+
+// transientError marks a failure worth retrying: the request never
+// produced a response (daemon still binding its socket, connection
+// refused mid-restart). Anything the server actually said — a 4xx spec
+// rejection, a 429 store-full — is authoritative and never retried.
+type transientError struct{ err error }
+
+func (e transientError) Error() string { return e.err.Error() }
+func (e transientError) Unwrap() error { return e.err }
+
+// withBackoff runs attempt up to len(retryDelays)+1 times, sleeping
+// the backoff schedule between tries. Only transientError retries;
+// ctx cancellation cuts the wait short and returns the last failure.
+func withBackoff(ctx context.Context, attempt func() error) error {
+	for i := 0; ; i++ {
+		err := attempt()
+		var te transientError
+		if err == nil || !errors.As(err, &te) || i == len(retryDelays) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "statsat: %v — retrying in %s\n", err, retryDelays[i])
+		t := time.NewTimer(retryDelays[i])
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+}
+
+// transient classifies a client.Do failure: a context-driven abort is
+// final, everything else (the request never reached the server) is
+// worth another attempt.
+func transient(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return err
+	}
+	return transientError{err}
+}
+
+// submitJob POSTs the spec and returns the assigned job ID, retrying
+// connect-level failures on the backoff schedule (the daemon may still
+// be starting, or mid-restart on its durable data directory).
 func submitJob(ctx context.Context, base string, sp *server.Spec) (string, error) {
 	body, err := json.Marshal(sp)
 	if err != nil {
 		return "", err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return "", err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		return "", apiError(resp)
-	}
-	var reply struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-		return "", err
-	}
-	return reply.ID, nil
+	var id string
+	err = withBackoff(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return transient(ctx, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return apiError(resp)
+		}
+		var reply struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			return err
+		}
+		id = reply.ID
+		return nil
+	})
+	return id, err
 }
 
 // followTrace streams the job's NDJSON trace until the job finishes or
 // ctx is cancelled. Events render through the same formatter as the
 // local -v path, so both modes read identically.
+// The initial connect retries on the same backoff schedule as the
+// submit; once the stream is open, a mid-stream error is final (the
+// follow-up status fetch reports the job's fate either way).
 func followTrace(ctx context.Context, base, id string, verbose bool) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/trace", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	var resp *http.Response
+	err := withBackoff(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/trace", nil)
+		if err != nil {
+			return err
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return transient(ctx, err)
+		}
+		if r.StatusCode != http.StatusOK {
+			err := apiError(r)
+			r.Body.Close()
+			return err
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
-	}
 	dec := json.NewDecoder(resp.Body)
 	for {
 		var ev trace.Event

@@ -50,6 +50,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		queue    = fs.Int("queue", 0, "queued-job bound (0 = 2*maxjobs)")
 		maxBody  = fs.Int64("maxbody", 8<<20, "POST body size limit in bytes (netlist uploads included)")
 		traceBuf = fs.Int("tracebuf", 0, "per-job trace replay ring capacity in events (0 = 4096)")
+		dataDir  = fs.String("data", "", "durable job directory: WAL + trace spill; jobs survive and resume across restarts (empty = in-memory)")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		quiet    = fs.Bool("q", false, "suppress per-job lifecycle logging")
 	)
@@ -67,13 +68,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		QueueDepth:   *queue,
 		MaxBodyBytes: *maxBody,
 		TraceBuffer:  *traceBuf,
+		DataDir:      *dataDir,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "statsatd:", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

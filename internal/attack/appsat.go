@@ -12,9 +12,6 @@ import (
 	"statsat/internal/trace"
 )
 
-// AppSAT has no tracer knob: the paper uses it only as a baseline
-// data point, so its adapter runs the engine untraced.
-
 // AppSATOptions configures the AppSAT baseline (Shamsi et al.,
 // HOST'17): the approximate SAT attack the paper's footnote 2 rules
 // out for probabilistic oracles. AppSAT interleaves classic DIP
@@ -39,6 +36,12 @@ type AppSATOptions struct {
 	// the miter solves (internal/portfolio).
 	PortfolioWorkers int
 	PortfolioRacers  int
+	// Tracer, if set, receives structured trace events (the same
+	// schema as the other attacks; see docs/OBSERVABILITY.md).
+	Tracer trace.Tracer
+	// Checkpoint, if set, receives a progress checkpoint after every
+	// engine Step (see docs/ARCHITECTURE.md "Checkpoint contract").
+	Checkpoint engine.CheckpointSink
 }
 
 func (o *AppSATOptions) setDefaults() {
@@ -76,7 +79,7 @@ func AppSAT(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opt
 	if locked.NumPIs() != orc.NumInputs() || locked.NumPOs() != orc.NumOutputs() {
 		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch")
 	}
-	eng := &engine.Engine{Locked: locked, Orc: orc, Tr: trace.NewEmitter(nil)}
+	eng := &engine.Engine{Locked: locked, Orc: orc, Tr: trace.NewEmitter(opts.Tracer), Ckpt: opts.Checkpoint}
 	res := &AppSATResult{}
 	st := &appSATStrategy{
 		eng: eng, res: res, opts: opts,

@@ -57,6 +57,10 @@ type SATOptions struct {
 	// attack byte-identical to the sequential path.
 	PortfolioWorkers int
 	PortfolioRacers  int
+	// Checkpoint, if set, receives a progress checkpoint after every
+	// engine Step (the durable-resume boundary; see
+	// docs/ARCHITECTURE.md "Checkpoint contract").
+	Checkpoint engine.CheckpointSink
 }
 
 // portfolioAttach builds the engine Attach hook that registers a
@@ -93,7 +97,7 @@ func StandardSATOpt(ctx context.Context, locked *circuit.Circuit, orc oracle.Ora
 		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch (%d/%d in, %d/%d out)",
 			locked.NumPIs(), orc.NumInputs(), locked.NumPOs(), orc.NumOutputs())
 	}
-	eng := &engine.Engine{Locked: locked, Orc: orc, Tr: trace.NewEmitter(opts.Tracer)}
+	eng := &engine.Engine{Locked: locked, Orc: orc, Tr: trace.NewEmitter(opts.Tracer), Ckpt: opts.Checkpoint}
 	res := &Result{}
 	st := &satStrategy{eng: eng, res: res}
 	oi := &trace.OptionsInfo{MaxIter: maxIter}
@@ -171,6 +175,9 @@ type PSATOptions struct {
 	// the miter solves (internal/portfolio).
 	PortfolioWorkers int
 	PortfolioRacers  int
+	// Checkpoint, if set, receives a progress checkpoint after every
+	// engine Step (see docs/ARCHITECTURE.md "Checkpoint contract").
+	Checkpoint engine.CheckpointSink
 }
 
 func (o *PSATOptions) setDefaults() {
@@ -196,7 +203,7 @@ func PSAT(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opts 
 	if locked.NumPIs() != orc.NumInputs() || locked.NumPOs() != orc.NumOutputs() {
 		return nil, fmt.Errorf("attack: netlist/oracle interface mismatch")
 	}
-	eng := &engine.Engine{Locked: locked, Orc: orc, Tr: trace.NewEmitter(opts.Tracer)}
+	eng := &engine.Engine{Locked: locked, Orc: orc, Tr: trace.NewEmitter(opts.Tracer), Ckpt: opts.Checkpoint}
 	res := &Result{}
 	st := &psatStrategy{
 		eng: eng, res: res, opts: opts,

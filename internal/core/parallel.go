@@ -47,6 +47,18 @@ func (o *lockedOracle) Queries() int64 {
 	return o.inner.Queries()
 }
 
+// NoiseDraws forwards oracle.NoiseCounter when the chip counts noise
+// draws (zero otherwise), so engine checkpoints can stamp the stream
+// position through the serialising wrapper.
+func (o *lockedOracle) NoiseDraws() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if nc, ok := o.inner.(interface{ NoiseDraws() uint64 }); ok {
+		return nc.NoiseDraws()
+	}
+	return 0
+}
+
 // blockLockedOracle extends lockedOracle with the blocked sampling
 // view, so instances sharing the chip keep the wide-pass fast path
 // (oracle.SignalProbs prefers BlockQuerier when present).
@@ -75,6 +87,7 @@ func (o scalarLockedOracle) Query(x []bool) []bool { return o.lo.Query(x) }
 func (o scalarLockedOracle) NumInputs() int        { return o.lo.NumInputs() }
 func (o scalarLockedOracle) NumOutputs() int       { return o.lo.NumOutputs() }
 func (o scalarLockedOracle) Queries() int64        { return o.lo.Queries() }
+func (o scalarLockedOracle) NoiseDraws() uint64    { return o.lo.NoiseDraws() }
 
 // wrapOracle returns a goroutine-safe view of orc, preserving blocked
 // and batch sampling capability when present.

@@ -102,6 +102,11 @@ type Options struct {
 	// race-safe under Parallel. Tracing an attack changes nothing
 	// about its behaviour or results.
 	Tracer trace.Tracer
+	// Checkpoint, if set, receives a progress checkpoint after every
+	// engine Step of every instance (the durable-resume boundary; see
+	// docs/ARCHITECTURE.md "Checkpoint contract"). Like Tracer, a
+	// checkpoint sink changes nothing about behaviour or results.
+	Checkpoint engine.CheckpointSink
 }
 
 func (o *Options) setDefaults() {
@@ -380,7 +385,7 @@ func Attack(ctx context.Context, locked *circuit.Circuit, orc oracle.Oracle, opt
 		run.orc = wrapOracle(orc)
 	}
 	run.tr = trace.NewEmitter(opts.Tracer)
-	run.eng = &engine.Engine{Locked: locked, Orc: run.orc, Tr: run.tr}
+	run.eng = &engine.Engine{Locked: locked, Orc: run.orc, Tr: run.tr, Ckpt: opts.Checkpoint}
 	run.port = portfolio.New(portfolio.Options{
 		Workers: opts.PortfolioWorkers, Racers: opts.PortfolioRacers,
 	}, run.tr)

@@ -1,0 +1,58 @@
+package engine
+
+// Checkpoint is the serializable progress marker captured at the
+// Engine.Step boundary — the natural cut point the ROADMAP's
+// distributed-fabric direction names, since between Steps all attack
+// state is reconstructible from the run's inputs plus the oracle
+// interactions consumed so far (docs/ARCHITECTURE.md "Checkpoint
+// contract"). A checkpoint does not snapshot solver internals: resume
+// re-executes the attack deterministically against the recorded
+// oracle tape (internal/oracle's Journal), and the checkpoint's
+// counters locate — and cross-check — how far the durable tape
+// reaches. Any durable tape prefix resumes correctly; checkpoint
+// cadence therefore tunes durability granularity, never correctness.
+type Checkpoint struct {
+	// Instance is the SAT instance that completed the Step (root /
+	// single-instance = 0; StatSAT's fork-tree children count up).
+	Instance int `json:"instance"`
+	// Iterations is that instance's completed DIP iteration count.
+	Iterations int `json:"iterations"`
+	// OracleQueries is the cumulative chip-query count relative to
+	// attack start (the same origin trace events are stamped with).
+	OracleQueries int64 `json:"oracle_queries"`
+	// NoiseDraws is the noisy oracle's rng stream position, when the
+	// oracle counts one (oracle.NoiseCounter); zero otherwise.
+	NoiseDraws uint64 `json:"noise_draws,omitempty"`
+}
+
+// CheckpointSink receives one Checkpoint after every completed Step.
+// Sinks run on the attack goroutine between iterations; a durable sink
+// (statsatd's WAL group-commit barrier) makes everything the attack
+// consumed up to this boundary stable before the next Step begins.
+type CheckpointSink func(Checkpoint)
+
+// Covers reports whether c is at or past prev on every axis — the
+// monotonicity invariant of a checkpoint stream. WAL replay uses it to
+// reject logs whose checkpoint records went backwards (a mixed-up or
+// hand-edited data directory) before committing to a resume.
+func (c Checkpoint) Covers(prev Checkpoint) bool {
+	return c.Iterations >= prev.Iterations &&
+		c.OracleQueries >= prev.OracleQueries &&
+		c.NoiseDraws >= prev.NoiseDraws
+}
+
+// emitCkpt delivers the post-Step checkpoint when a sink is installed.
+func (e *Engine) emitCkpt(inst *Instance) {
+	if e.Ckpt == nil {
+		return
+	}
+	ck := Checkpoint{
+		Instance:      inst.ID,
+		Iterations:    inst.Iterations,
+		OracleQueries: e.Orc.Queries() - e.StartQ,
+	}
+	if nc, ok := e.Orc.(interface{ NoiseDraws() uint64 }); ok {
+		ck.NoiseDraws = nc.NoiseDraws()
+	}
+	e.Ckpt(ck)
+}

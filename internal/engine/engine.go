@@ -158,6 +158,9 @@ type Engine struct {
 	// stamping events: the baselines stamp queries relative to attack
 	// start, StatSAT stamps the absolute shared-chip counter (0).
 	StartQ int64
+	// Ckpt, when non-nil, receives a Checkpoint after every completed
+	// Step — the durable-resume boundary (see checkpoint.go).
+	Ckpt CheckpointSink
 }
 
 // NewInstance builds a fresh instance (miter + key solver) for the
@@ -191,6 +194,7 @@ func (e *Engine) Step(ctx context.Context, inst *Instance, st Strategy) (bool, e
 			return true, err
 		}
 		e.EmitIterEnd(inst, iter, "unsat")
+		e.emitCkpt(inst)
 		return true, nil
 	}
 	inst.Iterations++
@@ -200,6 +204,7 @@ func (e *Engine) Step(ctx context.Context, inst *Instance, st Strategy) (bool, e
 		return true, err
 	}
 	e.EmitIterEnd(inst, iter, status)
+	e.emitCkpt(inst)
 	return done, nil
 }
 

@@ -46,7 +46,8 @@ func (GoLeak) Applies(pkgPath string) bool {
 		"statsat/internal/trace",
 		"statsat/internal/sat",
 		"statsat/internal/engine",
-		"statsat/internal/core")
+		"statsat/internal/core",
+		"statsat/internal/wal")
 }
 
 func (c GoLeak) Run(p *Package, m *Module) []Finding {

@@ -265,6 +265,9 @@ func (m *Module) callBlocks(p *Package, call *ast.CallExpr) (string, bool) {
 	if f.Pkg() != nil && f.Pkg().Path() == "time" && f.Name() == "Sleep" {
 		return "time.Sleep", true
 	}
+	if osFileRecv(f) && fileBlockingMethods[f.Name()] {
+		return "os.File." + f.Name() + " (blocking file I/O)", true
+	}
 	if strings.HasPrefix(f.Name(), "Solve") {
 		return "call to " + f.Name() + " (solver work)", true
 	}
@@ -272,6 +275,39 @@ func (m *Module) callBlocks(p *Package, call *ast.CallExpr) (string, bool) {
 		return "call to " + f.Name() + ", which may block (" + fi.Sum.BlockDesc + ")", true
 	}
 	return "", false
+}
+
+// fileBlockingMethods are the (*os.File) methods that hit the disk and
+// can stall the caller for as long as the filesystem pleases — an
+// fsync on a busy device is routinely tens of milliseconds. The WAL's
+// single-writer design exists precisely so these never run under a
+// mutex; this classification lets lockscope prove it stays that way.
+// Close is deliberately absent: it is resource release, not I/O, and
+// flagging it would outlaw the universal `defer f.Close()` shape.
+var fileBlockingMethods = map[string]bool{
+	"Sync":        true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Read":        true,
+	"ReadAt":      true,
+	"Truncate":    true,
+}
+
+// osFileRecv reports whether f is a method on os.File (pointer or
+// value receiver), mirroring syncRecv's package-path matching.
+func osFileRecv(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
 }
 
 // syncRecv returns the sync.<Type> receiver name ("Mutex", "RWMutex",

@@ -4,7 +4,10 @@
 // at once). Expected findings are marked with `// want`.
 package fixture
 
-import "sync"
+import (
+	"os"
+	"sync"
+)
 
 type counter struct {
 	mu sync.Mutex
@@ -193,4 +196,42 @@ func emitAfterUnlock(c *counter, tr *tracer) {
 	if tr.Enabled() {
 		tr.Emit([]int{v})
 	}
+}
+
+// syncUnderLock: an fsync stalls for as long as the device pleases —
+// the WAL funnels all file I/O through a lockless writer goroutine so
+// this shape never appears in real code.
+func syncUnderLock(c *counter, f *os.File) {
+	c.mu.Lock()
+	f.Sync() // want `\[lockscope\] os\.File\.Sync \(blocking file I/O\) while holding c\.mu`
+	c.mu.Unlock()
+}
+
+// appendFrame does the write one call down; the blocking
+// classification must propagate through the module summary.
+func appendFrame(f *os.File, b []byte) {
+	f.Write(b)
+}
+
+func writeUnderLockViaHelper(c *counter, f *os.File) {
+	c.mu.Lock()
+	appendFrame(f, nil) // want `\[lockscope\] call to appendFrame, which may block \(os\.File\.Write \(blocking file I/O\)\) while holding c\.mu`
+	c.mu.Unlock()
+}
+
+// syncAfterUnlock: release first, then hit the disk.
+func syncAfterUnlock(c *counter, f *os.File) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	f.Sync()
+}
+
+// closeUnderLock: Close is resource release, not I/O — deliberately
+// unflagged so the universal `defer f.Close()` under a cleanup lock
+// stays legal.
+func closeUnderLock(c *counter, f *os.File) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f.Close()
 }

@@ -1,0 +1,271 @@
+package oracle
+
+// The journal is the resume substrate for the durable job fabric
+// (docs/SERVER.md "Persistence and recovery"): every oracle
+// interaction of a running attack is recorded as a TapeRecord, and a
+// resumed attack re-executes from iteration zero with the tape served
+// back instead of fresh silicon queries. Because every attack in this
+// repository is deterministic given its seed and its oracle answers
+// (docs/ARCHITECTURE.md), replaying the recorded answers reproduces
+// the interrupted trajectory exactly — same DIPs, same forks, same
+// counters — after which the journal switches to the live oracle,
+// whose noise stream has been skipped to the recorded draw position.
+// The resumed run is therefore byte-identical to an uninterrupted one,
+// no matter where the original was interrupted (even mid-sampling:
+// a tape prefix simply replays fewer samples before going live).
+
+import "fmt"
+
+// NoiseCounter is implemented by oracles whose noisy evaluations
+// consume a counted rng stream (Probabilistic). NoiseDraws reports the
+// stream position; SkipNoiseDraws advances a fresh oracle to a
+// recorded position so resumed sampling continues the same stream.
+type NoiseCounter interface {
+	NoiseDraws() uint64
+	SkipNoiseDraws(n uint64)
+}
+
+// TapeRecord is one recorded oracle interaction. Kind "q" is a scalar
+// Query (Y holds the output bits); kind "b" is a QueryBlock of Words
+// words (W holds the NumOutputs×Words result words; QueryBatch is the
+// Words==1 case). The counter fields are cumulative totals after the
+// interaction, so the final record of a tape carries everything a
+// resume needs to position a fresh oracle.
+type TapeRecord struct {
+	Kind    string   `json:"k"`
+	X       string   `json:"x"`
+	Words   int      `json:"w,omitempty"`
+	Y       string   `json:"y,omitempty"`
+	W       []uint64 `json:"bw,omitempty"`
+	Queries int64    `json:"q"`
+	Batch   int64    `json:"bq,omitempty"`
+	Draws   uint64   `json:"d,omitempty"`
+}
+
+// bitsKey packs a bool vector into the tape's '0'/'1' string form.
+func bitsKey(bits []bool) string {
+	buf := make([]byte, len(bits))
+	for i, b := range bits {
+		if b {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// keyBits decodes the tape string form back into bools.
+func keyBits(s string) []bool {
+	out := make([]bool, len(s))
+	for i := range s {
+		out[i] = s[i] == '1'
+	}
+	return out
+}
+
+// Journal wraps an oracle with replay-then-record semantics. While a
+// tape prefix remains it serves recorded answers (consuming no real
+// queries and no noise); once exhausted it passes through to the
+// inner oracle and feeds each new interaction to the sink. Counter
+// accessors always report the trajectory position — recorded totals
+// during replay, recorded-plus-live after.
+type Journal struct {
+	inner    Oracle
+	tape     []TapeRecord
+	pos      int
+	sink     func(TapeRecord)
+	frozen   bool
+	diverged bool
+	// counters of the last consumed tape record; the live phase adds
+	// the (initially zero) inner counters on top.
+	baseQ int64
+	baseB int64
+	baseD uint64
+}
+
+// BlockJournal is the Journal over an inner BlockQuerier: it
+// additionally replays and records batch/block queries, so the
+// blocked sampling paths keep working — and keep their trajectories —
+// across a resume. Constructed by NewJournal; never construct a
+// BlockJournal over a scalar-only oracle.
+type BlockJournal struct {
+	Journal
+}
+
+// NewJournal wraps a freshly materialized oracle (its counters at
+// zero) with the given tape and record sink (either may be nil/empty).
+// If the inner oracle counts noise draws, its stream is skipped to the
+// tape's final draw position so post-replay sampling continues where
+// the recorded run stopped. The returned oracle implements
+// BatchQuerier/BlockQuerier exactly when the inner one does.
+func NewJournal(inner Oracle, tape []TapeRecord, sink func(TapeRecord)) Oracle {
+	j := Journal{inner: inner, tape: tape, sink: sink}
+	if len(tape) > 0 {
+		end := tape[len(tape)-1]
+		if nc, ok := inner.(NoiseCounter); ok {
+			nc.SkipNoiseDraws(end.Draws - nc.NoiseDraws())
+		}
+	}
+	if _, ok := inner.(BlockQuerier); ok {
+		return &BlockJournal{Journal: j}
+	}
+	return &j
+}
+
+// replaying reports whether a tape prefix remains to be served.
+func (j *Journal) replaying() bool { return !j.diverged && j.pos < len(j.tape) }
+
+// Replaying exposes the replay state (the server's healthz/status
+// surfaces use it to show recovery progress).
+func (j *Journal) Replaying() bool { return j.replaying() }
+
+// Diverged reports that a replayed interaction did not match the tape
+// (possible only under Options.Parallel, whose scheduling is
+// documented as nondeterministic — see docs/ARCHITECTURE.md). The
+// journal then drops the rest of the tape, stops recording entirely
+// (the durable tape no longer describes this trajectory), and serves
+// the live oracle.
+func (j *Journal) Diverged() bool { return j.diverged }
+
+func (j *Journal) diverge() {
+	j.diverged = true
+	j.frozen = true
+	j.pos = len(j.tape)
+}
+
+// consume advances past tape[pos], adopting its cumulative counters.
+func (j *Journal) consume() *TapeRecord {
+	r := &j.tape[j.pos]
+	j.pos++
+	j.baseQ, j.baseB, j.baseD = r.Queries, r.Batch, r.Draws
+	return r
+}
+
+// record feeds one live interaction to the sink with cumulative
+// counters stamped.
+func (j *Journal) record(r TapeRecord) {
+	if j.frozen || j.sink == nil {
+		return
+	}
+	r.Queries = j.Queries()
+	r.Batch = j.BatchQueries()
+	if nc, ok := j.inner.(NoiseCounter); ok {
+		r.Draws = nc.NoiseDraws()
+	}
+	j.sink(r)
+}
+
+// Query implements Oracle.
+func (j *Journal) Query(x []bool) []bool {
+	if j.replaying() {
+		if r := &j.tape[j.pos]; r.Kind == "q" && r.X == bitsKey(x) {
+			return keyBits(j.consume().Y)
+		}
+		j.diverge()
+	}
+	y := j.inner.Query(x)
+	j.record(TapeRecord{Kind: "q", X: bitsKey(x), Y: bitsKey(y)})
+	return y
+}
+
+// NumInputs implements Oracle.
+func (j *Journal) NumInputs() int { return j.inner.NumInputs() }
+
+// NumOutputs implements Oracle.
+func (j *Journal) NumOutputs() int { return j.inner.NumOutputs() }
+
+// Queries implements Oracle: the trajectory's cumulative query count
+// (recorded totals while replaying, plus live queries after).
+func (j *Journal) Queries() int64 { return j.baseQ + j.inner.Queries() }
+
+// BatchQueries implements QueryBreakdown.
+func (j *Journal) BatchQueries() int64 {
+	var live int64
+	if qb, ok := j.inner.(QueryBreakdown); ok {
+		live = qb.BatchQueries()
+	}
+	return j.baseB + live
+}
+
+// ScalarQueries implements QueryBreakdown.
+func (j *Journal) ScalarQueries() int64 { return j.Queries() - j.BatchQueries() }
+
+// NoiseDraws implements NoiseCounter (position of the trajectory, not
+// of the pre-skipped inner stream, while replaying).
+func (j *Journal) NoiseDraws() uint64 {
+	if j.replaying() {
+		return j.baseD
+	}
+	if nc, ok := j.inner.(NoiseCounter); ok {
+		return nc.NoiseDraws()
+	}
+	return 0
+}
+
+// SkipNoiseDraws implements NoiseCounter, forwarding to the inner
+// oracle (a journal is itself journal-able, though the server never
+// nests them).
+func (j *Journal) SkipNoiseDraws(n uint64) {
+	if nc, ok := j.inner.(NoiseCounter); ok {
+		nc.SkipNoiseDraws(n)
+	}
+}
+
+// QueryBatch implements BatchQuerier (BlockJournal only): the
+// single-word block, mirroring Probabilistic.
+func (j *BlockJournal) QueryBatch(x []bool) []uint64 {
+	return j.QueryBlock(x, 1)
+}
+
+// QueryBlock implements BlockQuerier (BlockJournal only).
+func (j *BlockJournal) QueryBlock(x []bool, words int) []uint64 {
+	if j.replaying() {
+		if r := &j.tape[j.pos]; r.Kind == "b" && r.Words == words && r.X == bitsKey(x) {
+			return j.consume().W
+		}
+		j.diverge()
+	}
+	w := j.inner.(BlockQuerier).QueryBlock(x, words)
+	j.record(TapeRecord{Kind: "b", X: bitsKey(x), Words: words, W: append([]uint64(nil), w...)})
+	return w
+}
+
+// BlockWords implements BlockQuerier (BlockJournal only).
+func (j *BlockJournal) BlockWords() int { return j.inner.(BlockQuerier).BlockWords() }
+
+// ValidateTape sanity-checks a replayed tape before a resume commits
+// to it: records must match the oracle's pinout and carry monotone
+// non-decreasing cumulative counters. A WAL that replays intact but
+// fails validation (a spec/netlist mismatch) aborts the resume rather
+// than silently diverging.
+func ValidateTape(tape []TapeRecord, o Oracle) error {
+	var q, b int64
+	var d uint64
+	for i, r := range tape {
+		switch r.Kind {
+		case "q":
+			if len(r.Y) != o.NumOutputs() {
+				return fmt.Errorf("oracle: tape record %d: %d output bits, oracle has %d", i, len(r.Y), o.NumOutputs())
+			}
+		case "b":
+			if r.Words < 1 || len(r.W) != o.NumOutputs()*r.Words {
+				return fmt.Errorf("oracle: tape record %d: %d block words for width %d, oracle has %d outputs",
+					i, len(r.W), r.Words, o.NumOutputs())
+			}
+			if _, ok := o.(BlockQuerier); !ok {
+				return fmt.Errorf("oracle: tape record %d is a block query but the oracle is scalar-only", i)
+			}
+		default:
+			return fmt.Errorf("oracle: tape record %d: unknown kind %q", i, r.Kind)
+		}
+		if len(r.X) != o.NumInputs() {
+			return fmt.Errorf("oracle: tape record %d: %d input bits, oracle has %d", i, len(r.X), o.NumInputs())
+		}
+		if r.Queries < q || r.Batch < b || r.Draws < d {
+			return fmt.Errorf("oracle: tape record %d: counters went backwards", i)
+		}
+		q, b, d = r.Queries, r.Batch, r.Draws
+	}
+	return nil
+}

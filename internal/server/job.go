@@ -50,6 +50,14 @@ type Job struct {
 	cancel context.CancelCauseFunc
 	done   chan struct{}
 
+	// sinks are the store's durability hooks (JobStore.Bind); the zero
+	// value is the in-memory path. tape is the recorded oracle
+	// interaction prefix a recovered job replays before going live
+	// (nil for fresh jobs; see docs/SERVER.md "Persistence and
+	// recovery").
+	sinks sinks
+	tape  []statsat.TapeRecord
+
 	mu       sync.Mutex
 	state    State
 	err      error
@@ -204,15 +212,21 @@ func (j *Job) Outcome() *Outcome {
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // tryStart transitions queued -> running; a false return means the job
-// was cancelled while waiting in the queue and must not run.
+// was cancelled while waiting in the queue and must not run. The
+// store's transition hook fires after j.mu is released — it may block
+// on the write-ahead log.
 func (j *Job) tryStart() bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != StateQueued {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.mu.Unlock()
+	if j.sinks.transition != nil {
+		j.sinks.transition(j, StateRunning)
+	}
 	return true
 }
 
@@ -231,6 +245,12 @@ func (j *Job) finish(state State, out *Outcome, err error) {
 	j.err = err
 	j.finished = time.Now()
 	j.mu.Unlock()
+	// The terminal record reaches the store (and, on the persistent
+	// path, stable storage) before Done waiters release: a client that
+	// observed settlement can rely on the outcome surviving a crash.
+	if j.sinks.transition != nil {
+		j.sinks.transition(j, state)
+	}
 	j.stream.Close()
 	close(j.done)
 }

@@ -1,0 +1,370 @@
+// Durable job fabric: a JobStore/WorkQueue pair layered over
+// internal/wal. Every record is a one-line JSON envelope (walRec);
+// jobs, specs, lifecycle transitions, oracle tapes and engine
+// checkpoints are all records in one log. Startup replays the log,
+// rebuilds terminal jobs for listing, re-enqueues the rest with their
+// recorded oracle tape (resume-by-re-execution; see docs/SERVER.md
+// "Persistence and recovery"), and compacts the log to the survivors.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"statsat"
+	"statsat/internal/wal"
+)
+
+// walRec record kinds.
+const (
+	recJob   = "job"   // admission: spec + created timestamp
+	recState = "state" // lifecycle transition (terminal ones carry the outcome)
+	recTape  = "tape"  // one live oracle interaction (oracle.TapeRecord)
+	recCkpt  = "ckpt"  // engine checkpoint; written with an fsync barrier
+	recEvict = "evict" // store eviction or admission rollback
+)
+
+// walRec is the JSON envelope framed into the write-ahead log. Unknown
+// kinds are skipped on replay so older servers tolerate newer logs.
+type walRec struct {
+	T       string              `json:"t"`
+	ID      string              `json:"id,omitempty"`
+	At      int64               `json:"at,omitempty"` // unix nanoseconds
+	Spec    json.RawMessage     `json:"spec,omitempty"`
+	State   State               `json:"state,omitempty"`
+	Err     string              `json:"err,omitempty"`
+	Outcome *Outcome            `json:"outcome,omitempty"`
+	Ckpt    *statsat.Checkpoint `json:"ckpt,omitempty"`
+	Tape    *statsat.TapeRecord `json:"tape,omitempty"`
+}
+
+// walStore is the persistent JobStore: a memStore for lookups plus the
+// write-ahead log as the source of truth across restarts. Log appends
+// go through the wal writer goroutine, never under a mutex.
+type walStore struct {
+	mem      *memStore
+	log      *wal.Log
+	logf     func(format string, args ...interface{})
+	ckptHook func(jobID string, n int) // tests only (Config.ckptHook)
+}
+
+func (s *walStore) warnf(format string, args ...interface{}) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
+}
+
+// append marshals and frames one record; failures degrade durability,
+// not the in-memory job fabric, so they are logged and swallowed.
+func (s *walStore) append(r walRec, fsync bool) {
+	b, err := json.Marshal(r)
+	if err == nil {
+		if fsync {
+			err = s.log.AppendSync(b)
+		} else {
+			err = s.log.Append(b)
+		}
+	}
+	if err != nil {
+		s.warnf("statsatd: wal append (%s %s): %v", r.T, r.ID, err)
+	}
+}
+
+// Add implements JobStore: register in memory, then log the admission
+// and any evictions.
+func (s *walStore) Add(j *Job) ([]*Job, error) {
+	evicted, err := s.mem.Add(j)
+	if err != nil {
+		return nil, err
+	}
+	spec, merr := json.Marshal(j.Spec)
+	if merr != nil {
+		// Undo: a job whose spec cannot be logged must not outlive the
+		// process believing it is durable.
+		s.mem.Remove(j.ID)
+		return nil, fmt.Errorf("server: encoding spec for wal: %w", merr)
+	}
+	s.append(walRec{T: recJob, ID: j.ID, At: time.Now().UnixNano(), Spec: spec}, false)
+	for _, e := range evicted {
+		s.append(walRec{T: recEvict, ID: e.ID}, false)
+	}
+	return evicted, nil
+}
+
+// Remove implements JobStore (admission rollback): the evict record
+// supersedes the job's admission on replay.
+func (s *walStore) Remove(id string) {
+	s.mem.Remove(id)
+	s.append(walRec{T: recEvict, ID: id}, false)
+}
+
+func (s *walStore) Get(id string) (*Job, bool) { return s.mem.Get(id) }
+func (s *walStore) List() []*Job               { return s.mem.List() }
+func (s *walStore) Len() int                   { return s.mem.Len() }
+func (s *walStore) Persistent() bool           { return true }
+func (s *walStore) Close() error               { return s.log.Close() }
+
+// Bind implements JobStore: wire the job's durability hooks.
+//   - transition: every lifecycle move becomes a state record; terminal
+//     ones carry the outcome and fsync before Done waiters release.
+//   - tape: each live oracle interaction is appended (group-committed,
+//     no per-record fsync — the checkpoint is the barrier).
+//   - ckpt: engine checkpoints append with fsync, making everything up
+//     to the end of that iteration durable.
+func (s *walStore) Bind(j *Job) {
+	id := j.ID
+	n := 0 // checkpoint count; sinks are invoked sequentially per job
+	j.sinks = sinks{
+		transition: s.transition,
+		tape: func(r statsat.TapeRecord) {
+			s.append(walRec{T: recTape, ID: id, Tape: &r}, false)
+		},
+		ckpt: func(c statsat.Checkpoint) {
+			s.append(walRec{T: recCkpt, ID: id, Ckpt: &c}, true)
+			if s.ckptHook != nil {
+				n++
+				s.ckptHook(id, n)
+			}
+		},
+	}
+}
+
+// transition logs one lifecycle move; invoked by the job after its own
+// state settles (outside j.mu).
+func (s *walStore) transition(j *Job, st State) {
+	r := walRec{T: recState, ID: j.ID, State: st, At: time.Now().UnixNano()}
+	if st.Terminal() {
+		r.Outcome = j.Outcome()
+		if err := j.Err(); err != nil {
+			r.Err = err.Error()
+		}
+	}
+	s.append(r, st.Terminal())
+}
+
+// walQueue is the persistent WorkQueue: a memQueue plus a write-ahead
+// queued record, so replay can tell admitted-and-enqueued jobs apart
+// from half-admissions that never reached the queue.
+type walQueue struct {
+	mem *memQueue
+	st  *walStore
+}
+
+// Enqueue implements WorkQueue. The queued record lands before the
+// channel hand-off (write-ahead): if the hand-off fails the caller's
+// rollback evict record supersedes it, and if the server crashes
+// between the two the job is resurrected — the client was promised
+// nothing either way.
+func (q *walQueue) Enqueue(j *Job) bool {
+	q.st.append(walRec{T: recState, ID: j.ID, State: StateQueued, At: time.Now().UnixNano()}, false)
+	return q.mem.Enqueue(j)
+}
+
+func (q *walQueue) Take() (*Job, bool) { return q.mem.Take() }
+func (q *walQueue) Close()             { q.mem.Close() }
+
+// jobHistory is one job's state folded out of the replayed log.
+type jobHistory struct {
+	id      string
+	spec    json.RawMessage
+	created int64
+	started int64 // last running-state timestamp
+	ended   int64 // terminal-state timestamp
+	queued  bool  // reached the work queue
+	state   State // last recorded state ("" = admission only)
+	errText string
+	outcome *Outcome
+	tape    []statsat.TapeRecord
+	ckpt    *statsat.Checkpoint
+	evicted bool
+}
+
+// openPersistent opens cfg.DataDir's job fabric: replay, rebuild,
+// compact. Returned jobs in resume are non-terminal survivors the
+// server re-enqueues at Start (their ctx is bound there).
+func openPersistent(cfg Config) (*walStore, *walQueue, []*Job, error) {
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "trace"), 0o755); err != nil {
+		return nil, nil, nil, fmt.Errorf("server: creating data dir: %w", err)
+	}
+	log, payloads, err := wal.Open(filepath.Join(cfg.DataDir, "jobs.wal"))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("server: opening wal: %w", err)
+	}
+	st := &walStore{mem: newMemStore(cfg.MaxJobs), log: log, logf: cfg.Logf, ckptHook: cfg.ckptHook}
+	q := &walQueue{mem: newMemQueue(cfg.QueueDepth), st: st}
+
+	hists, order, maxSeq := foldLog(payloads, st.warnf)
+	var (
+		resume  []*Job
+		compact [][]byte
+	)
+	for _, id := range order {
+		h := hists[id]
+		if h.evicted || !h.queued {
+			continue // history only; a half-admission never ran
+		}
+		j, err := h.rebuild(cfg.TraceBuffer)
+		if err != nil {
+			st.warnf("statsatd: dropping job %s on recovery: %v", id, err)
+			continue
+		}
+		if err := st.mem.adopt(j); err != nil {
+			st.warnf("statsatd: dropping job %s on recovery: %v", id, err)
+			continue
+		}
+		if !h.state.Terminal() {
+			st.Bind(j)
+			resume = append(resume, j)
+		}
+		compact = append(compact, h.encode(st.warnf)...)
+	}
+	st.mem.bumpSeq(maxSeq)
+	if err := log.Rewrite(compact); err != nil {
+		log.Close()
+		return nil, nil, nil, fmt.Errorf("server: compacting wal: %w", err)
+	}
+	return st, q, resume, nil
+}
+
+// foldLog reduces the replayed payloads to per-job histories, keeping
+// admission order and the highest job sequence number ever issued.
+func foldLog(payloads [][]byte, warnf func(string, ...interface{})) (map[string]*jobHistory, []string, int64) {
+	hists := map[string]*jobHistory{}
+	var order []string
+	var maxSeq int64
+	for _, p := range payloads {
+		var r walRec
+		if err := json.Unmarshal(p, &r); err != nil {
+			warnf("statsatd: skipping undecodable wal record: %v", err)
+			continue
+		}
+		if r.T == recJob {
+			if n, ok := idSeq(r.ID); ok && n > maxSeq {
+				maxSeq = n
+			}
+			hists[r.ID] = &jobHistory{id: r.ID, spec: r.Spec, created: r.At}
+			order = append(order, r.ID)
+			continue
+		}
+		h, ok := hists[r.ID]
+		if !ok {
+			continue // record for a job whose admission was compacted away
+		}
+		switch r.T {
+		case recState:
+			h.state = r.State
+			switch {
+			case r.State == StateQueued:
+				h.queued = true
+			case r.State == StateRunning:
+				h.started = r.At
+			case r.State.Terminal():
+				h.ended, h.outcome, h.errText = r.At, r.Outcome, r.Err
+			}
+		case recTape:
+			if r.Tape != nil {
+				h.tape = append(h.tape, *r.Tape)
+			}
+		case recCkpt:
+			if r.Ckpt == nil {
+				continue
+			}
+			if h.ckpt != nil && !r.Ckpt.Covers(*h.ckpt) {
+				warnf("statsatd: job %s: non-monotone checkpoint dropped", r.ID)
+				continue
+			}
+			h.ckpt = r.Ckpt
+		case recEvict:
+			h.evicted = true
+		}
+	}
+	return hists, order, maxSeq
+}
+
+// rebuild turns a history back into a *Job. Terminal jobs come back
+// frozen (closed stream, released Done) for listing; non-terminal ones
+// come back queued with their oracle tape attached, ready for
+// re-execution — the journal replays the tape so the resumed
+// trajectory is identical to an uninterrupted run.
+func (h *jobHistory) rebuild(traceBuf int) (*Job, error) {
+	var sp Spec
+	if err := json.Unmarshal(h.spec, &sp); err != nil {
+		return nil, fmt.Errorf("decoding logged spec: %w", err)
+	}
+	mat, err := sp.materialize()
+	if err != nil {
+		return nil, fmt.Errorf("re-materializing spec: %w", err)
+	}
+	j := newJob(&sp, mat, traceBuf)
+	j.ID = h.id
+	if h.created > 0 {
+		j.created = time.Unix(0, h.created)
+	}
+	if h.state.Terminal() {
+		j.state = h.state
+		j.outcome = h.outcome
+		if h.errText != "" {
+			j.err = fmt.Errorf("%s", h.errText)
+		}
+		if h.started > 0 {
+			j.started = time.Unix(0, h.started)
+		}
+		if h.ended > 0 {
+			j.finished = time.Unix(0, h.ended)
+		}
+		j.stream.Close()
+		close(j.done)
+		return j, nil
+	}
+	if err := statsat.ValidateTape(h.tape, mat.orc); err != nil {
+		// A tape that no longer matches the oracle interface means the
+		// spec materialized differently; restart the attack cleanly.
+		return nil, fmt.Errorf("validating oracle tape: %w", err)
+	}
+	j.tape = h.tape
+	return j, nil
+}
+
+// encode re-frames a surviving history for compaction: the admission,
+// the collapsed lifecycle, and — for jobs that will resume — the tape
+// and last checkpoint. Terminal jobs shed their tapes, which is where
+// the log reclaims its space.
+func (h *jobHistory) encode(warnf func(string, ...interface{})) [][]byte {
+	var out [][]byte
+	add := func(r walRec) {
+		b, err := json.Marshal(r)
+		if err != nil {
+			warnf("statsatd: compacting job %s: %v", h.id, err)
+			return
+		}
+		out = append(out, b)
+	}
+	add(walRec{T: recJob, ID: h.id, At: h.created, Spec: h.spec})
+	add(walRec{T: recState, ID: h.id, State: StateQueued, At: h.created})
+	if h.state.Terminal() {
+		if h.started > 0 {
+			add(walRec{T: recState, ID: h.id, State: StateRunning, At: h.started})
+		}
+		add(walRec{T: recState, ID: h.id, State: h.state, At: h.ended,
+			Outcome: h.outcome, Err: h.errText})
+		return out
+	}
+	for i := range h.tape {
+		add(walRec{T: recTape, ID: h.id, Tape: &h.tape[i]})
+	}
+	if h.ckpt != nil {
+		add(walRec{T: recCkpt, ID: h.id, Ckpt: h.ckpt})
+	}
+	return out
+}
+
+// Interface conformance (compile-time).
+var (
+	_ JobStore  = (*memStore)(nil)
+	_ JobStore  = (*walStore)(nil)
+	_ WorkQueue = (*memQueue)(nil)
+	_ WorkQueue = (*walQueue)(nil)
+)

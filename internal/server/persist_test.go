@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"statsat/internal/trace"
+)
+
+// persistServer starts a Server with the durable fabric rooted at dir.
+func persistServer(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.DataDir = dir
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.Start(ctx)
+	hts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hts.Close()
+		sctx, scancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer scancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		cancel()
+	})
+	return srv, hts
+}
+
+// copyTree byte-copies src into dst. Copying while the WAL writer is
+// mid-append is deliberate: the copy is exactly the on-disk image a
+// crash would leave, torn tail included.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying crash image: %v", err)
+	}
+}
+
+// resumableSpec is an antisat-locked c880 job: the lock forces a
+// distinguishing iteration per wrong key pattern (~2^(k/2) of them),
+// so the run has plenty of Step boundaries to crash at while still
+// completing in test time.
+func resumableSpec(attack string, eps float64) Spec {
+	return Spec{
+		Attack:    attack,
+		Benchmark: "c880",
+		Scale:     8,
+		Lock:      "antisat",
+		KeyBits:   10,
+		Seed:      5,
+		Eps:       eps,
+		Options:   SpecOptions{Ns: 20, MaxIter: 1 << 20},
+	}
+}
+
+// stripVolatile clears the fields of an outcome that legitimately vary
+// across runs (wall time); everything else must be byte-identical
+// between an uninterrupted run and a crash-resumed one.
+func stripVolatile(out *Outcome) *Outcome {
+	if out == nil {
+		return nil
+	}
+	c := *out
+	c.AttackNs = 0
+	return &c
+}
+
+// TestRestartDeterminism is the acceptance-criteria flow for the
+// durable fabric: run a job under persistence, capture a crash image
+// of the data directory at a mid-run Step boundary (the third durable
+// checkpoint, via the test-only checkpoint hook), let the original run
+// to completion as the control, then boot a second server on the crash
+// image and verify the resumed job's outcome — keys, iteration counts,
+// oracle-query counts — is identical to the uninterrupted run's.
+func TestRestartDeterminism(t *testing.T) {
+	cases := []struct {
+		attack string
+		eps    float64
+	}{
+		{"sat", 0},
+		{"psat", 0},
+		{"appsat", 0},
+		{"statsat", 0.01}, // noisy: resume must also restore the noise stream position
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.attack, func(t *testing.T) {
+			t.Parallel()
+			dirA, dirB := t.TempDir(), t.TempDir()
+			var snapped bool
+			cfg := Config{Workers: 1, MaxJobs: 8}
+			// Snapshot the data directory inside the third checkpoint
+			// sink call: the engine is blocked at the Step boundary, so
+			// the image is exactly "crashed after iteration 3 became
+			// durable" — deterministic, no polling race.
+			cfg.ckptHook = func(jobID string, n int) {
+				if n == 3 && !snapped {
+					snapped = true
+					copyTree(t, dirA, dirB)
+				}
+			}
+			srv, hts := persistServer(t, dirA, cfg)
+			id := submit(t, hts.URL, resumableSpec(tc.attack, tc.eps))
+
+			// Control: the original life runs uninterrupted (the snapshot
+			// is taken synchronously along the way).
+			control := waitTerminal(t, srv, id)
+			if st := control.State(); st != StateDone {
+				t.Fatalf("control settled as %s (err %v)", st, control.Err())
+			}
+			if !snapped {
+				t.Fatal("control finished in under three checkpoints; no crash image taken")
+			}
+			img, err := os.ReadFile(filepath.Join(dirB, "jobs.wal"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Contains(img, []byte(`"t":"ckpt"`)) {
+				t.Fatal("crash image holds no checkpoint record")
+			}
+			for _, terminal := range []string{`"state":"done"`, `"state":"failed"`, `"state":"cancelled"`} {
+				if bytes.Contains(img, []byte(terminal)) {
+					t.Fatalf("crash image already holds %s: job finished before the snapshot", terminal)
+				}
+			}
+
+			// Crash recovery: a fresh server on the image must resume the
+			// job (listed non-terminal, re-enqueued, tape replayed) and
+			// reach the exact same outcome.
+			srv2, _ := persistServer(t, dirB, Config{Workers: 1, MaxJobs: 8})
+			resumed, ok := srv2.store.Get(id)
+			if !ok {
+				t.Fatalf("job %s not recovered from the crash image", id)
+			}
+			if len(resumed.tape) == 0 {
+				t.Error("recovered job carries no oracle tape")
+			}
+			select {
+			case <-resumed.Done():
+			case <-time.After(120 * time.Second):
+				t.Fatalf("resumed job did not settle (state %s)", resumed.State())
+			}
+			if st := resumed.State(); st != StateDone {
+				t.Fatalf("resumed job settled as %s (err %v)", st, resumed.Err())
+			}
+
+			want, got := stripVolatile(control.Outcome()), stripVolatile(resumed.Outcome())
+			wb, _ := json.Marshal(want)
+			gb, _ := json.Marshal(got)
+			if !bytes.Equal(wb, gb) {
+				t.Fatalf("resumed outcome diverged from control:\ncontrol: %s\nresumed: %s", wb, gb)
+			}
+			if len(got.Keys) == 0 {
+				t.Fatal("no key recovered")
+			}
+			if tc.attack != "psat" && !got.Keys[0].Correct {
+				t.Errorf("resumed key not marked correct: %+v", got.Keys[0])
+			}
+		})
+	}
+}
+
+// TestRecoveryListsTerminalJobs verifies the quieter half of recovery:
+// finished jobs come back listed with their outcome, the health
+// endpoint reports the persistent census, and the trace endpoint
+// serves the durable spill for a job whose in-memory ring died with
+// the previous process.
+func TestRecoveryListsTerminalJobs(t *testing.T) {
+	dir := t.TempDir()
+	srv, hts := persistServer(t, dir, Config{Workers: 2, MaxJobs: 8})
+	id := submit(t, hts.URL, quickSpec("statsat"))
+	j := waitTerminal(t, srv, id)
+	if st := j.State(); st != StateDone {
+		t.Fatalf("job settled as %s (err %v)", st, j.Err())
+	}
+	firstOutcome := j.Outcome()
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	hts.Close()
+
+	srv2, hts2 := persistServer(t, dir, Config{Workers: 2, MaxJobs: 8})
+	st := getStatus(t, hts2.URL, id)
+	if st.State != StateDone {
+		t.Fatalf("recovered job state = %s, want done", st.State)
+	}
+	if st.Outcome == nil || len(st.Outcome.Keys) == 0 {
+		t.Fatalf("recovered outcome = %+v", st.Outcome)
+	}
+	wb, _ := json.Marshal(stripVolatile(firstOutcome))
+	gb, _ := json.Marshal(stripVolatile(st.Outcome))
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("recovered outcome changed:\nbefore: %s\nafter:  %s", wb, gb)
+	}
+	if srv2.store.Len() != 1 {
+		t.Fatalf("recovered store len = %d", srv2.store.Len())
+	}
+
+	// Health census over the recovered fabric.
+	resp, err := http.Get(hts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Jobs        int            `json:"jobs"`
+		States      map[string]int `json:"states"`
+		Persistence bool           `json:"persistence"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.Persistence || health.Jobs != 1 || health.States["done"] != 1 || health.States["running"] != 0 {
+		t.Fatalf("healthz after recovery = %+v", health)
+	}
+
+	// The trace spill outlives the process that buffered the ring.
+	tresp, err := http.Get(hts2.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if ct := tresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace Content-Type = %q", ct)
+	}
+	dec := json.NewDecoder(tresp.Body)
+	saw := map[trace.EventType]bool{}
+	for {
+		var ev trace.Event
+		if err := dec.Decode(&ev); err != nil {
+			if err != io.EOF {
+				t.Fatalf("decoding spilled trace: %v", err)
+			}
+			break
+		}
+		saw[ev.Type] = true
+	}
+	for _, want := range []trace.EventType{trace.AttackStart, trace.IterStart, trace.AttackEnd} {
+		if !saw[want] {
+			t.Errorf("spilled trace missing %s", want)
+		}
+	}
+}
+
+// TestTornWALTailRecovers ends a server life with garbage appended to
+// the log (a torn final append) and verifies the next life opens it,
+// truncates the tail and still lists the settled job.
+func TestTornWALTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	srv, hts := persistServer(t, dir, Config{Workers: 1, MaxJobs: 4})
+	id := submit(t, hts.URL, quickSpec("sat"))
+	waitTerminal(t, srv, id)
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	hts.Close()
+
+	walPath := filepath.Join(dir, "jobs.wal")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2, hts2 := persistServer(t, dir, Config{Workers: 1, MaxJobs: 4})
+	if srv2.store.Len() != 1 {
+		t.Fatalf("store len after torn-tail recovery = %d", srv2.store.Len())
+	}
+	st := getStatus(t, hts2.URL, id)
+	if st.State != StateDone || st.Outcome == nil {
+		t.Fatalf("job after torn-tail recovery = %+v", st)
+	}
+}

@@ -46,8 +46,19 @@ func (j *Job) execute(ctx context.Context) {
 // entry point and folds the engine-specific result into the uniform
 // Outcome. A non-nil Outcome comes back with ErrInterrupted (the
 // partial-result contract) as well as on success.
+//
+// On the persistent path the materialized oracle is wrapped in a
+// journal: a recovered job first replays its taped interaction prefix
+// (byte-identical answers, no chip queries), then goes live with the
+// noise stream skipped to the tape's end — so a resumed attack's
+// trajectory, keys and query counters match an uninterrupted run of
+// the same spec exactly (docs/ARCHITECTURE.md "Checkpoint contract").
 func (j *Job) runAttack(ctx context.Context) (*Outcome, error) {
 	mat, o := j.mat, j.Spec.Options
+	orc := mat.orc
+	if j.tape != nil || j.sinks.tape != nil {
+		orc = statsat.NewJournalOracle(orc, j.tape, j.sinks.tape)
+	}
 	epsG := o.EpsG
 	if epsG == 0 {
 		epsG = j.Spec.Eps
@@ -59,9 +70,9 @@ func (j *Job) runAttack(ctx context.Context) (*Outcome, error) {
 			ULambda: o.ULambda, ELambda: o.ELambda, EpsG: epsG,
 			MaxTotalIter: o.MaxIter, Seed: j.Spec.Seed, Parallel: o.Parallel,
 			PortfolioWorkers: o.PortfolioWorkers, PortfolioRacers: o.PortfolioRacers,
-			Tracer: j.tracer(),
+			Tracer: j.tracer(), Checkpoint: j.sinks.ckpt,
 		}
-		res, err := statsat.AttackCtx(ctx, mat.locked, mat.orc, opts)
+		res, err := statsat.AttackCtx(ctx, mat.locked, orc, opts)
 		if res == nil {
 			return nil, err
 		}
@@ -85,8 +96,8 @@ func (j *Job) runAttack(ctx context.Context) (*Outcome, error) {
 		}
 		return j.noteInterrupt(out, err), err
 	case "sat":
-		res, err := statsat.StandardSATOptCtx(ctx, mat.locked, mat.orc, statsat.SATOptions{
-			MaxIter: o.MaxIter, Tracer: j.tracer(),
+		res, err := statsat.StandardSATOptCtx(ctx, mat.locked, orc, statsat.SATOptions{
+			MaxIter: o.MaxIter, Tracer: j.tracer(), Checkpoint: j.sinks.ckpt,
 			PortfolioWorkers: o.PortfolioWorkers, PortfolioRacers: o.PortfolioRacers,
 		})
 		if res == nil {
@@ -94,8 +105,9 @@ func (j *Job) runAttack(ctx context.Context) (*Outcome, error) {
 		}
 		return j.noteInterrupt(j.baselineOutcome(res), err), err
 	case "psat":
-		res, err := statsat.PSATCtx(ctx, mat.locked, mat.orc, statsat.PSATOptions{
+		res, err := statsat.PSATCtx(ctx, mat.locked, orc, statsat.PSATOptions{
 			Ns: o.Ns, MaxIter: o.MaxIter, Seed: j.Spec.Seed, Tracer: j.tracer(),
+			Checkpoint:       j.sinks.ckpt,
 			PortfolioWorkers: o.PortfolioWorkers, PortfolioRacers: o.PortfolioRacers,
 		})
 		if res == nil {
@@ -103,10 +115,9 @@ func (j *Job) runAttack(ctx context.Context) (*Outcome, error) {
 		}
 		return j.noteInterrupt(j.baselineOutcome(res), err), err
 	case "appsat":
-		// AppSAT's adapter takes no tracer (it is a baseline data
-		// point); its jobs stream no per-iteration events.
-		res, err := statsat.AppSATCtx(ctx, mat.locked, mat.orc, statsat.AppSATOptions{
-			MaxIter: o.MaxIter, Seed: j.Spec.Seed,
+		res, err := statsat.AppSATCtx(ctx, mat.locked, orc, statsat.AppSATOptions{
+			MaxIter: o.MaxIter, Seed: j.Spec.Seed, Tracer: j.tracer(),
+			Checkpoint:       j.sinks.ckpt,
 			PortfolioWorkers: o.PortfolioWorkers, PortfolioRacers: o.PortfolioRacers,
 		})
 		if res == nil {

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 )
@@ -31,8 +34,23 @@ type Config struct {
 	// TraceBuffer is each job's trace replay-ring capacity in events
 	// (default 4096; see trace.Stream).
 	TraceBuffer int
+	// DataDir, when set, enables the durable job fabric: jobs, specs,
+	// state transitions, oracle tapes and checkpoints are logged to a
+	// write-ahead log under the directory, trace streams spill to
+	// NDJSON files, and a restarted server lists terminal jobs,
+	// re-enqueues queued ones and resumes running ones from their last
+	// recorded state (docs/SERVER.md "Persistence and recovery").
+	// Empty keeps the in-memory fabric — the default.
+	DataDir string
 	// Logf, if set, receives one line per lifecycle transition.
 	Logf func(format string, args ...interface{})
+
+	// ckptHook (tests only) observes each durable checkpoint append:
+	// the job ID plus that job's running checkpoint count, invoked
+	// synchronously from the checkpoint sink — i.e. while the engine is
+	// blocked at the Step boundary. Crash-recovery tests use it to
+	// snapshot the data directory at a deterministic mid-run point.
+	ckptHook func(jobID string, n int)
 }
 
 func (c *Config) setDefaults() {
@@ -56,14 +74,20 @@ func (c *Config) setDefaults() {
 // http.Handler.
 type Server struct {
 	cfg   Config
-	store *store
+	store JobStore
 	mux   *http.ServeMux
 
 	// queue is the pull queue: workers take the next admitted job
 	// whenever they free up, the same shape as the experiment
 	// scheduler's shared-queue pool (internal/exp).
-	queue chan *Job
+	queue WorkQueue
 	wg    sync.WaitGroup
+
+	// spillDir is the durable trace spill directory ("" without
+	// persistence); resume holds recovered non-terminal jobs awaiting
+	// re-enqueue at Start.
+	spillDir string
+	resume   []*Job
 
 	mu         sync.Mutex
 	started    bool
@@ -72,13 +96,24 @@ type Server struct {
 	baseCancel context.CancelCauseFunc
 }
 
-// New builds an idle server; no goroutines run until Start.
-func New(cfg Config) *Server {
+// New builds an idle server; no goroutines run until Start (the WAL
+// writer, on the persistent path, is the one exception). With
+// cfg.DataDir set, New replays the write-ahead log: terminal jobs are
+// listed immediately, non-terminal ones are re-enqueued when Start
+// runs, and the log is compacted to the surviving jobs.
+func New(cfg Config) (*Server, error) {
 	cfg.setDefaults()
-	s := &Server{
-		cfg:   cfg,
-		store: newStore(cfg.MaxJobs),
-		queue: make(chan *Job, cfg.QueueDepth),
+	s := &Server{cfg: cfg}
+	if cfg.DataDir == "" {
+		s.store = newMemStore(cfg.MaxJobs)
+		s.queue = newMemQueue(cfg.QueueDepth)
+	} else {
+		store, queue, resume, err := openPersistent(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.store, s.queue, s.resume = store, queue, resume
+		s.spillDir = filepath.Join(cfg.DataDir, "trace")
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -88,17 +123,18 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
-	return s
+	return s, nil
 }
 
-// Start launches the worker pool. ctx is the base context every job's
-// context derives from: cancelling it interrupts all running jobs
-// (each flushes an `interrupted` trace event and publishes its partial
-// result), but the pool itself drains only via Shutdown.
+// Start launches the worker pool and re-enqueues recovered jobs. ctx
+// is the base context every job's context derives from: cancelling it
+// interrupts all running jobs (each flushes an `interrupted` trace
+// event and publishes its partial result), but the pool itself drains
+// only via Shutdown.
 func (s *Server) Start(ctx context.Context) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.started {
+		s.mu.Unlock()
 		return
 	}
 	s.started = true
@@ -107,6 +143,22 @@ func (s *Server) Start(ctx context.Context) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	resume := s.resume
+	s.resume = nil
+	for _, j := range resume {
+		j.ctx, j.cancel = context.WithCancelCause(s.base)
+	}
+	s.mu.Unlock()
+
+	for _, j := range resume {
+		if s.queue.Enqueue(j) {
+			s.logf("statsatd: job %s recovered (%s on %s, %d taped interactions)",
+				j.ID, j.mat.attack, j.mat.circuit.Name, len(j.tape))
+		} else {
+			j.finish(StateFailed, nil, errors.New("server: queue full at recovery"))
+			j.cancel(nil)
+		}
+	}
 	s.logf("statsatd: %d workers, %d job capacity", s.cfg.Workers, s.cfg.MaxJobs)
 }
 
@@ -114,8 +166,13 @@ func (s *Server) Start(ctx context.Context) {
 // while queued fail tryStart inside execute and are skipped.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.Take()
+		if !ok {
+			return
+		}
 		s.logf("statsatd: job %s starting (%s on %s)", j.ID, j.mat.attack, j.mat.circuit.Name)
+		s.startSpill(j)
 		j.execute(j.ctx)
 		j.cancel(nil) // release the job context's resources
 		s.logf("statsatd: job %s %s", j.ID, j.State())
@@ -126,18 +183,19 @@ func (s *Server) worker() {
 // every queued or running job is cancelled with a shutdown cause
 // (running attacks stop at the engine's next interrupt check, flush
 // the `interrupted` trace event and keep their best-effort partial
-// outcome), and the worker pool exits. Blocks until the pool is idle
-// or ctx expires. Safe to call more than once.
+// outcome), and the worker pool exits. Once the pool is idle the job
+// store is closed (flushing the WAL on the persistent path). Blocks
+// until the pool is idle or ctx expires. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.started {
 		s.mu.Unlock()
-		return nil
+		return s.store.Close()
 	}
 	first := !s.closed
 	if first {
 		s.closed = true
-		close(s.queue)
+		s.queue.Close()
 	}
 	cancel := s.baseCancel
 	s.mu.Unlock()
@@ -147,7 +205,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		cancel(errShutdown)
 		// Settle jobs still waiting in the queue so their streams close
 		// and Done waiters release even before a worker pops them.
-		for _, j := range s.store.list() {
+		for _, j := range s.store.List() {
 			if j.State() == StateQueued {
 				j.Cancel(errShutdown)
 			}
@@ -161,6 +219,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		if first {
+			if err := s.store.Close(); err != nil {
+				s.logf("statsatd: closing job store: %v", err)
+			}
+		}
 		s.logf("statsatd: drained")
 		return nil
 	case <-ctx.Done():
@@ -219,16 +282,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.ctx, j.cancel = context.WithCancelCause(s.base)
-	if err := s.store.add(j); err != nil {
+	evicted, err := s.store.Add(j)
+	if err != nil {
 		s.mu.Unlock()
 		j.cancel(nil)
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.store.remove(j.ID)
+	s.store.Bind(j)
+	if !s.queue.Enqueue(j) {
+		s.store.Remove(j.ID)
 		s.mu.Unlock()
 		j.cancel(nil)
 		httpError(w, http.StatusTooManyRequests, errors.New("server: job queue full"))
@@ -236,13 +299,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	for _, e := range evicted {
+		s.removeSpill(e.ID)
+	}
 	s.logf("statsatd: job %s admitted (%s on %s)", j.ID, mat.attack, mat.circuit.Name)
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
 	writeJSON(w, http.StatusAccepted, submitReply{ID: j.ID, State: j.State()})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	jobs := s.store.list()
+	jobs := s.store.List()
 	out := make([]Status, 0, len(jobs))
 	for _, j := range jobs {
 		out = append(out, j.Status())
@@ -251,7 +317,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
+	j, ok := s.store.Get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
@@ -263,12 +329,24 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // docs/OBSERVABILITY.md event object per line): first the replay of
 // everything still buffered, then each new event as the attack emits
 // it. The response ends when the job reaches a terminal state (its
-// stream closes) or the client goes away.
+// stream closes) or the client goes away. For a terminal job recovered
+// from a previous server life — whose in-memory ring is empty — the
+// durable spill file is served instead.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
+	j, ok := s.store.Get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
+	}
+	if s.spillDir != "" && j.stream.Closed() && j.stream.Len() == 0 {
+		if f, err := os.Open(s.spillPath(j.ID)); err == nil {
+			defer f.Close()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("Cache-Control", "no-store")
+			w.WriteHeader(http.StatusOK)
+			_, _ = io.Copy(w, f)
+			return
+		}
 	}
 	sub := j.stream.Subscribe(0)
 	defer sub.Cancel()
@@ -306,7 +384,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // before the request's own context ends, the in-flight status is
 // returned instead.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.store.get(r.PathValue("id"))
+	j, ok := s.store.Get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
@@ -319,13 +397,68 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
+// handleHealth reports liveness plus the per-state job census and
+// whether the durable fabric is on (docs/SERVER.md).
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	states := map[State]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0,
+		StateCancelled: 0, StateFailed: 0,
+	}
+	jobs := s.store.List()
+	for _, j := range jobs {
+		states[j.State()]++
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":    "ok",
-		"accepting": s.accepting(),
-		"jobs":      s.store.len(),
-		"workers":   s.cfg.Workers,
+		"status":      "ok",
+		"accepting":   s.accepting(),
+		"jobs":        len(jobs),
+		"states":      states,
+		"workers":     s.cfg.Workers,
+		"persistence": s.store.Persistent(),
 	})
+}
+
+// spillPath is the durable NDJSON trace file for a job ID.
+func (s *Server) spillPath(id string) string {
+	return filepath.Join(s.spillDir, id+".jsonl")
+}
+
+// removeSpill drops an evicted job's trace file (persistence only).
+func (s *Server) removeSpill(id string) {
+	if s.spillDir == "" {
+		return
+	}
+	_ = os.Remove(s.spillPath(id))
+}
+
+// startSpill mirrors the job's trace stream into its spill file. The
+// file is truncated first: a resumed job re-emits its full event
+// history from iteration zero, so the rewrite is the complete record.
+// The goroutine drains until the stream closes at job settlement and
+// is counted in s.wg so Shutdown waits for the final flush.
+func (s *Server) startSpill(j *Job) {
+	if s.spillDir == "" {
+		return
+	}
+	f, err := os.OpenFile(s.spillPath(j.ID), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.logf("statsatd: job %s trace spill: %v", j.ID, err)
+		return
+	}
+	sub := j.stream.Subscribe(s.cfg.TraceBuffer)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		for ev := range sub.C {
+			if err := enc.Encode(ev); err != nil {
+				s.logf("statsatd: job %s trace spill: %v", j.ID, err)
+				sub.Cancel()
+				return
+			}
+		}
+	}()
 }
 
 // writeJSON writes v as a JSON response body.

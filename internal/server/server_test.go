@@ -22,7 +22,10 @@ import (
 // registers teardown that drains both.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	srv.Start(ctx)
 	hts := httptest.NewServer(srv)
@@ -86,7 +89,7 @@ func getStatus(t *testing.T, base, id string) Status {
 // tests don't sleep-loop over HTTP).
 func waitTerminal(t *testing.T, srv *Server, id string) *Job {
 	t.Helper()
-	j, ok := srv.store.get(id)
+	j, ok := srv.store.Get(id)
 	if !ok {
 		t.Fatalf("job %s not in store", id)
 	}
@@ -206,7 +209,10 @@ func TestEndToEndCancelMidSolve(t *testing.T) {
 func TestParallelBurst(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	srv := New(Config{Workers: 4, MaxJobs: 16})
+	srv, err := New(Config{Workers: 4, MaxJobs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	srv.Start(ctx)
 	hts := httptest.NewServer(srv)
@@ -250,7 +256,10 @@ func TestParallelBurst(t *testing.T) {
 }
 
 func TestShutdownInterruptsRunningJobs(t *testing.T) {
-	srv := New(Config{Workers: 2, MaxJobs: 8})
+	srv, err := New(Config{Workers: 2, MaxJobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	srv.Start(ctx)
@@ -273,7 +282,7 @@ func TestShutdownInterruptsRunningJobs(t *testing.T) {
 		}
 		running := false
 		for _, id := range ids {
-			if j, ok := srv.store.get(id); ok && j.State() == StateRunning {
+			if j, ok := srv.store.Get(id); ok && j.State() == StateRunning {
 				running = true
 			}
 		}
@@ -289,7 +298,7 @@ func TestShutdownInterruptsRunningJobs(t *testing.T) {
 		t.Fatalf("shutdown: %v", err)
 	}
 	for _, id := range ids {
-		j, _ := srv.store.get(id)
+		j, _ := srv.store.Get(id)
 		if st := j.State(); st != StateCancelled {
 			t.Errorf("job %s after shutdown = %s, want cancelled", id, st)
 		}
@@ -498,7 +507,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	if st.Outcome != nil {
 		t.Errorf("queued job has an outcome: %+v", st.Outcome)
 	}
-	j, _ := srv.store.get(queued)
+	j, _ := srv.store.Get(queued)
 	if !errors.Is(j.Err(), statsat.ErrInterrupted) {
 		// A queued cancellation never entered the engine; its error is
 		// the raw cause, which need not match ErrInterrupted. Verify it

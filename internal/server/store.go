@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"statsat"
 )
 
 // ErrStoreFull is returned when a new job cannot be admitted because
@@ -11,11 +13,56 @@ import (
 // running (terminal jobs are evicted oldest-first to make room).
 var ErrStoreFull = errors.New("server: job store full")
 
-// store is the in-memory job registry: bounded, insertion-ordered,
+// JobStore is the job registry abstraction every lifecycle transition
+// routes through. The in-memory implementation (memStore) is the
+// default; walStore (persist.go) layers a write-ahead log underneath
+// so jobs, specs, state transitions and checkpoints survive a restart.
+type JobStore interface {
+	// Add assigns j its ID and registers it, evicting the oldest
+	// terminal jobs if the store is full; the evicted jobs are
+	// returned so the caller can release their side state. Fails with
+	// ErrStoreFull when nothing is evictable.
+	Add(j *Job) ([]*Job, error)
+	// Remove unregisters a job (used to roll back an admission whose
+	// queue hand-off failed).
+	Remove(id string)
+	// Get looks a job up by ID.
+	Get(id string) (*Job, bool)
+	// List returns the retained jobs in insertion order.
+	List() []*Job
+	// Len reports the number of retained jobs.
+	Len() int
+	// Bind attaches the store's durability hooks to an admitted job:
+	// the lifecycle-transition log, the oracle tape sink and the
+	// checkpoint sink. The in-memory store has none.
+	Bind(j *Job)
+	// Persistent reports whether the store survives a restart.
+	Persistent() bool
+	// Close releases store resources (flushes and closes the WAL for
+	// persistent stores). The server calls it once, after the worker
+	// pool drains.
+	Close() error
+}
+
+// WorkQueue is the pull queue between admission and the worker pool.
+// Enqueue never blocks (admission returns 429 on a full queue); Take
+// blocks until a job is available or the queue closes.
+type WorkQueue interface {
+	// Enqueue admits j for execution; false when the queue is full or
+	// closed.
+	Enqueue(j *Job) bool
+	// Take blocks for the next job; ok=false when the queue is closed
+	// and drained.
+	Take() (j *Job, ok bool)
+	// Close ends intake; Take drains the backlog then reports false.
+	Close()
+}
+
+// memStore is the in-memory job registry: bounded, insertion-ordered,
 // eviction-safe. Eviction only ever removes terminal jobs — a queued
 // or running job is never dropped, so the bound degrades history
 // retention, not correctness.
-type store struct {
+type memStore struct {
 	mu    sync.Mutex
 	jobs  map[string]*Job
 	order []*Job // insertion order (oldest first)
@@ -23,42 +70,79 @@ type store struct {
 	seq   int64
 }
 
-func newStore(capacity int) *store {
-	return &store{jobs: make(map[string]*Job, capacity), cap: capacity}
+func newMemStore(capacity int) *memStore {
+	return &memStore{jobs: make(map[string]*Job, capacity), cap: capacity}
 }
 
-// add assigns the job its ID and registers it, evicting the oldest
-// terminal job if the store is full. Fails with ErrStoreFull when
-// nothing is evictable.
-func (s *store) add(j *Job) error {
+// Add implements JobStore.
+func (s *memStore) Add(j *Job) ([]*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.order) >= s.cap && !s.evictLocked() {
-		return ErrStoreFull
+	var evicted []*Job
+	for len(s.order) >= s.cap {
+		e := s.evictLocked()
+		if e == nil {
+			return nil, ErrStoreFull
+		}
+		evicted = append(evicted, e)
 	}
 	s.seq++
 	j.ID = fmt.Sprintf("j%06d", s.seq)
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j)
+	return evicted, nil
+}
+
+// adopt registers a recovered job under its existing ID (WAL replay
+// path), bumping seq so fresh admissions never collide with history.
+func (s *memStore) adopt(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.order) >= s.cap && s.evictLocked() == nil {
+		return ErrStoreFull
+	}
+	if n, ok := idSeq(j.ID); ok && n > s.seq {
+		s.seq = n
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
 	return nil
 }
 
-// evictLocked drops the oldest terminal job; false when every job is
-// still live.
-func (s *store) evictLocked() bool {
+// bumpSeq raises the ID sequence floor (WAL recovery: evicted history
+// must not have its IDs reissued while spill files may linger).
+func (s *memStore) bumpSeq(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.seq {
+		s.seq = n
+	}
+}
+
+// idSeq parses the numeric part of a "j%06d" job ID.
+func idSeq(id string) (int64, bool) {
+	var n int64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// evictLocked drops and returns the oldest terminal job; nil when
+// every job is still live.
+func (s *memStore) evictLocked() *Job {
 	for i, j := range s.order {
 		if j.State().Terminal() {
 			delete(s.jobs, j.ID)
 			s.order = append(s.order[:i], s.order[i+1:]...)
-			return true
+			return j
 		}
 	}
-	return false
+	return nil
 }
 
-// remove unregisters a job (used to roll back an admission whose
-// queue hand-off failed).
-func (s *store) remove(id string) {
+// Remove implements JobStore.
+func (s *memStore) Remove(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -74,24 +158,91 @@ func (s *store) remove(id string) {
 	}
 }
 
-// get looks a job up by ID.
-func (s *store) get(id string) (*Job, bool) {
+// Get implements JobStore.
+func (s *memStore) Get(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
 }
 
-// list returns the retained jobs in insertion order.
-func (s *store) list() []*Job {
+// List implements JobStore.
+func (s *memStore) List() []*Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]*Job(nil), s.order...)
 }
 
-// len reports the number of retained jobs.
-func (s *store) len() int {
+// Len implements JobStore.
+func (s *memStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.order)
+}
+
+// Bind implements JobStore: the in-memory store records nothing.
+func (s *memStore) Bind(j *Job) {}
+
+// Persistent implements JobStore.
+func (s *memStore) Persistent() bool { return false }
+
+// Close implements JobStore.
+func (s *memStore) Close() error { return nil }
+
+// memQueue is the in-memory pull queue: a bounded channel guarded by a
+// closed flag so a late Enqueue racing Shutdown reports false instead
+// of panicking on a closed channel.
+type memQueue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+func newMemQueue(depth int) *memQueue {
+	return &memQueue{ch: make(chan *Job, depth)}
+}
+
+// Enqueue implements WorkQueue.
+func (q *memQueue) Enqueue(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// Take implements WorkQueue.
+func (q *memQueue) Take() (*Job, bool) {
+	j, ok := <-q.ch
+	return j, ok
+}
+
+// Close implements WorkQueue. Idempotent.
+func (q *memQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.ch)
+}
+
+// sinks bundles the durability hooks a JobStore binds onto a job; the
+// zero value (in-memory path) disables them all.
+type sinks struct {
+	// transition logs a lifecycle transition after the job's own state
+	// has settled (invoked outside j.mu).
+	transition func(j *Job, st State)
+	// tape receives every live oracle interaction (oracle journal
+	// sink); ckpt receives engine checkpoints and doubles as the
+	// durability barrier.
+	tape func(statsat.TapeRecord)
+	ckpt func(statsat.Checkpoint)
 }

@@ -12,77 +12,121 @@ func bareJob(state State) *Job {
 }
 
 func TestStoreAddAssignsSequentialIDs(t *testing.T) {
-	s := newStore(4)
+	s := newMemStore(4)
 	a, b := bareJob(StateQueued), bareJob(StateQueued)
-	if err := s.add(a); err != nil {
+	if _, err := s.Add(a); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.add(b); err != nil {
+	if _, err := s.Add(b); err != nil {
 		t.Fatal(err)
 	}
 	if a.ID != "j000001" || b.ID != "j000002" {
 		t.Fatalf("IDs = %q, %q", a.ID, b.ID)
 	}
-	if got, ok := s.get("j000002"); !ok || got != b {
+	if got, ok := s.Get("j000002"); !ok || got != b {
 		t.Fatal("get by ID failed")
 	}
-	if s.len() != 2 {
-		t.Fatalf("len = %d", s.len())
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
 	}
 }
 
 func TestStoreEvictsOldestTerminal(t *testing.T) {
-	s := newStore(2)
+	s := newMemStore(2)
 	oldDone := bareJob(StateDone)
 	live := bareJob(StateRunning)
-	if err := s.add(oldDone); err != nil {
+	if _, err := s.Add(oldDone); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.add(live); err != nil {
+	if _, err := s.Add(live); err != nil {
 		t.Fatal(err)
 	}
 	next := bareJob(StateQueued)
-	if err := s.add(next); err != nil {
+	evicted, err := s.Add(next)
+	if err != nil {
 		t.Fatalf("add with evictable job: %v", err)
 	}
-	if _, ok := s.get(oldDone.ID); ok {
+	if len(evicted) != 1 || evicted[0] != oldDone {
+		t.Fatalf("evicted = %v, want the terminal job", evicted)
+	}
+	if _, ok := s.Get(oldDone.ID); ok {
 		t.Error("terminal job not evicted")
 	}
-	if _, ok := s.get(live.ID); !ok {
+	if _, ok := s.Get(live.ID); !ok {
 		t.Error("live job evicted")
 	}
-	order := s.list()
+	order := s.List()
 	if len(order) != 2 || order[0] != live || order[1] != next {
 		t.Fatalf("order after eviction = %v", order)
 	}
 }
 
 func TestStoreFullWhenAllLive(t *testing.T) {
-	s := newStore(2)
-	if err := s.add(bareJob(StateRunning)); err != nil {
+	s := newMemStore(2)
+	if _, err := s.Add(bareJob(StateRunning)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.add(bareJob(StateQueued)); err != nil {
+	if _, err := s.Add(bareJob(StateQueued)); err != nil {
 		t.Fatal(err)
 	}
-	err := s.add(bareJob(StateQueued))
+	_, err := s.Add(bareJob(StateQueued))
 	if !errors.Is(err, ErrStoreFull) {
 		t.Fatalf("err = %v, want ErrStoreFull", err)
 	}
 }
 
 func TestStoreRemove(t *testing.T) {
-	s := newStore(4)
+	s := newMemStore(4)
 	j := bareJob(StateQueued)
-	if err := s.add(j); err != nil {
+	if _, err := s.Add(j); err != nil {
 		t.Fatal(err)
 	}
-	s.remove(j.ID)
-	if _, ok := s.get(j.ID); ok {
+	s.Remove(j.ID)
+	if _, ok := s.Get(j.ID); ok {
 		t.Error("job still present after remove")
 	}
-	if s.len() != 0 {
-		t.Fatalf("len = %d after remove", s.len())
+	if s.Len() != 0 {
+		t.Fatalf("len = %d after remove", s.Len())
 	}
-	s.remove("j999999") // unknown ID is a no-op
+	s.Remove("j999999") // unknown ID is a no-op
+}
+
+func TestStoreAdoptPreservesIDAndSeq(t *testing.T) {
+	s := newMemStore(4)
+	rec := bareJob(StateDone)
+	rec.ID = "j000007"
+	if err := s.adopt(rec); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("j000007"); !ok || got != rec {
+		t.Fatal("adopted job not retrievable under its recovered ID")
+	}
+	fresh := bareJob(StateQueued)
+	if _, err := s.Add(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID != "j000008" {
+		t.Fatalf("fresh ID after adopt = %q, want j000008", fresh.ID)
+	}
+}
+
+func TestMemQueueEnqueueAfterCloseRefused(t *testing.T) {
+	q := newMemQueue(2)
+	a := bareJob(StateQueued)
+	if !q.Enqueue(a) {
+		t.Fatal("enqueue on open queue refused")
+	}
+	q.Close()
+	if q.Enqueue(bareJob(StateQueued)) {
+		t.Fatal("enqueue on closed queue accepted")
+	}
+	// The backlog still drains after Close...
+	if j, ok := q.Take(); !ok || j != a {
+		t.Fatalf("Take after close = %v, %v", j, ok)
+	}
+	// ...and then Take reports closure.
+	if _, ok := q.Take(); ok {
+		t.Fatal("Take on drained closed queue reported ok")
+	}
+	q.Close() // idempotent
 }

@@ -1,0 +1,365 @@
+// Package wal implements the append-only record log backing statsatd's
+// durable job fabric (docs/SERVER.md "Persistence and recovery"). A log
+// is a single file of length-prefixed, CRC-checksummed records:
+//
+//	[u32 LE payload length][u32 LE IEEE CRC32 of payload][payload]
+//
+// Open replays every intact record and truncates the torn tail — a
+// crash mid-append leaves a short header, a short payload, or a CRC
+// mismatch, and in every case the longest valid prefix is the durable
+// state. Compaction (Rewrite) replaces the whole file atomically via a
+// temp file + rename so a crash during compaction preserves either the
+// old log or the new one, never a mix.
+//
+// Concurrency: all file I/O is owned by a single writer goroutine fed
+// by a request channel. Append/Sync/Rewrite enqueue a request and wait
+// for its ack; the writer batches whatever has queued up behind one
+// fsync (group commit). No file operation ever runs under the log's
+// mutex — the mutex guards only the closed flag (the lockscope check
+// enforces this, see docs/LINTING.md).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// maxRecord bounds a single record's payload; a length prefix beyond
+// it is treated as tail corruption, not an allocation request.
+const maxRecord = 64 << 20
+
+const headerSize = 8
+
+type reqKind int
+
+const (
+	reqAppend reqKind = iota
+	reqSync
+	reqRewrite
+)
+
+type request struct {
+	kind     reqKind
+	payload  []byte
+	payloads [][]byte
+	fsync    bool
+	ack      chan error
+}
+
+// Log is an append-only record log bound to one file.
+type Log struct {
+	path string
+
+	mu       sync.Mutex // guards closed only; never held across I/O
+	closed   bool
+	inflight sync.WaitGroup
+
+	reqs chan request
+	done chan struct{}
+
+	// writer-goroutine state; untouched after Open returns except by
+	// the writer itself.
+	f   *os.File
+	err error
+}
+
+// Open opens (creating if absent) the log at path, replays every
+// intact record, truncates any torn tail, and returns the log ready
+// for appends plus the replayed payloads in write order.
+func Open(path string) (*Log, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, valid, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, nil, err
+	} else if fi.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{
+		path: path,
+		reqs: make(chan request),
+		done: make(chan struct{}),
+		f:    f,
+	}
+	go l.writer()
+	return l, recs, nil
+}
+
+// replay reads records from the start of f, stopping at the first
+// torn or corrupt one. It returns the intact payloads and the byte
+// offset of the valid prefix's end.
+func replay(f *os.File) ([][]byte, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var (
+		recs   [][]byte
+		offset int64
+		hdr    [headerSize]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			// EOF here is a clean end; a partial header is a torn
+			// append. Either way the valid prefix ends at offset.
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, offset, nil
+			}
+			return nil, 0, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecord {
+			return recs, offset, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, offset, nil
+			}
+			return nil, 0, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, offset, nil
+		}
+		recs = append(recs, payload)
+		offset += headerSize + int64(n)
+	}
+}
+
+// encode frames one payload into dst and returns the extended slice.
+func encode(dst, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// submit enqueues a request and waits for the writer's ack. The
+// channel send happens outside the mutex: the lock only guards the
+// closed flag and the inflight count that Close waits on.
+func (l *Log) submit(req request) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.inflight.Add(1)
+	l.mu.Unlock()
+	defer l.inflight.Done()
+	req.ack = make(chan error, 1)
+	l.reqs <- req
+	return <-req.ack
+}
+
+// Append durably frames payload onto the log. The payload is copied
+// before the call returns to the writer queue, so callers may reuse
+// their buffer. The record is written (and CRC-framed) but not
+// fsynced; call Sync or AppendSync for a durability barrier.
+func (l *Log) Append(payload []byte) error {
+	return l.submit(request{kind: reqAppend, payload: append([]byte(nil), payload...)})
+}
+
+// AppendSync appends payload and forces it (plus everything queued
+// before it) to stable storage before returning.
+func (l *Log) AppendSync(payload []byte) error {
+	return l.submit(request{kind: reqAppend, payload: append([]byte(nil), payload...), fsync: true})
+}
+
+// Sync forces everything appended so far to stable storage.
+func (l *Log) Sync() error {
+	return l.submit(request{kind: reqSync, fsync: true})
+}
+
+// Rewrite atomically replaces the log's contents with the given
+// payloads (compaction): they are framed into a temp file, fsynced,
+// and renamed over the log. Appends queued behind the rewrite land in
+// the new file.
+func (l *Log) Rewrite(payloads [][]byte) error {
+	return l.submit(request{kind: reqRewrite, payloads: payloads, fsync: true})
+}
+
+// Close drains in-flight requests, syncs, and closes the file. The
+// log is unusable afterwards; Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return l.err
+	}
+	l.closed = true
+	l.mu.Unlock()
+	l.inflight.Wait()
+	close(l.reqs)
+	<-l.done
+	return l.err
+}
+
+// writer owns the file: it serves requests in arrival order, folding
+// whatever has queued up behind a single fsync (group commit). It
+// exits when Close closes the request channel.
+func (l *Log) writer() {
+	defer close(l.done)
+	for req := range l.reqs {
+		batch := []request{req}
+	drain:
+		for {
+			select {
+			case r, ok := <-l.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		l.serve(batch)
+	}
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil && l.err == nil {
+			l.err = err
+		}
+		if err := l.f.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
+		l.f = nil
+	}
+}
+
+// serve executes one group-committed batch.
+func (l *Log) serve(batch []request) {
+	if l.err != nil {
+		// Sticky failure: a log that failed a write never acks success
+		// again — callers must treat the job fabric as degraded.
+		for _, r := range batch {
+			r.ack <- l.err
+		}
+		return
+	}
+	var buf []byte
+	needSync := false
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		_, err := l.f.Write(buf)
+		buf = buf[:0]
+		if err != nil {
+			l.err = err
+			return false
+		}
+		return true
+	}
+	for _, r := range batch {
+		switch r.kind {
+		case reqAppend:
+			buf = encode(buf, r.payload)
+		case reqRewrite:
+			if !flush() {
+				break
+			}
+			if err := l.rewrite(r.payloads); err != nil {
+				l.err = err
+			}
+			needSync = false // rewrite is its own barrier
+		}
+		if r.fsync {
+			needSync = true
+		}
+		if l.err != nil {
+			break
+		}
+	}
+	if l.err == nil {
+		flush()
+	}
+	if l.err == nil && needSync {
+		if err := l.f.Sync(); err != nil {
+			l.err = err
+		}
+	}
+	for _, r := range batch {
+		r.ack <- l.err
+	}
+}
+
+// rewrite performs the atomic compaction swap: frame payloads into a
+// temp file in the same directory, fsync it, rename over the log, and
+// fsync the directory so the rename itself is durable.
+func (l *Log) rewrite(payloads [][]byte) error {
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".rewrite-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	var buf []byte
+	for _, p := range payloads {
+		buf = encode(buf, p)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		tmp.Close()
+		return err
+	}
+	old := l.f
+	l.f = tmp
+	old.Close()
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

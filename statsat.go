@@ -57,6 +57,7 @@ import (
 	"statsat/internal/bench"
 	"statsat/internal/circuit"
 	"statsat/internal/core"
+	"statsat/internal/engine"
 	"statsat/internal/gen"
 	"statsat/internal/lock"
 	"statsat/internal/metrics"
@@ -171,6 +172,31 @@ func NewOracle(c *Circuit, key []bool) Oracle { return oracle.NewDeterministic(c
 func NewNoisyOracle(c *Circuit, key []bool, eps float64, seed int64) Oracle {
 	return oracle.NewProbabilistic(c, key, eps, seed)
 }
+
+// TapeRecord is one recorded oracle interaction on a resume tape (see
+// docs/SERVER.md "Persistence and recovery").
+type TapeRecord = oracle.TapeRecord
+
+// NewJournalOracle wraps a freshly built oracle with replay-then-record
+// semantics: the recorded tape prefix is served back instead of fresh
+// silicon queries (reproducing an interrupted trajectory exactly), new
+// interactions stream to sink. Either tape or sink may be empty/nil.
+func NewJournalOracle(inner Oracle, tape []TapeRecord, sink func(TapeRecord)) Oracle {
+	return oracle.NewJournal(inner, tape, sink)
+}
+
+// ValidateTape sanity-checks a replayed tape against an oracle's
+// pinout before a resume commits to it.
+func ValidateTape(tape []TapeRecord, o Oracle) error { return oracle.ValidateTape(tape, o) }
+
+// Checkpoint is the serializable progress marker captured at the
+// engine's Step boundary; CheckpointSink receives one after every
+// completed iteration (Options.Checkpoint and the baseline options'
+// Checkpoint fields). See docs/ARCHITECTURE.md "Checkpoint contract".
+type (
+	Checkpoint     = engine.Checkpoint
+	CheckpointSink = engine.CheckpointSink
+)
 
 // SignalProbs queries an oracle ns times and returns per-output
 // signal probabilities (eq. 1 of the paper).
